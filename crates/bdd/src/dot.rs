@@ -1,0 +1,91 @@
+//! Graphviz dot export for debugging BDDs.
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+use crate::{Bdd, BddManager};
+
+/// Renders the BDD rooted at `f` as a Graphviz `digraph` string.
+///
+/// Solid edges are the high (`var = 1`) cofactors, dashed edges the low
+/// cofactors; terminals are drawn as boxes.
+///
+/// ```
+/// use ssr_bdd::{dot, BddManager};
+/// let mut m = BddManager::new();
+/// let a = m.new_var("a");
+/// let b = m.new_var("b");
+/// let f = m.and(a, b);
+/// let text = dot::to_dot(&m, f, "f");
+/// assert!(text.contains("digraph"));
+/// assert!(text.contains("a"));
+/// ```
+pub fn to_dot(manager: &BddManager, f: Bdd, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{name}\" {{");
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  n0 [label=\"0\", shape=box];");
+    let _ = writeln!(out, "  n1 [label=\"1\", shape=box];");
+
+    let mut seen: HashSet<Bdd> = HashSet::new();
+    let mut stack = vec![f];
+    while let Some(node) = stack.pop() {
+        if node.is_terminal() || !seen.insert(node) {
+            continue;
+        }
+        let var = manager
+            .var_of(node)
+            .expect("non-terminal nodes have a variable");
+        let label = manager
+            .var_name(var)
+            .map(str::to_owned)
+            .unwrap_or_else(|| format!("x{var}"));
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\", shape=circle];",
+            node.index(),
+            label
+        );
+        let lo = manager.lo(node);
+        let hi = manager.hi(node);
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [style=dashed];",
+            node.index(),
+            lo.index()
+        );
+        let _ = writeln!(out, "  n{} -> n{};", node.index(), hi.index());
+        stack.push(lo);
+        stack.push(hi);
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let mut m = BddManager::new();
+        let a = m.new_var("sel");
+        let b = m.new_var("d0");
+        let c = m.new_var("d1");
+        let f = m.ite(a, b, c);
+        let text = to_dot(&m, f, "mux");
+        assert!(text.starts_with("digraph"));
+        assert!(text.contains("sel"));
+        assert!(text.contains("d0"));
+        assert!(text.contains("d1"));
+        assert!(text.contains("style=dashed"));
+        assert!(text.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_of_terminal() {
+        let m = BddManager::new();
+        let text = to_dot(&m, Bdd::TRUE, "true");
+        assert!(text.contains("n1 [label=\"1\""));
+    }
+}

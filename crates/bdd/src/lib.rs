@@ -1,0 +1,58 @@
+//! # ssr-bdd — reduced ordered binary decision diagrams
+//!
+//! A self-contained ROBDD engine used as the symbolic substrate of the
+//! selective-state-retention workspace.  The paper ("Selective State
+//! Retention Design using Symbolic Simulation", DATE 2009) relies on the
+//! Forte/CUDD BDD packages; this crate provides the same primitive
+//! operations from scratch:
+//!
+//! * hash-consed unique table (structural sharing, canonical ROBDDs),
+//! * `ite` (if-then-else) with a computed-table cache, from which all binary
+//!   Boolean connectives are derived,
+//! * cofactor/restrict, existential and universal quantification,
+//!   functional composition and variable substitution,
+//! * satisfiability helpers: `sat_count`, `one_sat` cube extraction,
+//!   `all_sat` enumeration, support computation,
+//! * bit-vector ("word level") helpers in [`vec::BddVec`] used by the memory
+//!   and datapath models,
+//! * Graphviz dot export for debugging.
+//!
+//! ## Example
+//!
+//! ```
+//! use ssr_bdd::BddManager;
+//!
+//! let mut m = BddManager::new();
+//! let a = m.new_var("a");
+//! let b = m.new_var("b");
+//! let f = m.and(a, b);
+//! let g = m.or(a, b);
+//! assert!(m.implies_valid(f, g));
+//! assert_eq!(m.sat_count(f, 2), 1.0);
+//! ```
+//!
+//! ## Design notes
+//!
+//! * Nodes are stored in an append-only arena owned by [`BddManager`]; a
+//!   [`Bdd`] is a plain index into that arena and is `Copy`.  Nodes are never
+//!   freed during a run (the workloads in this workspace are bounded); the
+//!   manager exposes [`BddManager::node_count`] so callers can monitor
+//!   growth and [`BddManager::clear_caches`] to drop operation caches.
+//! * Variable order is the order of [`BddManager::new_var`] calls.  Static
+//!   ordering helpers for interleaving vectors live in [`vec`]; dynamic
+//!   reordering (sifting) is intentionally out of scope and benchmarked as a
+//!   static-order ablation instead (see `DESIGN.md`, experiment E10).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod manager;
+mod node;
+pub mod dot;
+pub mod vec;
+
+pub use error::BddError;
+pub use manager::{Assignment, BddManager, BddStats};
+pub use node::Bdd;
+pub use vec::BddVec;

@@ -1,0 +1,1018 @@
+//! The [`BddManager`]: node arena, unique table and all BDD algorithms.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+
+use crate::error::BddError;
+use crate::node::{Bdd, Node};
+
+/// A (partial) assignment of Boolean values to BDD variables.
+///
+/// Used both as the result of satisfying-assignment extraction and as the
+/// input to [`BddManager::eval`].  Variables not mentioned are unconstrained.
+///
+/// ```
+/// use ssr_bdd::{Assignment, BddManager};
+/// let mut m = BddManager::new();
+/// let a = m.new_var("a");
+/// let b = m.new_var("b");
+/// let f = m.and(a, b);
+/// let mut asg = Assignment::new();
+/// asg.set(0, true);
+/// asg.set(1, true);
+/// assert_eq!(m.eval(f, &asg), Some(true));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Assignment {
+    values: BTreeMap<u32, bool>,
+}
+
+impl Assignment {
+    /// Creates an empty assignment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets variable `var` to `value`, returning the previous value if any.
+    pub fn set(&mut self, var: u32, value: bool) -> Option<bool> {
+        self.values.insert(var, value)
+    }
+
+    /// Returns the value assigned to `var`, if any.
+    pub fn get(&self, var: u32) -> Option<bool> {
+        self.values.get(&var).copied()
+    }
+
+    /// Number of assigned variables.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if no variable is assigned.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates over `(variable, value)` pairs in ascending variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, bool)> + '_ {
+        self.values.iter().map(|(&v, &b)| (v, b))
+    }
+}
+
+impl FromIterator<(u32, bool)> for Assignment {
+    fn from_iter<I: IntoIterator<Item = (u32, bool)>>(iter: I) -> Self {
+        Assignment {
+            values: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl fmt::Display for Assignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (v, b) in self.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "x{}={}", v, if b { 1 } else { 0 })?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+/// Aggregate statistics about a manager, useful for benchmarking and for the
+/// variable-ordering ablation experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BddStats {
+    /// Total nodes allocated in the arena (including both terminals).
+    pub nodes_allocated: usize,
+    /// Number of declared variables.
+    pub variables: usize,
+    /// Entries currently held in the ITE computed table.
+    pub ite_cache_entries: usize,
+    /// Hits recorded on the ITE computed table.
+    pub ite_cache_hits: u64,
+    /// Misses recorded on the ITE computed table.
+    pub ite_cache_misses: u64,
+}
+
+/// The BDD manager: owns the node arena, the unique table and all caches.
+///
+/// See the crate-level documentation for an overview and an example.
+pub struct BddManager {
+    nodes: Vec<Node>,
+    unique: HashMap<Node, Bdd>,
+    ite_cache: HashMap<(Bdd, Bdd, Bdd), Bdd>,
+    quant_cache: HashMap<(Bdd, u64, bool), Bdd>,
+    /// Generation counter for the quantification cube cache key.
+    quant_generation: u64,
+    var_names: Vec<String>,
+    /// `var_to_level[v]` gives the position of variable `v` in the order.
+    var_to_level: Vec<u32>,
+    /// `level_to_var[l]` gives the variable at order position `l`.
+    level_to_var: Vec<u32>,
+    ite_hits: u64,
+    ite_misses: u64,
+}
+
+impl fmt::Debug for BddManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BddManager")
+            .field("variables", &self.var_names.len())
+            .field("nodes", &self.nodes.len())
+            .finish()
+    }
+}
+
+impl Default for BddManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BddManager {
+    /// Creates an empty manager containing only the two terminal nodes.
+    pub fn new() -> Self {
+        Self::with_capacity(1 << 12)
+    }
+
+    /// Creates a manager pre-sizing the node arena for `capacity` nodes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let mut nodes = Vec::with_capacity(capacity.max(2));
+        // Index 0: FALSE terminal, index 1: TRUE terminal.
+        nodes.push(Node::terminal());
+        nodes.push(Node::terminal());
+        BddManager {
+            nodes,
+            unique: HashMap::with_capacity(capacity),
+            ite_cache: HashMap::with_capacity(capacity),
+            quant_cache: HashMap::new(),
+            quant_generation: 0,
+            var_names: Vec::new(),
+            var_to_level: Vec::new(),
+            level_to_var: Vec::new(),
+            ite_hits: 0,
+            ite_misses: 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Variables
+    // ------------------------------------------------------------------
+
+    /// Declares a fresh variable appended at the bottom of the current order
+    /// and returns its positive literal.
+    pub fn new_var(&mut self, name: impl Into<String>) -> Bdd {
+        let var = self.var_names.len() as u32;
+        self.var_names.push(name.into());
+        self.var_to_level.push(var);
+        self.level_to_var.push(var);
+        self.mk_node(var, Bdd::FALSE, Bdd::TRUE)
+    }
+
+    /// Declares `n` fresh variables named `prefix[0]`, `prefix[1]`, ... and
+    /// returns their positive literals in index order.
+    pub fn new_vars(&mut self, prefix: &str, n: usize) -> Vec<Bdd> {
+        (0..n)
+            .map(|i| self.new_var(format!("{prefix}[{i}]")))
+            .collect()
+    }
+
+    /// Number of declared variables.
+    pub fn var_count(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// The positive literal of variable `var`.
+    ///
+    /// # Panics
+    /// Panics if `var` has not been declared.
+    pub fn literal(&mut self, var: u32) -> Bdd {
+        assert!(
+            (var as usize) < self.var_names.len(),
+            "variable {var} not declared"
+        );
+        self.mk_node(var, Bdd::FALSE, Bdd::TRUE)
+    }
+
+    /// The negative literal of variable `var`.
+    pub fn nliteral(&mut self, var: u32) -> Bdd {
+        assert!(
+            (var as usize) < self.var_names.len(),
+            "variable {var} not declared"
+        );
+        self.mk_node(var, Bdd::TRUE, Bdd::FALSE)
+    }
+
+    /// Name of variable `var`, if declared.
+    pub fn var_name(&self, var: u32) -> Option<&str> {
+        self.var_names.get(var as usize).map(|s| s.as_str())
+    }
+
+    /// Looks up a variable index by name (linear scan; intended for tests
+    /// and diagnostics, not hot paths).
+    pub fn var_by_name(&self, name: &str) -> Option<u32> {
+        self.var_names.iter().position(|n| n == name).map(|i| i as u32)
+    }
+
+    /// The order position ("level") of variable `var`; lower levels are
+    /// closer to the root.
+    pub fn level_of_var(&self, var: u32) -> u32 {
+        self.var_to_level[var as usize]
+    }
+
+    // ------------------------------------------------------------------
+    // Node primitives
+    // ------------------------------------------------------------------
+
+    /// The decision variable of `f`, or `None` for terminals.
+    pub fn var_of(&self, f: Bdd) -> Option<u32> {
+        let n = self.nodes[f.index()];
+        if n.var == Node::TERMINAL_VAR {
+            None
+        } else {
+            Some(n.var)
+        }
+    }
+
+    /// Low (`var = 0`) cofactor edge of `f`.
+    ///
+    /// # Panics
+    /// Panics if `f` is a terminal.
+    pub fn lo(&self, f: Bdd) -> Bdd {
+        assert!(!f.is_terminal(), "terminal nodes have no cofactors");
+        self.nodes[f.index()].lo
+    }
+
+    /// High (`var = 1`) cofactor edge of `f`.
+    ///
+    /// # Panics
+    /// Panics if `f` is a terminal.
+    pub fn hi(&self, f: Bdd) -> Bdd {
+        assert!(!f.is_terminal(), "terminal nodes have no cofactors");
+        self.nodes[f.index()].hi
+    }
+
+    #[inline]
+    fn level(&self, f: Bdd) -> u32 {
+        let n = self.nodes[f.index()];
+        if n.var == Node::TERMINAL_VAR {
+            u32::MAX
+        } else {
+            self.var_to_level[n.var as usize]
+        }
+    }
+
+    fn mk_node(&mut self, var: u32, lo: Bdd, hi: Bdd) -> Bdd {
+        if lo == hi {
+            return lo;
+        }
+        let node = Node { var, lo, hi };
+        if let Some(&existing) = self.unique.get(&node) {
+            return existing;
+        }
+        let id = Bdd(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.unique.insert(node, id);
+        id
+    }
+
+    /// Total number of nodes currently allocated in the arena.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of nodes reachable from `f` (the "size" of the BDD), counting
+    /// terminals.
+    pub fn size(&self, f: Bdd) -> usize {
+        let mut seen = HashSet::new();
+        let mut stack = vec![f];
+        while let Some(n) = stack.pop() {
+            if seen.insert(n) && !n.is_terminal() {
+                stack.push(self.lo(n));
+                stack.push(self.hi(n));
+            }
+        }
+        seen.len()
+    }
+
+    /// Drops the operation caches (unique table is kept — it is required for
+    /// canonicity).  Useful between benchmark iterations.
+    pub fn clear_caches(&mut self) {
+        self.ite_cache.clear();
+        self.quant_cache.clear();
+    }
+
+    /// Returns aggregate statistics about the manager.
+    pub fn stats(&self) -> BddStats {
+        BddStats {
+            nodes_allocated: self.nodes.len(),
+            variables: self.var_names.len(),
+            ite_cache_entries: self.ite_cache.len(),
+            ite_cache_hits: self.ite_hits,
+            ite_cache_misses: self.ite_misses,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Core algorithm: ITE
+    // ------------------------------------------------------------------
+
+    /// If-then-else: computes `(f ∧ g) ∨ (¬f ∧ h)`.
+    ///
+    /// All binary connectives are implemented in terms of this operation.
+    pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
+        // Terminal cases.
+        if f.is_true() {
+            return g;
+        }
+        if f.is_false() {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g.is_true() && h.is_false() {
+            return f;
+        }
+
+        let key = (f, g, h);
+        if let Some(&r) = self.ite_cache.get(&key) {
+            self.ite_hits += 1;
+            return r;
+        }
+        self.ite_misses += 1;
+
+        // Split on the top variable (minimum level among the three).
+        let lf = self.level(f);
+        let lg = self.level(g);
+        let lh = self.level(h);
+        let top_level = lf.min(lg).min(lh);
+        let top_var = self.level_to_var[top_level as usize];
+
+        let (f0, f1) = self.cofactors_at(f, top_var);
+        let (g0, g1) = self.cofactors_at(g, top_var);
+        let (h0, h1) = self.cofactors_at(h, top_var);
+
+        let lo = self.ite(f0, g0, h0);
+        let hi = self.ite(f1, g1, h1);
+        let result = self.mk_node(top_var, lo, hi);
+        self.ite_cache.insert(key, result);
+        result
+    }
+
+    #[inline]
+    fn cofactors_at(&self, f: Bdd, var: u32) -> (Bdd, Bdd) {
+        if f.is_terminal() {
+            return (f, f);
+        }
+        let n = self.nodes[f.index()];
+        if n.var == var {
+            (n.lo, n.hi)
+        } else {
+            (f, f)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Derived Boolean connectives
+    // ------------------------------------------------------------------
+
+    /// Logical negation.
+    pub fn not(&mut self, f: Bdd) -> Bdd {
+        self.ite(f, Bdd::FALSE, Bdd::TRUE)
+    }
+
+    /// Logical conjunction.
+    pub fn and(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(f, g, Bdd::FALSE)
+    }
+
+    /// Logical disjunction.
+    pub fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(f, Bdd::TRUE, g)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let ng = self.not(g);
+        self.ite(f, ng, g)
+    }
+
+    /// Exclusive nor (equivalence).
+    pub fn xnor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let ng = self.not(g);
+        self.ite(f, g, ng)
+    }
+
+    /// Negated conjunction.
+    pub fn nand(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let a = self.and(f, g);
+        self.not(a)
+    }
+
+    /// Negated disjunction.
+    pub fn nor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let a = self.or(f, g);
+        self.not(a)
+    }
+
+    /// Implication `f → g`.
+    pub fn implies(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(f, g, Bdd::TRUE)
+    }
+
+    /// Conjunction over an iterator of BDDs (true for an empty iterator).
+    pub fn and_all<I: IntoIterator<Item = Bdd>>(&mut self, items: I) -> Bdd {
+        let mut acc = Bdd::TRUE;
+        for b in items {
+            acc = self.and(acc, b);
+            if acc.is_false() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Disjunction over an iterator of BDDs (false for an empty iterator).
+    pub fn or_all<I: IntoIterator<Item = Bdd>>(&mut self, items: I) -> Bdd {
+        let mut acc = Bdd::FALSE;
+        for b in items {
+            acc = self.or(acc, b);
+            if acc.is_true() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Returns `true` iff `f → g` is a tautology.
+    pub fn implies_valid(&mut self, f: Bdd, g: Bdd) -> bool {
+        self.implies(f, g).is_true()
+    }
+
+    /// Returns `true` iff `f` is satisfiable.
+    pub fn is_satisfiable(&self, f: Bdd) -> bool {
+        !f.is_false()
+    }
+
+    // ------------------------------------------------------------------
+    // Evaluation, cofactors and quantification
+    // ------------------------------------------------------------------
+
+    /// Evaluates `f` under `assignment`.  Returns `None` if the assignment
+    /// does not determine the value (some variable on the evaluation path is
+    /// unassigned).
+    pub fn eval(&self, f: Bdd, assignment: &Assignment) -> Option<bool> {
+        let mut cur = f;
+        loop {
+            if cur.is_true() {
+                return Some(true);
+            }
+            if cur.is_false() {
+                return Some(false);
+            }
+            let n = self.nodes[cur.index()];
+            match assignment.get(n.var) {
+                Some(true) => cur = n.hi,
+                Some(false) => cur = n.lo,
+                None => return None,
+            }
+        }
+    }
+
+    /// Restricts variable `var` to `value` in `f` (Shannon cofactor).
+    pub fn restrict(&mut self, f: Bdd, var: u32, value: bool) -> Bdd {
+        if f.is_terminal() {
+            return f;
+        }
+        let mut cache: HashMap<Bdd, Bdd> = HashMap::new();
+        self.restrict_inner(f, var, value, &mut cache)
+    }
+
+    fn restrict_inner(
+        &mut self,
+        f: Bdd,
+        var: u32,
+        value: bool,
+        cache: &mut HashMap<Bdd, Bdd>,
+    ) -> Bdd {
+        if f.is_terminal() {
+            return f;
+        }
+        if let Some(&r) = cache.get(&f) {
+            return r;
+        }
+        let n = self.nodes[f.index()];
+        let target_level = self.var_to_level[var as usize];
+        let node_level = self.var_to_level[n.var as usize];
+        let result = if node_level > target_level {
+            // Variable does not appear in this subgraph.
+            f
+        } else if n.var == var {
+            if value {
+                n.hi
+            } else {
+                n.lo
+            }
+        } else {
+            let lo = self.restrict_inner(n.lo, var, value, cache);
+            let hi = self.restrict_inner(n.hi, var, value, cache);
+            self.mk_node(n.var, lo, hi)
+        };
+        cache.insert(f, result);
+        result
+    }
+
+    /// Existentially quantifies all variables in `vars` out of `f`.
+    pub fn exists(&mut self, f: Bdd, vars: &[u32]) -> Bdd {
+        let var_set: HashSet<u32> = vars.iter().copied().collect();
+        self.quant_generation += 1;
+        let generation = self.quant_generation;
+        self.quantify_rec(f, &var_set, true, generation)
+    }
+
+    /// Universally quantifies all variables in `vars` out of `f`.
+    pub fn forall(&mut self, f: Bdd, vars: &[u32]) -> Bdd {
+        let var_set: HashSet<u32> = vars.iter().copied().collect();
+        self.quant_generation += 1;
+        let generation = self.quant_generation;
+        self.quantify_rec(f, &var_set, false, generation)
+    }
+
+    fn quantify_rec(
+        &mut self,
+        f: Bdd,
+        vars: &HashSet<u32>,
+        existential: bool,
+        generation: u64,
+    ) -> Bdd {
+        if f.is_terminal() {
+            return f;
+        }
+        let key = (f, generation, existential);
+        if let Some(&r) = self.quant_cache.get(&key) {
+            return r;
+        }
+        let n = self.nodes[f.index()];
+        let lo = self.quantify_rec(n.lo, vars, existential, generation);
+        let hi = self.quantify_rec(n.hi, vars, existential, generation);
+        let result = if vars.contains(&n.var) {
+            if existential {
+                self.or(lo, hi)
+            } else {
+                self.and(lo, hi)
+            }
+        } else {
+            self.mk_node(n.var, lo, hi)
+        };
+        self.quant_cache.insert(key, result);
+        result
+    }
+
+    /// Functional composition: substitutes `g` for variable `var` in `f`.
+    pub fn compose(&mut self, f: Bdd, var: u32, g: Bdd) -> Bdd {
+        let mut cache = HashMap::new();
+        self.compose_rec(f, var, g, &mut cache)
+    }
+
+    fn compose_rec(
+        &mut self,
+        f: Bdd,
+        var: u32,
+        g: Bdd,
+        cache: &mut HashMap<Bdd, Bdd>,
+    ) -> Bdd {
+        if f.is_terminal() {
+            return f;
+        }
+        if let Some(&r) = cache.get(&f) {
+            return r;
+        }
+        let n = self.nodes[f.index()];
+        let result = if n.var == var {
+            self.ite(g, n.hi, n.lo)
+        } else {
+            let lo = self.compose_rec(n.lo, var, g, cache);
+            let hi = self.compose_rec(n.hi, var, g, cache);
+            let v = self.literal(n.var);
+            self.ite(v, hi, lo)
+        };
+        cache.insert(f, result);
+        result
+    }
+
+    /// Simultaneously renames variables: `map[i] = (old, new)` replaces each
+    /// `old` variable by the (distinct, declared) `new` variable.
+    ///
+    /// # Errors
+    /// Returns [`BddError::InvalidVariable`] if a target variable has not
+    /// been declared.
+    pub fn rename(&mut self, f: Bdd, map: &[(u32, u32)]) -> Result<Bdd, BddError> {
+        for &(_, to) in map {
+            if to as usize >= self.var_names.len() {
+                return Err(BddError::InvalidVariable(to));
+            }
+        }
+        let mapping: HashMap<u32, u32> = map.iter().copied().collect();
+        let mut cache = HashMap::new();
+        Ok(self.rename_rec(f, &mapping, &mut cache))
+    }
+
+    fn rename_rec(
+        &mut self,
+        f: Bdd,
+        mapping: &HashMap<u32, u32>,
+        cache: &mut HashMap<Bdd, Bdd>,
+    ) -> Bdd {
+        if f.is_terminal() {
+            return f;
+        }
+        if let Some(&r) = cache.get(&f) {
+            return r;
+        }
+        let n = self.nodes[f.index()];
+        let lo = self.rename_rec(n.lo, mapping, cache);
+        let hi = self.rename_rec(n.hi, mapping, cache);
+        let var = mapping.get(&n.var).copied().unwrap_or(n.var);
+        let lit = self.literal(var);
+        let result = self.ite(lit, hi, lo);
+        cache.insert(f, result);
+        result
+    }
+
+    // ------------------------------------------------------------------
+    // Satisfiability helpers
+    // ------------------------------------------------------------------
+
+    /// Set of variables `f` depends on, in ascending index order.
+    pub fn support(&self, f: Bdd) -> Vec<u32> {
+        let mut vars = HashSet::new();
+        let mut seen = HashSet::new();
+        let mut stack = vec![f];
+        while let Some(n) = stack.pop() {
+            if n.is_terminal() || !seen.insert(n) {
+                continue;
+            }
+            let node = self.nodes[n.index()];
+            vars.insert(node.var);
+            stack.push(node.lo);
+            stack.push(node.hi);
+        }
+        let mut out: Vec<u32> = vars.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of satisfying assignments of `f` over `num_vars` variables.
+    ///
+    /// # Panics
+    /// Panics if `num_vars` is smaller than the largest variable index in
+    /// the support of `f` plus one.
+    pub fn sat_count(&self, f: Bdd, num_vars: usize) -> f64 {
+        if let Some(&max) = self.support(f).iter().max() {
+            assert!(
+                num_vars > max as usize,
+                "num_vars ({num_vars}) must cover the support of f (max var {max})"
+            );
+        }
+        let mut cache: HashMap<Bdd, f64> = HashMap::new();
+        // `sat_fraction` averages skipped variables with weight 1/2, so the
+        // result is independent of the total number of declared variables and
+        // scales to any superset of the support.
+        let fraction = self.sat_fraction(f, &mut cache);
+        fraction * 2f64.powi(num_vars as i32)
+    }
+
+    /// Fraction of the full assignment space (over all declared variables)
+    /// that satisfies `f`.  This is the order-independent primitive behind
+    /// [`BddManager::sat_count`].
+    pub fn sat_fraction(&self, f: Bdd, cache: &mut HashMap<Bdd, f64>) -> f64 {
+        if f.is_true() {
+            return 1.0;
+        }
+        if f.is_false() {
+            return 0.0;
+        }
+        if let Some(&r) = cache.get(&f) {
+            return r;
+        }
+        let n = self.nodes[f.index()];
+        let lo = self.sat_fraction(n.lo, cache);
+        let hi = self.sat_fraction(n.hi, cache);
+        let r = 0.5 * lo + 0.5 * hi;
+        cache.insert(f, r);
+        r
+    }
+
+    /// Extracts one satisfying assignment of `f`, if any, assigning only the
+    /// variables along the chosen path.
+    pub fn one_sat(&self, f: Bdd) -> Option<Assignment> {
+        if f.is_false() {
+            return None;
+        }
+        let mut asg = Assignment::new();
+        let mut cur = f;
+        while !cur.is_terminal() {
+            let n = self.nodes[cur.index()];
+            if n.hi.is_false() {
+                asg.set(n.var, false);
+                cur = n.lo;
+            } else {
+                asg.set(n.var, true);
+                cur = n.hi;
+            }
+        }
+        debug_assert!(cur.is_true());
+        Some(asg)
+    }
+
+    /// Enumerates all satisfying assignments of `f` restricted to the
+    /// variables in `vars`.
+    ///
+    /// The result can be exponential in `vars.len()`; intended for small
+    /// variable sets (counterexample reporting, tests).
+    pub fn all_sat(&mut self, f: Bdd, vars: &[u32]) -> Vec<Assignment> {
+        let mut out = Vec::new();
+        let mut current = Assignment::new();
+        self.all_sat_rec(f, vars, 0, &mut current, &mut out);
+        out
+    }
+
+    fn all_sat_rec(
+        &mut self,
+        f: Bdd,
+        vars: &[u32],
+        idx: usize,
+        current: &mut Assignment,
+        out: &mut Vec<Assignment>,
+    ) {
+        if f.is_false() {
+            return;
+        }
+        if idx == vars.len() {
+            if !f.is_false() {
+                out.push(current.clone());
+            }
+            return;
+        }
+        let v = vars[idx];
+        for value in [false, true] {
+            let restricted = self.restrict(f, v, value);
+            current.set(v, value);
+            self.all_sat_rec(restricted, vars, idx + 1, current, out);
+        }
+        // Remove the variable before returning to the caller's frame.
+        let mut cleaned = Assignment::new();
+        for (var, val) in current.iter() {
+            if var != v {
+                cleaned.set(var, val);
+            }
+        }
+        *current = cleaned;
+    }
+
+    /// Builds the conjunction of literals described by `assignment` (a
+    /// "cube").
+    pub fn cube(&mut self, assignment: &Assignment) -> Bdd {
+        let pairs: Vec<(u32, bool)> = assignment.iter().collect();
+        let mut acc = Bdd::TRUE;
+        // Build bottom-up (highest level first) for linear node creation.
+        for &(var, val) in pairs.iter().rev() {
+            let lit = if val {
+                self.literal(var)
+            } else {
+                self.nliteral(var)
+            };
+            acc = self.and(lit, acc);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (BddManager, Bdd, Bdd, Bdd) {
+        let mut m = BddManager::new();
+        let a = m.new_var("a");
+        let b = m.new_var("b");
+        let c = m.new_var("c");
+        (m, a, b, c)
+    }
+
+    #[test]
+    fn terminals_and_literals() {
+        let (mut m, a, _, _) = setup();
+        assert_eq!(m.literal(0), a);
+        assert_eq!(m.var_of(a), Some(0));
+        assert_eq!(m.var_of(Bdd::TRUE), None);
+        assert_eq!(m.lo(a), Bdd::FALSE);
+        assert_eq!(m.hi(a), Bdd::TRUE);
+        let na = m.nliteral(0);
+        assert_eq!(m.not(a), na);
+    }
+
+    #[test]
+    fn idempotent_unique_table() {
+        let (mut m, a, b, _) = setup();
+        let f1 = m.and(a, b);
+        let f2 = m.and(a, b);
+        assert_eq!(f1, f2);
+        let g1 = m.or(b, a);
+        let g2 = m.or(a, b);
+        assert_eq!(g1, g2, "canonical form is order independent");
+    }
+
+    #[test]
+    fn boolean_identities() {
+        let (mut m, a, b, c) = setup();
+        // De Morgan
+        let lhs = {
+            let ab = m.and(a, b);
+            m.not(ab)
+        };
+        let rhs = {
+            let na = m.not(a);
+            let nb = m.not(b);
+            m.or(na, nb)
+        };
+        assert_eq!(lhs, rhs);
+        // Distribution
+        let l = {
+            let bc = m.or(b, c);
+            m.and(a, bc)
+        };
+        let r = {
+            let ab = m.and(a, b);
+            let ac = m.and(a, c);
+            m.or(ab, ac)
+        };
+        assert_eq!(l, r);
+        // Double negation
+        let nn = {
+            let na = m.not(a);
+            m.not(na)
+        };
+        assert_eq!(nn, a);
+        // xor/xnor complementary
+        let x = m.xor(a, b);
+        let xn = m.xnor(a, b);
+        assert_eq!(m.not(x), xn);
+    }
+
+    #[test]
+    fn ite_truth_table() {
+        let (mut m, a, b, c) = setup();
+        let f = m.ite(a, b, c);
+        for va in [false, true] {
+            for vb in [false, true] {
+                for vc in [false, true] {
+                    let asg: Assignment =
+                        [(0, va), (1, vb), (2, vc)].into_iter().collect();
+                    let expected = if va { vb } else { vc };
+                    assert_eq!(m.eval(f, &asg), Some(expected));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eval_partial_assignment() {
+        let (mut m, a, b, _) = setup();
+        let f = m.and(a, b);
+        let asg: Assignment = [(0, false)].into_iter().collect();
+        // a=0 forces f=0 regardless of b.
+        assert_eq!(m.eval(f, &asg), Some(false));
+        let asg2: Assignment = [(0, true)].into_iter().collect();
+        assert_eq!(m.eval(f, &asg2), None);
+    }
+
+    #[test]
+    fn restrict_cofactors() {
+        let (mut m, a, b, _) = setup();
+        let f = m.xor(a, b);
+        let f_a1 = m.restrict(f, 0, true);
+        let f_a0 = m.restrict(f, 0, false);
+        assert_eq!(f_a1, m.not(b));
+        assert_eq!(f_a0, b);
+    }
+
+    #[test]
+    fn quantification() {
+        let (mut m, a, b, c) = setup();
+        let f = m.and(a, b);
+        // ∃a. a∧b == b
+        assert_eq!(m.exists(f, &[0]), b);
+        // ∀a. a∧b == false
+        assert_eq!(m.forall(f, &[0]), Bdd::FALSE);
+        // ∃b. (a∧b) ∨ c
+        let g = m.or(f, c);
+        let e = m.exists(g, &[1]);
+        let expect = m.or(a, c);
+        assert_eq!(e, expect);
+        // Quantifying a variable not in the support is a no-op.
+        assert_eq!(m.exists(f, &[2]), f);
+    }
+
+    #[test]
+    fn compose_substitution() {
+        let (mut m, a, b, c) = setup();
+        let f = m.and(a, b);
+        // f[b := c] == a ∧ c
+        let g = m.compose(f, 1, c);
+        assert_eq!(g, m.and(a, c));
+        // f[b := ¬a] == false is wrong: a ∧ ¬a == false
+        let na = m.not(a);
+        let h = m.compose(f, 1, na);
+        assert_eq!(h, Bdd::FALSE);
+    }
+
+    #[test]
+    fn rename_variables() {
+        let (mut m, a, b, c) = setup();
+        let f = m.and(a, b);
+        let g = m.rename(f, &[(1, 2)]).expect("rename");
+        assert_eq!(g, m.and(a, c));
+        assert!(m.rename(f, &[(1, 99)]).is_err());
+    }
+
+    #[test]
+    fn support_and_size() {
+        let (mut m, a, b, c) = setup();
+        let f = {
+            let ab = m.and(a, b);
+            m.or(ab, c)
+        };
+        assert_eq!(m.support(f), vec![0, 1, 2]);
+        assert!(m.size(f) >= 4);
+        assert_eq!(m.support(Bdd::TRUE), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn sat_count_small() {
+        let (mut m, a, b, _) = setup();
+        let f = m.and(a, b);
+        assert_eq!(m.sat_count(f, 2) as u64, 1);
+        let g = m.or(a, b);
+        assert_eq!(m.sat_count(g, 2) as u64, 3);
+        let x = m.xor(a, b);
+        assert_eq!(m.sat_count(x, 3) as u64, 4);
+    }
+
+    #[test]
+    fn one_sat_and_cube() {
+        let (mut m, a, b, _) = setup();
+        let na = m.not(a);
+        let f = m.and(na, b);
+        let asg = m.one_sat(f).expect("satisfiable");
+        assert_eq!(m.eval(f, &asg), Some(true));
+        assert_eq!(m.one_sat(Bdd::FALSE), None);
+        let cube = m.cube(&asg);
+        assert!(m.implies_valid(cube, f));
+    }
+
+    #[test]
+    fn all_sat_enumeration() {
+        let (mut m, a, b, _) = setup();
+        let f = m.or(a, b);
+        let sols = m.all_sat(f, &[0, 1]);
+        assert_eq!(sols.len(), 3);
+        for s in &sols {
+            assert_eq!(m.eval(f, s), Some(true));
+        }
+    }
+
+    #[test]
+    fn and_or_all() {
+        let (mut m, a, b, c) = setup();
+        let f = m.and_all([a, b, c]);
+        let g = {
+            let ab = m.and(a, b);
+            m.and(ab, c)
+        };
+        assert_eq!(f, g);
+        let h = m.or_all([a, b, c]);
+        let i = {
+            let ab = m.or(a, b);
+            m.or(ab, c)
+        };
+        assert_eq!(h, i);
+        assert_eq!(m.and_all([]), Bdd::TRUE);
+        assert_eq!(m.or_all([]), Bdd::FALSE);
+    }
+
+    #[test]
+    fn stats_and_caches() {
+        let (mut m, a, b, c) = setup();
+        let _ = m.and(a, b);
+        let _ = m.or(b, c);
+        let s = m.stats();
+        assert_eq!(s.variables, 3);
+        assert!(s.nodes_allocated >= 5);
+        m.clear_caches();
+        assert_eq!(m.stats().ite_cache_entries, 0);
+    }
+}

@@ -1,0 +1,104 @@
+//! BDD node representation and the public [`Bdd`] handle.
+
+/// A handle to a node in a [`crate::BddManager`].
+///
+/// Handles are plain indices and therefore `Copy`; they are only meaningful
+/// together with the manager that created them.  The two terminal nodes have
+/// fixed handles: [`Bdd::FALSE`] (index 0) and [`Bdd::TRUE`] (index 1).
+///
+/// ```
+/// use ssr_bdd::{Bdd, BddManager};
+/// let mut m = BddManager::new();
+/// let x = m.new_var("x");
+/// assert_ne!(x, Bdd::TRUE);
+/// assert_ne!(x, Bdd::FALSE);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bdd(pub(crate) u32);
+
+impl Bdd {
+    /// The constant-false terminal.
+    pub const FALSE: Bdd = Bdd(0);
+    /// The constant-true terminal.
+    pub const TRUE: Bdd = Bdd(1);
+
+    /// Returns `true` if this handle is one of the two terminals.
+    #[inline]
+    pub fn is_terminal(self) -> bool {
+        self.0 < 2
+    }
+
+    /// Returns `true` if this handle is the constant-true terminal.
+    #[inline]
+    pub fn is_true(self) -> bool {
+        self == Bdd::TRUE
+    }
+
+    /// Returns `true` if this handle is the constant-false terminal.
+    #[inline]
+    pub fn is_false(self) -> bool {
+        self == Bdd::FALSE
+    }
+
+    /// Raw arena index of the node (stable for the lifetime of the manager).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<bool> for Bdd {
+    fn from(b: bool) -> Self {
+        if b {
+            Bdd::TRUE
+        } else {
+            Bdd::FALSE
+        }
+    }
+}
+
+/// Internal node: decision variable plus low/high cofactor edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct Node {
+    /// Decision variable index (not level; levels are looked up through the
+    /// manager's order tables).  Terminals use `u32::MAX`.
+    pub var: u32,
+    /// Cofactor with `var = 0`.
+    pub lo: Bdd,
+    /// Cofactor with `var = 1`.
+    pub hi: Bdd,
+}
+
+impl Node {
+    pub(crate) const TERMINAL_VAR: u32 = u32::MAX;
+
+    pub(crate) fn terminal() -> Node {
+        Node {
+            var: Node::TERMINAL_VAR,
+            lo: Bdd::FALSE,
+            hi: Bdd::FALSE,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminal_handles_are_fixed() {
+        assert_eq!(Bdd::FALSE.index(), 0);
+        assert_eq!(Bdd::TRUE.index(), 1);
+        assert!(Bdd::FALSE.is_terminal());
+        assert!(Bdd::TRUE.is_terminal());
+        assert!(Bdd::TRUE.is_true());
+        assert!(!Bdd::TRUE.is_false());
+        assert!(Bdd::FALSE.is_false());
+    }
+
+    #[test]
+    fn bdd_from_bool() {
+        assert_eq!(Bdd::from(true), Bdd::TRUE);
+        assert_eq!(Bdd::from(false), Bdd::FALSE);
+    }
+}

@@ -1,0 +1,198 @@
+//! Property-based tests for the ROBDD engine.
+//!
+//! The central invariant is canonicity: two syntactically different Boolean
+//! expressions that denote the same function must hash-cons to the same node.
+//! We also cross-check BDD evaluation against a direct interpreter over
+//! random expressions and random assignments.
+
+use proptest::prelude::*;
+use ssr_bdd::{Assignment, Bdd, BddManager, BddVec};
+
+/// A tiny Boolean expression AST used as the reference semantics.
+#[derive(Debug, Clone)]
+enum Expr {
+    Var(u32),
+    Const(bool),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    Ite(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+const NUM_VARS: u32 = 6;
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0..NUM_VARS).prop_map(Expr::Var),
+        any::<bool>().prop_map(Expr::Const),
+    ];
+    leaf.prop_recursive(4, 64, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(a, b, c)| Expr::Ite(Box::new(a), Box::new(b), Box::new(c))),
+        ]
+    })
+}
+
+fn eval_expr(e: &Expr, asg: &[bool]) -> bool {
+    match e {
+        Expr::Var(v) => asg[*v as usize],
+        Expr::Const(b) => *b,
+        Expr::Not(a) => !eval_expr(a, asg),
+        Expr::And(a, b) => eval_expr(a, asg) && eval_expr(b, asg),
+        Expr::Or(a, b) => eval_expr(a, asg) || eval_expr(b, asg),
+        Expr::Xor(a, b) => eval_expr(a, asg) ^ eval_expr(b, asg),
+        Expr::Ite(c, t, f) => {
+            if eval_expr(c, asg) {
+                eval_expr(t, asg)
+            } else {
+                eval_expr(f, asg)
+            }
+        }
+    }
+}
+
+fn build_bdd(m: &mut BddManager, e: &Expr) -> Bdd {
+    match e {
+        Expr::Var(v) => m.literal(*v),
+        Expr::Const(b) => Bdd::from(*b),
+        Expr::Not(a) => {
+            let x = build_bdd(m, a);
+            m.not(x)
+        }
+        Expr::And(a, b) => {
+            let x = build_bdd(m, a);
+            let y = build_bdd(m, b);
+            m.and(x, y)
+        }
+        Expr::Or(a, b) => {
+            let x = build_bdd(m, a);
+            let y = build_bdd(m, b);
+            m.or(x, y)
+        }
+        Expr::Xor(a, b) => {
+            let x = build_bdd(m, a);
+            let y = build_bdd(m, b);
+            m.xor(x, y)
+        }
+        Expr::Ite(c, t, f) => {
+            let x = build_bdd(m, c);
+            let y = build_bdd(m, t);
+            let z = build_bdd(m, f);
+            m.ite(x, y, z)
+        }
+    }
+}
+
+fn manager_with_vars() -> BddManager {
+    let mut m = BddManager::new();
+    for i in 0..NUM_VARS {
+        m.new_var(format!("v{i}"));
+    }
+    m
+}
+
+fn exhaustive_assignments() -> impl Iterator<Item = Vec<bool>> {
+    (0u32..(1 << NUM_VARS)).map(|bits| (0..NUM_VARS).map(|i| (bits >> i) & 1 == 1).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// BDD evaluation agrees with the reference interpreter on every
+    /// assignment.
+    #[test]
+    fn bdd_matches_reference_semantics(e in arb_expr()) {
+        let mut m = manager_with_vars();
+        let f = build_bdd(&mut m, &e);
+        for bits in exhaustive_assignments() {
+            let asg: Assignment = bits.iter().enumerate().map(|(i, &b)| (i as u32, b)).collect();
+            prop_assert_eq!(m.eval(f, &asg), Some(eval_expr(&e, &bits)));
+        }
+    }
+
+    /// Canonicity: semantically equal expressions produce identical handles.
+    #[test]
+    fn canonical_handles(e in arb_expr()) {
+        let mut m = manager_with_vars();
+        let f = build_bdd(&mut m, &e);
+        // Rebuild the same function through a syntactically different route:
+        // double negation plus identity conjunction.
+        let nf = m.not(f);
+        let nnf = m.not(nf);
+        let with_true = m.and(nnf, Bdd::TRUE);
+        prop_assert_eq!(f, with_true);
+    }
+
+    /// Shannon expansion: f == ite(x, f|x=1, f|x=0) for every variable.
+    #[test]
+    fn shannon_expansion(e in arb_expr(), var in 0..NUM_VARS) {
+        let mut m = manager_with_vars();
+        let f = build_bdd(&mut m, &e);
+        let f1 = m.restrict(f, var, true);
+        let f0 = m.restrict(f, var, false);
+        let x = m.literal(var);
+        let rebuilt = m.ite(x, f1, f0);
+        prop_assert_eq!(f, rebuilt);
+    }
+
+    /// Quantification laws: ∃x.f == f|x=0 ∨ f|x=1 and ∀x.f == f|x=0 ∧ f|x=1.
+    #[test]
+    fn quantification_laws(e in arb_expr(), var in 0..NUM_VARS) {
+        let mut m = manager_with_vars();
+        let f = build_bdd(&mut m, &e);
+        let f1 = m.restrict(f, var, true);
+        let f0 = m.restrict(f, var, false);
+        let ex = m.exists(f, &[var]);
+        let all = m.forall(f, &[var]);
+        let ex_expect = m.or(f0, f1);
+        let all_expect = m.and(f0, f1);
+        prop_assert_eq!(ex, ex_expect);
+        prop_assert_eq!(all, all_expect);
+    }
+
+    /// `one_sat` always returns a genuinely satisfying assignment, and
+    /// `sat_count` is consistent with exhaustive enumeration.
+    #[test]
+    fn sat_helpers_consistent(e in arb_expr()) {
+        let mut m = manager_with_vars();
+        let f = build_bdd(&mut m, &e);
+        let expected: usize = exhaustive_assignments()
+            .filter(|bits| eval_expr(&e, bits))
+            .count();
+        let counted = m.sat_count(f, NUM_VARS as usize).round() as usize;
+        prop_assert_eq!(counted, expected);
+        match m.one_sat(f) {
+            Some(asg) => prop_assert_eq!(m.eval(f, &asg), Some(true)),
+            None => prop_assert_eq!(expected, 0),
+        }
+    }
+
+    /// Vector addition matches wrapping machine arithmetic.
+    #[test]
+    fn bddvec_add_matches_machine(a in 0u64..256, b in 0u64..256) {
+        let mut m = BddManager::new();
+        let va = BddVec::constant(&mut m, a, 8);
+        let vb = BddVec::constant(&mut m, b, 8);
+        let sum = va.add(&mut m, &vb).expect("same width");
+        let asg = Assignment::new();
+        prop_assert_eq!(sum.decode(&m, &asg), Some((a + b) & 0xFF));
+    }
+
+    /// Symbolic vector equality has exactly one satisfying assignment per
+    /// concrete right-hand side.
+    #[test]
+    fn bddvec_equality_unique_witness(value in 0u64..64) {
+        let mut m = BddManager::new();
+        let v = BddVec::new_input(&mut m, "v", 6);
+        let eq = v.equals_constant(&mut m, value);
+        prop_assert_eq!(m.sat_count(eq, 6).round() as u64, 1);
+        let witness = m.one_sat(eq).expect("satisfiable");
+        prop_assert_eq!(v.decode(&m, &witness), Some(value));
+    }
+}

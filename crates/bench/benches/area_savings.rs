@@ -1,0 +1,59 @@
+//! Experiment E8: the area / standby-leakage savings of selective retention
+//! for 3-, 5- and 7-stage generations, with the paper's 25–40 % per-flop
+//! retention overhead, plus the same comparison measured on the actually
+//! generated gate-level core.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssr_cpu::pipeline_model::generations;
+use ssr_cpu::{build_core, CoreConfig, RetentionPolicy};
+use ssr_netlist::stats::{stats, AreaModel};
+use ssr_retention::area::{render_table, savings, LeakageModel};
+
+fn area_savings(c: &mut Criterion) {
+    // The generation-level table (the paper's §IV argument).
+    for overhead in [0.25, 0.40] {
+        let model = AreaModel { retention_overhead: overhead, ..AreaModel::default() };
+        let rows = savings(&generations(), &model, &LeakageModel::default());
+        println!("retention flop overhead {:.0}%:", overhead * 100.0);
+        println!("{}", render_table(&rows));
+        assert!(rows.windows(2).all(|w| w[0].area_saving_fraction < w[1].area_saving_fraction));
+    }
+
+    // The same comparison on the generated core: selective retention pays
+    // the overhead only on the architectural flops.
+    let model = AreaModel::default();
+    let mut rows = Vec::new();
+    for (label, policy) in [
+        ("none", RetentionPolicy::none()),
+        ("architectural", RetentionPolicy::architectural()),
+        ("full", RetentionPolicy::full()),
+    ] {
+        let mut cfg = CoreConfig::small_test();
+        cfg.retention = policy;
+        let netlist = build_core(&cfg).expect("core");
+        let s = stats(&netlist, &model);
+        println!(
+            "generated core, {label:<13} retention: {:>6} flops ({} retained), sequential area {:.0}",
+            s.flops + s.retention_flops,
+            s.retention_flops,
+            s.sequential_area
+        );
+        rows.push(s.sequential_area);
+    }
+    assert!(rows[0] < rows[1] && rows[1] < rows[2]);
+
+    let mut group = c.benchmark_group("area_model");
+    group.bench_function("generation_savings_table", |b| {
+        b.iter(|| savings(&generations(), &AreaModel::default(), &LeakageModel::default()))
+    });
+    group.bench_function("generated_core_census", |b| {
+        b.iter(|| {
+            let netlist = build_core(&CoreConfig::small_test()).expect("core");
+            stats(&netlist, &AreaModel::default())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, area_savings);
+criterion_main!(benches);

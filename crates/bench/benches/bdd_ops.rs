@@ -1,0 +1,65 @@
+//! Infrastructure benchmark: core BDD operations and the static
+//! variable-ordering ablation (interleaved vs. sequential operand variables
+//! for comparators and adders).  Supports every other experiment; see
+//! DESIGN.md experiment E10 for the decomposition context.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssr_bdd::{BddManager, BddVec};
+
+fn interleaved_vs_sequential(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bdd_equality_order");
+    for width in [8usize, 16, 32] {
+        group.bench_with_input(BenchmarkId::new("interleaved", width), &width, |b, &w| {
+            b.iter(|| {
+                let mut m = BddManager::new();
+                let (x, y) = BddVec::new_interleaved_pair(&mut m, "x", "y", w);
+                let eq = x.equals(&mut m, &y).expect("width");
+                (m.size(eq), m.node_count())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("sequential", width), &width, |b, &w| {
+            b.iter(|| {
+                let mut m = BddManager::new();
+                let x = BddVec::new_input(&mut m, "x", w);
+                let y = BddVec::new_input(&mut m, "y", w);
+                let eq = x.equals(&mut m, &y).expect("width");
+                (m.size(eq), m.node_count())
+            });
+        });
+    }
+    group.finish();
+
+    // Report the node-count shape once (the BDD for equality is linear under
+    // the interleaved order and exponential under the sequential one).
+    for width in [8usize, 12, 16] {
+        let mut mi = BddManager::new();
+        let (x, y) = BddVec::new_interleaved_pair(&mut mi, "x", "y", width);
+        let eq_i = x.equals(&mut mi, &y).expect("width");
+        let mut ms = BddManager::new();
+        let x = BddVec::new_input(&mut ms, "x", width);
+        let y = BddVec::new_input(&mut ms, "y", width);
+        let eq_s = x.equals(&mut ms, &y).expect("width");
+        println!(
+            "equality width {width}: interleaved order {} nodes, sequential order {} nodes",
+            mi.size(eq_i),
+            ms.size(eq_s)
+        );
+    }
+}
+
+fn adder_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bdd_adder");
+    for width in [16usize, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, &w| {
+            b.iter(|| {
+                let mut m = BddManager::new();
+                let (x, y) = BddVec::new_interleaved_pair(&mut m, "x", "y", w);
+                x.add(&mut m, &y).expect("width")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, interleaved_vs_sequential, adder_construction);
+criterion_main!(benches);

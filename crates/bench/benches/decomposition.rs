@@ -1,0 +1,67 @@
+//! Experiment E10: property decomposition with STE inference rules.  The
+//! paper credits its scalability to checking small per-unit properties and
+//! composing them with inference rules instead of checking one monolithic
+//! datapath property.  The benchmark compares the two styles on the ALU +
+//! write-back path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssr_bdd::{BddManager, BddVec};
+use ssr_cpu::CoreConfig;
+use ssr_properties::CoreHarness;
+use ssr_ste::{infer, Assertion, Formula};
+
+/// One monolithic property: ALU add result propagates through the write-back
+/// mux in a single assertion over the concatenated cone.
+fn monolithic(harness: &CoreHarness) -> bool {
+    let mut m = BddManager::new();
+    let (a_vec, b_vec) = BddVec::new_interleaved_pair(&mut m, "a", "b", 32);
+    let antecedent = CoreHarness::nominal_controls(1)
+        .and(Formula::is0("ALUSrc"))
+        .and(Formula::is0("MemtoReg"))
+        .and(Formula::word_is_const("ALUControl", 0b010, 3))
+        .and(Formula::word_is(&mut m, "ReadData1", &a_vec))
+        .and(Formula::word_is(&mut m, "ReadData2", &b_vec));
+    let sum = a_vec.add(&mut m, &b_vec).expect("width");
+    let consequent = Formula::word_is(&mut m, "ALUResult", &sum)
+        .and(Formula::word_is(&mut m, "WriteBackData", &sum));
+    harness
+        .check(&mut m, &Assertion::new(antecedent, consequent))
+        .expect("checks")
+        .holds
+}
+
+/// The decomposed style: an execute-stage property and a write-back property
+/// checked separately, then combined with the conjunction rule.
+fn decomposed(harness: &CoreHarness) -> bool {
+    let mut m = BddManager::new();
+    let (a_vec, b_vec) = BddVec::new_interleaved_pair(&mut m, "a", "b", 32);
+    let shared = CoreHarness::nominal_controls(1)
+        .and(Formula::is0("ALUSrc"))
+        .and(Formula::is0("MemtoReg"))
+        .and(Formula::word_is_const("ALUControl", 0b010, 3))
+        .and(Formula::word_is(&mut m, "ReadData1", &a_vec))
+        .and(Formula::word_is(&mut m, "ReadData2", &b_vec));
+    let sum = a_vec.add(&mut m, &b_vec).expect("width");
+    let alu = Assertion::new(shared.clone(), Formula::word_is(&mut m, "ALUResult", &sum));
+    let wb = Assertion::new(shared, Formula::word_is(&mut m, "WriteBackData", &sum));
+    let ok1 = harness.check(&mut m, &alu).expect("checks").holds;
+    let ok2 = harness.check(&mut m, &wb).expect("checks").holds;
+    let combined = infer::conjoin(&alu, &wb).expect("same antecedent");
+    ok1 && ok2 && harness.check(&mut m, &combined).expect("checks").holds
+}
+
+fn decomposition(c: &mut Criterion) {
+    let harness = CoreHarness::new(CoreConfig::small_test()).expect("core");
+    assert!(monolithic(&harness));
+    assert!(decomposed(&harness));
+    println!("both the monolithic and the decomposed (inference-rule) styles verify the ALU → write-back path");
+
+    let mut group = c.benchmark_group("decomposition");
+    group.sample_size(10);
+    group.bench_function("monolithic_property", |b| b.iter(|| monolithic(&harness)));
+    group.bench_function("decomposed_with_inference_rules", |b| b.iter(|| decomposed(&harness)));
+    group.finish();
+}
+
+criterion_group!(benches, decomposition);
+criterion_main!(benches);

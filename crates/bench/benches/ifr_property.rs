@@ -1,0 +1,66 @@
+//! Experiment E6: the §III-B instruction-memory / IFR read-after-write
+//! property across sleep and resume — the property the paper reports as its
+//! most expensive check (10.83 s on a 1.7 GHz Centrino).  The absolute time
+//! on modern hardware is much smaller; the *shape* to reproduce is that this
+//! memory property dominates the suite and that the symbolically indexed
+//! antecedent is far cheaper than the direct one.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssr_bdd::BddManager;
+use ssr_cpu::CoreConfig;
+use ssr_properties::ifr::{assertion, AntecedentStyle};
+use ssr_properties::CoreHarness;
+
+fn harness_with_depth(imem_depth: usize) -> CoreHarness {
+    let mut cfg = CoreConfig::small_test();
+    cfg.imem_depth = imem_depth;
+    CoreHarness::new(cfg).expect("core")
+}
+
+fn ifr_property(c: &mut Criterion) {
+    // Report the shape once at the largest benched depth.
+    {
+        let harness = harness_with_depth(64);
+        for style in [AntecedentStyle::Indexed, AntecedentStyle::Direct] {
+            let mut m = BddManager::new();
+            let a = assertion(&harness, &mut m, style);
+            let report = harness.check(&mut m, &a).expect("checks");
+            assert!(report.holds);
+            println!(
+                "imem depth 64, {:?} antecedent: {:?} ({} variables, {} BDD nodes)",
+                style,
+                report.duration,
+                m.var_count(),
+                m.node_count()
+            );
+        }
+    }
+
+    let mut group = c.benchmark_group("ifr_raw_property");
+    group.sample_size(10);
+    // Both styles at depth 16; only the (cheap) indexed style at depth 64 —
+    // the one-shot report above already gives the direct-style figure there.
+    let cases: [(usize, AntecedentStyle); 3] = [
+        (16, AntecedentStyle::Indexed),
+        (16, AntecedentStyle::Direct),
+        (64, AntecedentStyle::Indexed),
+    ];
+    for (depth, style) in cases {
+        let harness = harness_with_depth(depth);
+        group.bench_with_input(
+            BenchmarkId::new(format!("{style:?}"), depth),
+            &depth,
+            |b, _| {
+                b.iter(|| {
+                    let mut m = BddManager::new();
+                    let a = assertion(&harness, &mut m, style);
+                    harness.check(&mut m, &a).expect("checks")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ifr_property);
+criterion_main!(benches);

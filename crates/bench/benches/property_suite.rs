@@ -1,0 +1,63 @@
+//! Experiments E3 and E4: the 26 Property I assertions (NRET held high) and
+//! the Property II sleep/resume suite, timed per functional unit as the
+//! paper reports them (2 fetch, 6 decode, 11 control, 6 execute,
+//! 1 write-back).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssr_bdd::BddManager;
+use ssr_cpu::CoreConfig;
+use ssr_properties::{property_one, property_two, CoreHarness};
+
+fn property_suites(c: &mut Criterion) {
+    let harness = CoreHarness::new(CoreConfig::small_test()).expect("core");
+
+    // One full run with per-property timing, printed in the paper's grouping.
+    {
+        let mut m = BddManager::new();
+        let suite = property_one::suite(&harness, &mut m);
+        let reports = harness.check_all(&mut m, &suite).expect("checks");
+        assert_eq!(reports.len(), 26);
+        assert!(reports.iter().all(|r| r.holds));
+        let slowest = reports.iter().max_by_key(|r| r.duration).expect("non-empty");
+        println!(
+            "Property I: 26/26 hold; slowest `{}` at {:?}",
+            slowest.name.as_deref().unwrap_or("?"),
+            slowest.duration
+        );
+    }
+
+    let mut group = c.benchmark_group("property_one");
+    group.sample_size(10);
+    for (label, builder) in [
+        ("fetch", property_one::fetch as fn(&CoreHarness, &mut BddManager) -> Vec<_>),
+        ("decode", property_one::decode),
+        ("control", property_one::control),
+        ("execute", property_one::execute),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut m = BddManager::new();
+                let suite = builder(&harness, &mut m);
+                harness.check_all(&mut m, &suite).expect("checks")
+            });
+        });
+    }
+    group.bench_function("full_26", |b| {
+        b.iter(|| {
+            let mut m = BddManager::new();
+            let suite = property_one::suite(&harness, &mut m);
+            harness.check_all(&mut m, &suite).expect("checks")
+        });
+    });
+    group.bench_function("property_two_full", |b| {
+        b.iter(|| {
+            let mut m = BddManager::new();
+            let suite = property_two::suite(&harness, &mut m);
+            harness.check_all(&mut m, &suite).expect("checks")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, property_suites);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Experiment E1 (Figure 1): the emulated retention register keeps a
+//! symbolic value through the sleep/resume hand-shake while an ordinary
+//! async-reset register loses it.  Benchmarks the single-cell STE check.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssr_bdd::BddManager;
+use ssr_netlist::builder::NetlistBuilder;
+use ssr_netlist::{Netlist, RegKind};
+use ssr_sim::CompiledModel;
+use ssr_ste::stimulus::{waveform, Segment};
+use ssr_ste::{Assertion, Formula, Ste};
+
+fn cell(kind: RegKind) -> Netlist {
+    let mut b = NetlistBuilder::new("cell");
+    let clk = b.input("clock");
+    let nrst = b.input("NRST");
+    let nret_needed = matches!(kind, RegKind::Retention { .. });
+    let nret = if nret_needed { Some(b.input("NRET")) } else { None };
+    let d = b.input("d");
+    let q = b.reg("q", kind, d, clk, Some(nrst), nret);
+    b.mark_output(q);
+    b.finish().expect("valid")
+}
+
+fn check(netlist: &Netlist, with_nret: bool) -> bool {
+    let model = CompiledModel::new(netlist).expect("compiles");
+    let mut m = BddManager::new();
+    let v = m.new_var("v");
+    let mut a = waveform(
+        "clock",
+        &[Segment::new(false, 0, 1), Segment::new(true, 1, 2), Segment::new(false, 2, 8)],
+    )
+    .and(waveform(
+        "NRST",
+        &[Segment::new(true, 0, 4), Segment::new(false, 4, 5), Segment::new(true, 5, 8)],
+    ))
+    .and(Formula::is_bdd(&mut m, "d", v).from_to(0, 2));
+    if with_nret {
+        a = a.and(waveform(
+            "NRET",
+            &[Segment::new(true, 0, 3), Segment::new(false, 3, 6), Segment::new(true, 6, 8)],
+        ));
+    }
+    let c = Formula::is_bdd(&mut m, "q", v).from_to(2, 8);
+    Ste::new(&model)
+        .check(&mut m, &Assertion::new(a, c))
+        .expect("checks")
+        .holds
+}
+
+fn retention_cell(c: &mut Criterion) {
+    let retained = cell(RegKind::Retention { reset_value: false });
+    let volatile = cell(RegKind::AsyncReset { reset_value: false });
+
+    // The shape the paper relies on: retention survives, volatile does not.
+    assert!(check(&retained, true));
+    assert!(!check(&volatile, false));
+    println!("retention cell keeps the symbolic value across sleep/resume; the ordinary register loses it");
+
+    let mut group = c.benchmark_group("retention_cell_check");
+    group.bench_function("retention_register", |b| b.iter(|| check(&retained, true)));
+    group.bench_function("async_reset_register", |b| b.iter(|| check(&volatile, false)));
+    group.finish();
+}
+
+criterion_group!(benches, retention_cell);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Experiment E9: "conventional simulation (using 0s and 1s) rapidly becomes
+//! infeasible" — one symbolic STE check of the 32-bit adder datapath covers
+//! the whole 2⁶⁴ input space, while every concrete simulation run covers a
+//! single point.  The benchmark compares one symbolic check against batches
+//! of concrete runs and prints the equivalent-coverage ratio.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ssr_bdd::{BddManager, BddVec};
+use ssr_cpu::{build_core, CoreConfig};
+use ssr_netlist::{NetId, Netlist};
+use ssr_properties::CoreHarness;
+use ssr_sim::{CompiledModel, ConcreteSimulator};
+use ssr_ste::Formula;
+use ssr_ternary::Ternary;
+
+fn symbolic_alu_check(harness: &CoreHarness) -> bool {
+    let mut m = BddManager::new();
+    let (a_vec, b_vec) = BddVec::new_interleaved_pair(&mut m, "a", "b", 32);
+    let antecedent = CoreHarness::nominal_controls(1)
+        .and(Formula::is0("ALUSrc"))
+        .and(Formula::word_is_const("ALUControl", 0b010, 3))
+        .and(Formula::word_is(&mut m, "ReadData1", &a_vec))
+        .and(Formula::word_is(&mut m, "ReadData2", &b_vec));
+    let sum = a_vec.add(&mut m, &b_vec).expect("width");
+    let consequent = Formula::word_is(&mut m, "ALUResult", &sum);
+    harness
+        .check(&mut m, &ssr_ste::Assertion::new(antecedent, consequent))
+        .expect("checks")
+        .holds
+}
+
+fn concrete_alu_runs(netlist: &Netlist, runs: usize, seed: u64) -> usize {
+    let model = CompiledModel::new(netlist).expect("compiles");
+    let sim = ConcreteSimulator::new(&model);
+    let find = |n: &str| netlist.find_net(n).expect("net exists");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut checked = 0;
+    for _ in 0..runs {
+        let a: u32 = rng.gen();
+        let b: u32 = rng.gen();
+        let mut inputs: Vec<(NetId, Ternary)> = vec![
+            (find("NRET"), Ternary::One),
+            (find("NRST"), Ternary::One),
+            (find("IMemRead"), Ternary::One),
+            (find("IMemWrite"), Ternary::Zero),
+            (find("ALUSrc"), Ternary::Zero),
+        ];
+        for bit in 0..3 {
+            inputs.push((
+                find(&format!("ALUControl[{bit}]")),
+                Ternary::from_bool((0b010 >> bit) & 1 == 1),
+            ));
+        }
+        for bit in 0..32 {
+            inputs.push((find(&format!("ReadData1[{bit}]")), Ternary::from_bool((a >> bit) & 1 == 1)));
+            inputs.push((find(&format!("ReadData2[{bit}]")), Ternary::from_bool((b >> bit) & 1 == 1)));
+        }
+        let state = sim.initial_state(&inputs);
+        let mut result = 0u32;
+        for bit in 0..32 {
+            if state.node(find(&format!("ALUResult[{bit}]"))) == Ternary::One {
+                result |= 1 << bit;
+            }
+        }
+        assert_eq!(result, a.wrapping_add(b));
+        checked += 1;
+    }
+    checked
+}
+
+fn scalar_vs_symbolic(c: &mut Criterion) {
+    let harness = CoreHarness::new(CoreConfig::small_test()).expect("core");
+    let netlist = build_core(&CoreConfig::small_test()).expect("core");
+
+    assert!(symbolic_alu_check(&harness));
+    println!(
+        "one symbolic check covers all 2^64 operand pairs; every concrete run covers exactly one — \
+         exhaustive scalar simulation would need 1.8e19 runs"
+    );
+
+    let mut group = c.benchmark_group("scalar_vs_symbolic");
+    group.sample_size(10);
+    group.bench_function("symbolic_check_full_space", |b| {
+        b.iter(|| symbolic_alu_check(&harness))
+    });
+    for runs in [10usize, 100] {
+        group.bench_with_input(BenchmarkId::new("concrete_runs", runs), &runs, |b, &r| {
+            b.iter(|| concrete_alu_runs(&netlist, r, 7))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scalar_vs_symbolic);
+criterion_main!(benches);

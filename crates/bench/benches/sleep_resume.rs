@@ -1,0 +1,50 @@
+//! Experiment E2 (Figures 2 and 3): the sleep/resume equivalence check on
+//! the full core — the retained architectural state plus the IFR recovery
+//! make the post-resume next state identical to the no-sleep next state.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssr_bdd::BddManager;
+use ssr_cpu::CoreConfig;
+use ssr_properties::{property_two, CoreHarness};
+
+fn sleep_resume(c: &mut Criterion) {
+    let harness = CoreHarness::new(CoreConfig::small_test()).expect("core");
+
+    // Report the shape once.
+    {
+        let mut m = BddManager::new();
+        let suite = property_two::suite(&harness, &mut m);
+        let reports = harness.check_all(&mut m, &suite).expect("checks");
+        for r in &reports {
+            println!(
+                "{:<22} holds={} ({:?}, {} constraints)",
+                r.name.as_deref().unwrap_or("?"),
+                r.holds,
+                r.duration,
+                r.constraints_checked
+            );
+        }
+        assert!(reports.iter().all(|r| r.holds));
+    }
+
+    let mut group = c.benchmark_group("property_two");
+    group.sample_size(10);
+    group.bench_function("survival_suite", |b| {
+        b.iter(|| {
+            let mut m = BddManager::new();
+            let suite = property_two::survival_suite(&harness, &mut m);
+            harness.check_all(&mut m, &suite).expect("checks")
+        });
+    });
+    group.bench_function("equivalence_suite", |b| {
+        b.iter(|| {
+            let mut m = BddManager::new();
+            let suite = property_two::equivalence_suite(&harness, &mut m);
+            harness.check_all(&mut m, &suite).expect("checks")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, sleep_resume);
+criterion_main!(benches);

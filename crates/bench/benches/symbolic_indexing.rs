@@ -1,0 +1,104 @@
+//! Experiment E7: symbolic indexing turns the cost of checking a memory
+//! array from (super-)linear in the depth into roughly logarithmic — the
+//! claim the paper makes for its SRAM properties.  The benchmark sweeps a
+//! standalone retained memory over increasing depths with both antecedent
+//! styles.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssr_bdd::{BddManager, BddVec};
+use ssr_netlist::builder::{MemoryConfig, NetlistBuilder, ReadPort, WritePort};
+use ssr_netlist::{Netlist, RegKind};
+use ssr_sim::CompiledModel;
+use ssr_ste::indexing::{direct_memory_antecedent, indexed_memory_antecedent, raw_expected};
+use ssr_ste::{Assertion, Formula, Ste};
+
+const WIDTH: usize = 16;
+
+fn memory_netlist(depth: usize) -> Netlist {
+    let addr_bits = (usize::BITS - (depth - 1).leading_zeros()).max(1) as usize;
+    let mut b = NetlistBuilder::new("sram");
+    let clk = b.input("clock");
+    let nrst = b.input("NRST");
+    let nret = b.input("NRET");
+    let waddr = b.word_input("WriteAdd", addr_bits);
+    let wdata = b.word_input("WriteData", WIDTH);
+    let we = b.input("MemWrite");
+    let raddr = b.word_input("ReadAdd", addr_bits);
+    let re = b.input("MemRead");
+    let rdata = b.memory(
+        "Mem",
+        MemoryConfig { depth, width: WIDTH, kind: RegKind::Retention { reset_value: false } },
+        clk,
+        Some(nrst),
+        Some(nret),
+        Some(&WritePort { addr: waddr, data: wdata, enable: we }),
+        &[ReadPort { addr: raddr, enable: Some(re) }],
+    );
+    b.mark_word_output(&rdata[0]);
+    b.finish().expect("valid")
+}
+
+/// Checks read-after-write on a combinational read after one write cycle.
+fn check(netlist: &Netlist, depth: usize, indexed: bool) -> std::time::Duration {
+    let addr_bits = (usize::BITS - (depth - 1).leading_zeros()).max(1) as usize;
+    let model = CompiledModel::new(netlist).expect("compiles");
+    let mut m = BddManager::new();
+    let ra = BddVec::new_input(&mut m, "ra", addr_bits);
+    let wa = BddVec::new_input(&mut m, "wa", addr_bits);
+    let wd = BddVec::new_input(&mut m, "wd", WIDTH);
+    let (init, expected) = if indexed {
+        let data = BddVec::new_input(&mut m, "d", WIDTH);
+        let init = indexed_memory_antecedent(&mut m, "Mem", depth, &ra, &data, 0, 1);
+        let hit = wa.equals(&mut m, &ra).expect("width");
+        let expected = wd.mux(&mut m, hit, &data).expect("width");
+        (init, expected)
+    } else {
+        let (init, words) = direct_memory_antecedent(&mut m, "Mem", depth, WIDTH, 0, 1);
+        let expected = raw_expected(&mut m, &ra, &wa, ssr_bdd::Bdd::TRUE, &wd, &words);
+        (init, expected)
+    };
+    let a = Formula::node_is_from_to("clock", false, 0, 1)
+        .and(Formula::node_is_from_to("clock", true, 1, 2))
+        .and(Formula::node_is_from_to("clock", false, 2, 3))
+        .and(Formula::node_is_from_to("NRST", true, 0, 3))
+        .and(Formula::node_is_from_to("NRET", true, 0, 3))
+        .and(Formula::node_is_from_to("MemRead", true, 0, 3))
+        .and(Formula::node_is_from_to("MemWrite", true, 0, 2))
+        .and(Formula::word_is(&mut m, "ReadAdd", &ra).from_to(0, 3))
+        .and(Formula::word_is(&mut m, "WriteAdd", &wa).from_to(0, 2))
+        .and(Formula::word_is(&mut m, "WriteData", &wd).from_to(0, 2))
+        .and(init);
+    let c = Formula::word_is(&mut m, "Mem_rdata0", &expected).delay(2);
+    let report = Ste::new(&model)
+        .check(&mut m, &Assertion::new(a, c))
+        .expect("checks");
+    assert!(report.holds);
+    report.duration
+}
+
+fn symbolic_indexing(c: &mut Criterion) {
+    // Print the scaling series once (the figure-style output).
+    println!("depth | direct check | indexed check");
+    for depth in [8usize, 16, 32, 64, 128] {
+        let netlist = memory_netlist(depth);
+        let direct = check(&netlist, depth, false);
+        let indexed = check(&netlist, depth, true);
+        println!("{depth:>5} | {direct:>12.2?} | {indexed:>12.2?}");
+    }
+
+    let mut group = c.benchmark_group("memory_raw_check");
+    group.sample_size(10);
+    for depth in [8usize, 32, 128] {
+        let netlist = memory_netlist(depth);
+        group.bench_with_input(BenchmarkId::new("direct", depth), &depth, |b, &d| {
+            b.iter(|| check(&netlist, d, false));
+        });
+        group.bench_with_input(BenchmarkId::new("indexed", depth), &depth, |b, &d| {
+            b.iter(|| check(&netlist, d, true));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, symbolic_indexing);
+criterion_main!(benches);

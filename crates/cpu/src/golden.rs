@@ -1,0 +1,213 @@
+//! The ISA-level golden model: the programmer-visible ("architectural")
+//! state and its transition function.
+//!
+//! This is the reference the paper's Figure 2 talks about: the *architectural
+//! state* that must be identical whether or not the core took a sleep/resume
+//! detour.  The gate-level core is cross-checked against this model by the
+//! integration tests and the examples.
+
+use crate::control::{alu_control, AluFunction, ControlSignals};
+use crate::isa::Instr;
+
+/// The programmer-visible state of the core.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchState {
+    /// Program counter (byte address; instructions are word aligned).
+    pub pc: u32,
+    /// General-purpose registers (`regs[0]` is hard-wired to zero on real
+    /// MIPS; this subset treats it as an ordinary register to match the
+    /// simple educational datapath of the paper's Figure 4).
+    pub regs: Vec<u32>,
+    /// Instruction memory (word addressed).
+    pub imem: Vec<u32>,
+    /// Data memory (word addressed).
+    pub dmem: Vec<u32>,
+}
+
+impl ArchState {
+    /// Creates a zeroed state with the given shapes.
+    pub fn new(reg_count: usize, imem_depth: usize, dmem_depth: usize) -> Self {
+        ArchState {
+            pc: 0,
+            regs: vec![0; reg_count],
+            imem: vec![0; imem_depth],
+            dmem: vec![0; dmem_depth],
+        }
+    }
+
+    /// Loads a program (already assembled) starting at instruction-memory
+    /// word 0.
+    ///
+    /// # Panics
+    /// Panics if the program does not fit.
+    pub fn load_program(&mut self, words: &[u32]) {
+        assert!(words.len() <= self.imem.len(), "program does not fit in imem");
+        self.imem[..words.len()].copy_from_slice(words);
+    }
+
+    /// The word address (index into `imem`) the PC currently points at.
+    pub fn pc_word(&self) -> usize {
+        (self.pc as usize / 4) % self.imem.len()
+    }
+
+    /// Executes one instruction, mutating the state.  Returns the executed
+    /// instruction for tracing.
+    pub fn step(&mut self) -> Instr {
+        let word = self.imem[self.pc_word()];
+        let instr = Instr::decode(word);
+        let signals = ControlSignals::from_opcode(word >> 26);
+        let funct_field = word & 0x3F;
+
+        let rs = ((word >> 21) & 0x1F) as usize % self.regs.len();
+        let rt = ((word >> 16) & 0x1F) as usize % self.regs.len();
+        let rd = ((word >> 11) & 0x1F) as usize % self.regs.len();
+        let imm = (word & 0xFFFF) as u16 as i16 as i32;
+
+        let a = self.regs[rs];
+        let b = if signals.alu_src {
+            imm as u32
+        } else {
+            self.regs[rt]
+        };
+        let alu_fn: AluFunction = alu_control(signals.alu_op, funct_field);
+        let (alu_result, zero) = alu_fn.apply(a, b);
+
+        // Data memory.
+        let dmem_index = (alu_result as usize / 4) % self.dmem.len();
+        let mem_data = if signals.mem_read {
+            self.dmem[dmem_index]
+        } else {
+            0
+        };
+        if signals.mem_write {
+            self.dmem[dmem_index] = self.regs[rt];
+        }
+
+        // Register write-back.
+        if signals.reg_write {
+            let dest = if signals.reg_dst { rd } else { rt };
+            let value = if signals.mem_to_reg { mem_data } else { alu_result };
+            self.regs[dest] = value;
+        }
+
+        // Next PC.  Unimplemented opcodes decode to `pc_write = false` (a
+        // safe bubble) and therefore stall, matching the gate-level core.
+        if signals.pc_write {
+            let pc_plus_4 = self.pc.wrapping_add(4);
+            self.pc = if signals.branch && zero {
+                pc_plus_4.wrapping_add((imm as u32) << 2)
+            } else {
+                pc_plus_4
+            };
+        }
+
+        instr
+    }
+
+    /// Runs `n` instructions.
+    pub fn run(&mut self, n: usize) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{assemble, Instr};
+
+    fn fresh() -> ArchState {
+        ArchState::new(8, 16, 16)
+    }
+
+    #[test]
+    fn rtype_arithmetic() {
+        let mut s = fresh();
+        s.regs[1] = 20;
+        s.regs[2] = 22;
+        s.load_program(&assemble(&[
+            Instr::Add { rd: 3, rs: 1, rt: 2 },
+            Instr::Sub { rd: 4, rs: 2, rt: 1 },
+            Instr::And { rd: 5, rs: 1, rt: 2 },
+            Instr::Or { rd: 6, rs: 1, rt: 2 },
+            Instr::Slt { rd: 7, rs: 1, rt: 2 },
+        ]));
+        s.run(5);
+        assert_eq!(s.regs[3], 42);
+        assert_eq!(s.regs[4], 2);
+        assert_eq!(s.regs[5], 20 & 22);
+        assert_eq!(s.regs[6], 20 | 22);
+        assert_eq!(s.regs[7], 1);
+        assert_eq!(s.pc, 20);
+    }
+
+    #[test]
+    fn load_and_store() {
+        let mut s = fresh();
+        s.regs[1] = 8; // base address
+        s.regs[2] = 0xDEAD_BEEF;
+        s.load_program(&assemble(&[
+            Instr::Sw { rt: 2, rs: 1, imm: 4 },  // dmem[(8+4)/4] = regs[2]
+            Instr::Lw { rt: 3, rs: 1, imm: 4 },  // regs[3] = dmem[(8+4)/4]
+        ]));
+        s.run(2);
+        assert_eq!(s.dmem[3], 0xDEAD_BEEF);
+        assert_eq!(s.regs[3], 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn branch_taken_and_not_taken() {
+        let mut s = fresh();
+        s.regs[1] = 5;
+        s.regs[2] = 5;
+        s.regs[3] = 9;
+        s.load_program(&assemble(&[
+            Instr::Beq { rs: 1, rt: 2, imm: 2 }, // taken: skip 2 instructions
+            Instr::Add { rd: 4, rs: 1, rt: 1 },  // skipped
+            Instr::Add { rd: 5, rs: 1, rt: 1 },  // skipped
+            Instr::Beq { rs: 1, rt: 3, imm: 5 }, // not taken
+            Instr::Add { rd: 6, rs: 1, rt: 2 },  // executed
+        ]));
+        s.step();
+        assert_eq!(s.pc, 4 + 8, "branch target is PC+4 plus offset*4");
+        s.step(); // the beq at word 3
+        assert_eq!(s.pc, 16);
+        s.step();
+        assert_eq!(s.regs[6], 10);
+        assert_eq!(s.regs[4], 0, "skipped instruction had no effect");
+    }
+
+    #[test]
+    fn unknown_instruction_is_a_safe_bubble() {
+        let mut s = fresh();
+        let before = s.regs.clone();
+        s.load_program(&[0xFFFF_FFFF]);
+        s.step();
+        assert_eq!(s.regs, before);
+        assert_eq!(s.pc, 0, "unimplemented opcodes stall the PC");
+    }
+
+    #[test]
+    fn pc_wraps_within_imem() {
+        let mut s = ArchState::new(4, 4, 4);
+        s.pc = 12;
+        s.load_program(&assemble(&[
+            Instr::Add { rd: 1, rs: 0, rt: 0 },
+            Instr::Add { rd: 2, rs: 0, rt: 0 },
+            Instr::Add { rd: 3, rs: 0, rt: 0 },
+            Instr::Or { rd: 1, rs: 2, rt: 3 },
+        ]));
+        assert_eq!(s.pc_word(), 3);
+        s.step();
+        assert_eq!(s.pc, 16);
+        assert_eq!(s.pc_word(), 0, "wraps around the 4-word memory");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_program_rejected() {
+        let mut s = ArchState::new(4, 2, 2);
+        s.load_program(&[0; 3]);
+    }
+}

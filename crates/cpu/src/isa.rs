@@ -1,0 +1,238 @@
+//! The implemented MIPS-subset ISA: encodings, decoding and a tiny
+//! assembler used by the examples and the golden-model tests.
+
+/// Opcode of R-type instructions.
+pub const OP_RTYPE: u32 = 0b000000;
+/// Opcode of `lw`.
+pub const OP_LW: u32 = 0b100011;
+/// Opcode of `sw`.
+pub const OP_SW: u32 = 0b101011;
+/// Opcode of `beq`.
+pub const OP_BEQ: u32 = 0b000100;
+
+/// Function codes of the implemented R-type instructions.
+pub mod funct {
+    /// `add rd, rs, rt`
+    pub const ADD: u32 = 0b100000;
+    /// `sub rd, rs, rt`
+    pub const SUB: u32 = 0b100010;
+    /// `and rd, rs, rt`
+    pub const AND: u32 = 0b100100;
+    /// `or rd, rs, rt`
+    pub const OR: u32 = 0b100101;
+    /// `slt rd, rs, rt`
+    pub const SLT: u32 = 0b101010;
+}
+
+/// A decoded instruction of the implemented subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// `add rd, rs, rt`
+    Add {
+        /// Destination register.
+        rd: u8,
+        /// First source register.
+        rs: u8,
+        /// Second source register.
+        rt: u8,
+    },
+    /// `sub rd, rs, rt`
+    Sub {
+        /// Destination register.
+        rd: u8,
+        /// First source register.
+        rs: u8,
+        /// Second source register.
+        rt: u8,
+    },
+    /// `and rd, rs, rt`
+    And {
+        /// Destination register.
+        rd: u8,
+        /// First source register.
+        rs: u8,
+        /// Second source register.
+        rt: u8,
+    },
+    /// `or rd, rs, rt`
+    Or {
+        /// Destination register.
+        rd: u8,
+        /// First source register.
+        rs: u8,
+        /// Second source register.
+        rt: u8,
+    },
+    /// `slt rd, rs, rt` (set `rd` to 1 if `rs < rt` signed)
+    Slt {
+        /// Destination register.
+        rd: u8,
+        /// First source register.
+        rs: u8,
+        /// Second source register.
+        rt: u8,
+    },
+    /// `lw rt, imm(rs)`
+    Lw {
+        /// Destination register.
+        rt: u8,
+        /// Base address register.
+        rs: u8,
+        /// Signed immediate offset (bytes).
+        imm: i16,
+    },
+    /// `sw rt, imm(rs)`
+    Sw {
+        /// Source register.
+        rt: u8,
+        /// Base address register.
+        rs: u8,
+        /// Signed immediate offset (bytes).
+        imm: i16,
+    },
+    /// `beq rs, rt, imm` (branch if equal, word offset relative to PC+4)
+    Beq {
+        /// First comparison register.
+        rs: u8,
+        /// Second comparison register.
+        rt: u8,
+        /// Signed immediate offset (instructions).
+        imm: i16,
+    },
+    /// Anything the subset does not implement (executed as a no-op by the
+    /// golden model; the control unit drives all-zero controls for it).
+    Unknown(u32),
+}
+
+/// Encodes an R-type instruction word.
+pub fn encode_rtype(funct: u32, rd: u8, rs: u8, rt: u8) -> u32 {
+    (OP_RTYPE << 26)
+        | ((rs as u32 & 0x1F) << 21)
+        | ((rt as u32 & 0x1F) << 16)
+        | ((rd as u32 & 0x1F) << 11)
+        | (funct & 0x3F)
+}
+
+/// Encodes an I-type instruction word.
+pub fn encode_itype(opcode: u32, rs: u8, rt: u8, imm: i16) -> u32 {
+    ((opcode & 0x3F) << 26)
+        | ((rs as u32 & 0x1F) << 21)
+        | ((rt as u32 & 0x1F) << 16)
+        | (imm as u16 as u32)
+}
+
+impl Instr {
+    /// Encodes the instruction as a 32-bit word.
+    pub fn encode(self) -> u32 {
+        match self {
+            Instr::Add { rd, rs, rt } => encode_rtype(funct::ADD, rd, rs, rt),
+            Instr::Sub { rd, rs, rt } => encode_rtype(funct::SUB, rd, rs, rt),
+            Instr::And { rd, rs, rt } => encode_rtype(funct::AND, rd, rs, rt),
+            Instr::Or { rd, rs, rt } => encode_rtype(funct::OR, rd, rs, rt),
+            Instr::Slt { rd, rs, rt } => encode_rtype(funct::SLT, rd, rs, rt),
+            Instr::Lw { rt, rs, imm } => encode_itype(OP_LW, rs, rt, imm),
+            Instr::Sw { rt, rs, imm } => encode_itype(OP_SW, rs, rt, imm),
+            Instr::Beq { rs, rt, imm } => encode_itype(OP_BEQ, rs, rt, imm),
+            Instr::Unknown(w) => w,
+        }
+    }
+
+    /// Decodes a 32-bit instruction word.
+    pub fn decode(word: u32) -> Instr {
+        let opcode = word >> 26;
+        let rs = ((word >> 21) & 0x1F) as u8;
+        let rt = ((word >> 16) & 0x1F) as u8;
+        let rd = ((word >> 11) & 0x1F) as u8;
+        let imm = (word & 0xFFFF) as u16 as i16;
+        let f = word & 0x3F;
+        match opcode {
+            OP_RTYPE => match f {
+                funct::ADD => Instr::Add { rd, rs, rt },
+                funct::SUB => Instr::Sub { rd, rs, rt },
+                funct::AND => Instr::And { rd, rs, rt },
+                funct::OR => Instr::Or { rd, rs, rt },
+                funct::SLT => Instr::Slt { rd, rs, rt },
+                _ => Instr::Unknown(word),
+            },
+            OP_LW => Instr::Lw { rt, rs, imm },
+            OP_SW => Instr::Sw { rt, rs, imm },
+            OP_BEQ => Instr::Beq { rs, rt, imm },
+            _ => Instr::Unknown(word),
+        }
+    }
+
+    /// The instruction's major opcode field.
+    pub fn opcode(self) -> u32 {
+        self.encode() >> 26
+    }
+}
+
+/// Assembles a program (a slice of instructions) into memory words.
+pub fn assemble(program: &[Instr]) -> Vec<u32> {
+    program.iter().map(|i| i.encode()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let instrs = [
+            Instr::Add { rd: 3, rs: 1, rt: 2 },
+            Instr::Sub { rd: 7, rs: 6, rt: 5 },
+            Instr::And { rd: 1, rs: 2, rt: 3 },
+            Instr::Or { rd: 4, rs: 5, rt: 6 },
+            Instr::Slt { rd: 2, rs: 3, rt: 4 },
+            Instr::Lw { rt: 5, rs: 1, imm: 8 },
+            Instr::Sw { rt: 5, rs: 1, imm: -4 },
+            Instr::Beq { rs: 1, rt: 2, imm: 3 },
+        ];
+        for i in instrs {
+            assert_eq!(Instr::decode(i.encode()), i, "{i:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_instructions_are_preserved() {
+        let w = 0xFC00_0000;
+        assert_eq!(Instr::decode(w), Instr::Unknown(w));
+        assert_eq!(Instr::Unknown(w).encode(), w);
+    }
+
+    #[test]
+    fn field_placement() {
+        let w = Instr::Add { rd: 0b10101, rs: 0b00011, rt: 0b01100 }.encode();
+        assert_eq!(w >> 26, OP_RTYPE);
+        assert_eq!((w >> 21) & 0x1F, 0b00011);
+        assert_eq!((w >> 16) & 0x1F, 0b01100);
+        assert_eq!((w >> 11) & 0x1F, 0b10101);
+        assert_eq!(w & 0x3F, funct::ADD);
+    }
+
+    #[test]
+    fn negative_immediates_sign_extend() {
+        let w = Instr::Lw { rt: 1, rs: 2, imm: -8 }.encode();
+        match Instr::decode(w) {
+            Instr::Lw { imm, .. } => assert_eq!(imm, -8),
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn assemble_program() {
+        let prog = [
+            Instr::Add { rd: 1, rs: 0, rt: 0 },
+            Instr::Beq { rs: 0, rt: 0, imm: -1 },
+        ];
+        let words = assemble(&prog);
+        assert_eq!(words.len(), 2);
+        assert_eq!(Instr::decode(words[0]), prog[0]);
+    }
+
+    #[test]
+    fn opcode_accessor() {
+        assert_eq!(Instr::Lw { rt: 0, rs: 0, imm: 0 }.opcode(), OP_LW);
+        assert_eq!(Instr::Add { rd: 0, rs: 0, rt: 0 }.opcode(), OP_RTYPE);
+    }
+}

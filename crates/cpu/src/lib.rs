@@ -1,0 +1,43 @@
+//! # ssr-cpu — the 32-bit RISC core of the case study
+//!
+//! The paper evaluates selective state retention on a 32-bit unpipelined
+//! RISC core adapted from Hamblen & Furman (a MIPS-subset single-cycle
+//! datapath, Figure 4 of the paper).  This crate reproduces that core as a
+//! gate-level netlist generator plus an ISA-level golden model:
+//!
+//! * [`isa`] — instruction encodings and an assembler for the implemented
+//!   subset (R-type `add/sub/and/or/slt`, `lw`, `sw`, `beq`);
+//! * [`control`] — the main-control and ALU-control truth tables shared by
+//!   the netlist generator and the golden model;
+//! * [`golden`] — an architectural (programmer-visible) reference model;
+//! * [`datapath`] — the netlist generator: programmer-visible state (PC,
+//!   instruction memory, register bank, data memory) built from retention
+//!   registers according to a [`RetentionPolicy`], the control path built
+//!   according to a [`ControlPath`] choice (including the paper's IFR fix),
+//!   everything else combinational;
+//! * [`pipeline_model`] — the micro-architectural state inventory for 3-,
+//!   5- and 7-stage versions of the same architecture, used by the area and
+//!   leakage savings experiment (E8).
+//!
+//! ```
+//! use ssr_cpu::{CoreConfig, build_core};
+//!
+//! let config = CoreConfig::small_test();
+//! let netlist = build_core(&config).expect("core generates");
+//! assert!(netlist.find_net("PC[0]").is_some());
+//! assert!(netlist.find_net("Instruction[31]").is_some());
+//! assert!(netlist.retention_cells().len() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+pub mod control;
+pub mod datapath;
+pub mod golden;
+pub mod isa;
+pub mod pipeline_model;
+
+pub use config::{ControlPath, CoreConfig, RetentionPolicy};
+pub use datapath::build_core;

@@ -1,0 +1,26 @@
+//! # ssr — facade crate for the selective-state-retention STE workspace
+//!
+//! Re-exports every crate of the reproduction of *"Selective State
+//! Retention Design using Symbolic Simulation"* (DATE 2009) under one
+//! namespace, and hosts the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`).
+//!
+//! ```
+//! use ssr::cpu::CoreConfig;
+//! use ssr::properties::CoreHarness;
+//!
+//! let harness = CoreHarness::new(CoreConfig::small_test()).expect("core generates");
+//! assert!(harness.netlist().retention_cells().len() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ssr_bdd as bdd;
+pub use ssr_cpu as cpu;
+pub use ssr_netlist as netlist;
+pub use ssr_properties as properties;
+pub use ssr_retention as retention;
+pub use ssr_sim as sim;
+pub use ssr_ste as ste;
+pub use ssr_ternary as ternary;

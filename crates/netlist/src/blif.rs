@@ -1,0 +1,579 @@
+//! Berkeley Logic Interchange Format (BLIF) reader and writer.
+//!
+//! The paper's flow synthesises the RISC core to BLIF with Quartus II and
+//! compiles it to an FSM for the Forte model checker.  This module provides
+//! the equivalent import path (and an export path) so that externally
+//! synthesised designs can be fed to the symbolic simulator in this
+//! workspace.
+//!
+//! ## Supported subset
+//!
+//! * `.model`, `.inputs`, `.outputs`, `.names` (sum-of-products covers with
+//!   `-` don't-cares, on-set and off-set covers), `.latch`, `.end`;
+//! * comments (`#`) and line continuations (`\`).
+//!
+//! ## Register lowering on export
+//!
+//! BLIF latches have no asynchronous-reset or retention controls, so the
+//! writer lowers [`RegKind::AsyncReset`] and [`RegKind::Retention`] cells to
+//! the *emulated* form of Figure 1 of the paper: a plain latch whose data
+//! input is wrapped in the reset/retention multiplexers
+//! (`d' = NRET ? (NRST ? d : reset_value) : q`).  This preserves the
+//! cycle-level behaviour used by the STE properties (reset and retention are
+//! sampled once per simulation step) but turns the asynchronous reset into a
+//! synchronous one; the difference is documented here and exercised in the
+//! round-trip tests.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::builder::NetlistBuilder;
+use crate::cell::{CellKind, GateOp, RegKind};
+use crate::error::NetlistError;
+use crate::netlist::{NetDriver, NetId, Netlist};
+
+/// Parses a BLIF document into a [`Netlist`].
+///
+/// # Errors
+/// Returns [`NetlistError::BlifParse`] with a line number for syntax errors
+/// and the usual structural errors if the parsed design is ill-formed.
+pub fn parse(text: &str) -> Result<Netlist, NetlistError> {
+    let logical_lines = join_continuations(text);
+
+    let mut model_name = String::from("blif");
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut names_blocks: Vec<(usize, Vec<String>, Vec<(String, char)>)> = Vec::new();
+    let mut latches: Vec<(usize, Vec<String>)> = Vec::new();
+
+    let mut current_names: Option<(usize, Vec<String>, Vec<(String, char)>)> = None;
+
+    for (lineno, line) in logical_lines {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with('.') {
+            // Close any open .names block.
+            if let Some(block) = current_names.take() {
+                names_blocks.push(block);
+            }
+            let mut tokens = line.split_whitespace();
+            let directive = tokens.next().expect("non-empty");
+            let rest: Vec<String> = tokens.map(str::to_owned).collect();
+            match directive {
+                ".model" => {
+                    if let Some(n) = rest.first() {
+                        model_name = n.clone();
+                    }
+                }
+                ".inputs" => inputs.extend(rest),
+                ".outputs" => outputs.extend(rest),
+                ".names" => {
+                    if rest.is_empty() {
+                        return Err(NetlistError::BlifParse {
+                            line: lineno,
+                            message: ".names needs at least an output signal".into(),
+                        });
+                    }
+                    current_names = Some((lineno, rest, Vec::new()));
+                }
+                ".latch" => latches.push((lineno, rest)),
+                ".end" => break,
+                ".wire_load_slope" | ".default_input_arrival" | ".clock" => {
+                    // Ignore timing/clock annotations.
+                }
+                other => {
+                    return Err(NetlistError::BlifParse {
+                        line: lineno,
+                        message: format!("unsupported directive `{other}`"),
+                    });
+                }
+            }
+        } else {
+            // A cover row of the current .names block.
+            match current_names.as_mut() {
+                Some((_, signals, rows)) => {
+                    let mut parts = line.split_whitespace();
+                    let (in_pattern, out_char) = if signals.len() == 1 {
+                        // Constant: single column is the output value.
+                        (String::new(), line.chars().next().unwrap_or('0'))
+                    } else {
+                        let pat = parts.next().unwrap_or("").to_owned();
+                        let out = parts
+                            .next()
+                            .and_then(|s| s.chars().next())
+                            .ok_or(NetlistError::BlifParse {
+                                line: lineno,
+                                message: "cover row is missing the output column".into(),
+                            })?;
+                        (pat, out)
+                    };
+                    rows.push((in_pattern, out_char));
+                }
+                None => {
+                    return Err(NetlistError::BlifParse {
+                        line: lineno,
+                        message: "cover row outside a .names block".into(),
+                    });
+                }
+            }
+        }
+    }
+    if let Some(block) = current_names.take() {
+        names_blocks.push(block);
+    }
+
+    build_netlist(model_name, inputs, outputs, names_blocks, latches)
+}
+
+fn join_continuations(text: &str) -> Vec<(usize, String)> {
+    let mut out: Vec<(usize, String)> = Vec::new();
+    let mut pending: Option<(usize, String)> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let (current_start, mut acc) = match pending.take() {
+            Some((start, s)) => (start, s),
+            None => (lineno, String::new()),
+        };
+        let trimmed = raw.trim_end();
+        if let Some(stripped) = trimmed.strip_suffix('\\') {
+            acc.push_str(stripped);
+            acc.push(' ');
+            pending = Some((current_start, acc));
+        } else {
+            acc.push_str(trimmed);
+            out.push((current_start, acc));
+        }
+    }
+    if let Some(p) = pending {
+        out.push(p);
+    }
+    out
+}
+
+fn build_netlist(
+    model_name: String,
+    inputs: Vec<String>,
+    outputs: Vec<String>,
+    names_blocks: Vec<(usize, Vec<String>, Vec<(String, char)>)>,
+    latches: Vec<(usize, Vec<String>)>,
+) -> Result<Netlist, NetlistError> {
+    let mut b = NetlistBuilder::new(model_name);
+    let mut net_of: HashMap<String, NetId> = HashMap::new();
+
+    for name in &inputs {
+        let id = b.input(name.clone());
+        net_of.insert(name.clone(), id);
+    }
+
+    // Latch outputs behave as additional sources for the combinational
+    // logic.  Create the registers up-front with placeholder data and patch
+    // the data inputs once all logic nets exist.
+    let mut implicit_clock: Option<NetId> = None;
+    let mut latch_fixups: Vec<(NetId, String, usize)> = Vec::new();
+    for (lineno, args) in &latches {
+        if args.len() < 2 {
+            return Err(NetlistError::BlifParse {
+                line: *lineno,
+                message: ".latch needs an input and an output signal".into(),
+            });
+        }
+        let d_name = args[0].clone();
+        let q_name = args[1].clone();
+        // Optional: <type> <control> [<init>]
+        let clock = if args.len() >= 4 && args[3] != "NIL" {
+            let clk_name = args[3].clone();
+            *net_of.entry(clk_name.clone()).or_insert_with(|| b.input(clk_name))
+        } else {
+            match implicit_clock {
+                Some(c) => c,
+                None => {
+                    let c = match net_of.get("clock") {
+                        Some(&c) => c,
+                        None => {
+                            let c = b.input("clock");
+                            net_of.insert("clock".into(), c);
+                            c
+                        }
+                    };
+                    implicit_clock = Some(c);
+                    c
+                }
+            }
+        };
+        let q = b.reg(q_name.clone(), RegKind::Simple, clock, clock, None, None);
+        net_of.insert(q_name, q);
+        latch_fixups.push((q, d_name, *lineno));
+    }
+
+    // Because BLIF blocks may reference signals defined later, resolve in
+    // two passes: first note every .names output as a known signal name,
+    // then build the logic in dependency order.
+    let mut declared_outputs: Vec<String> = Vec::new();
+    for (_, signals, _) in &names_blocks {
+        declared_outputs.push(signals.last().expect("non-empty").clone());
+    }
+
+    // Any referenced signal that is neither an input, a latch output nor a
+    // .names output is treated as an (implicitly declared) primary input —
+    // this matches the permissive behaviour of common BLIF tooling.
+    for (_, signals, _) in &names_blocks {
+        for s in &signals[..signals.len() - 1] {
+            if !net_of.contains_key(s) && !declared_outputs.contains(s) {
+                let id = b.input(s.clone());
+                net_of.insert(s.clone(), id);
+            }
+        }
+    }
+    for (q, d_name, _) in &latch_fixups {
+        let _ = q;
+        if !net_of.contains_key(d_name) && !declared_outputs.contains(d_name) {
+            let id = b.input(d_name.clone());
+            net_of.insert(d_name.clone(), id);
+        }
+    }
+
+    // Build .names blocks in dependency order: iterate until no progress,
+    // which handles arbitrary declaration order without a full topological
+    // sort of the text.
+    let mut remaining: Vec<&(usize, Vec<String>, Vec<(String, char)>)> =
+        names_blocks.iter().collect();
+    while !remaining.is_empty() {
+        let before = remaining.len();
+        remaining.retain(|(lineno, signals, rows)| {
+            let input_names = &signals[..signals.len() - 1];
+            if input_names.iter().all(|n| net_of.contains_key(n)) {
+                let output_name = signals.last().expect("non-empty").clone();
+                let input_ids: Vec<NetId> =
+                    input_names.iter().map(|n| net_of[n]).collect();
+                let out =
+                    build_cover(&mut b, &output_name, &input_ids, rows, *lineno);
+                match out {
+                    Ok(id) => {
+                        net_of.insert(output_name, id);
+                        false
+                    }
+                    Err(_) => true, // keep; will be reported below
+                }
+            } else {
+                true
+            }
+        });
+        if remaining.len() == before {
+            let (lineno, signals, _) = remaining[0];
+            return Err(NetlistError::BlifParse {
+                line: *lineno,
+                message: format!(
+                    "could not resolve the inputs of `{}` (possible combinational cycle in the BLIF source)",
+                    signals.last().expect("non-empty")
+                ),
+            });
+        }
+    }
+
+    // Patch latch data inputs.
+    for (q, d_name, lineno) in latch_fixups {
+        let d = *net_of.get(&d_name).ok_or(NetlistError::BlifParse {
+            line: lineno,
+            message: format!("latch data signal `{d_name}` is never defined"),
+        })?;
+        b.patch_reg_data(q, d);
+    }
+
+    // Outputs.
+    for name in &outputs {
+        let id = *net_of.get(name).ok_or(NetlistError::BlifParse {
+            line: 0,
+            message: format!("output `{name}` is never defined"),
+        })?;
+        b.mark_output(id);
+    }
+
+    b.finish()
+}
+
+/// Builds one sum-of-products cover as gates; returns the output net.
+fn build_cover(
+    b: &mut NetlistBuilder,
+    output_name: &str,
+    inputs: &[NetId],
+    rows: &[(String, char)],
+    lineno: usize,
+) -> Result<NetId, NetlistError> {
+    // Constant covers: the named signal *is* a constant.
+    if inputs.is_empty() {
+        let value = rows.iter().any(|(_, out)| *out == '1');
+        return Ok(b.named_constant(output_name.to_owned(), value));
+    }
+
+    // Determine polarity: all rows must agree on the output column.
+    let out_chars: Vec<char> = rows.iter().map(|(_, c)| *c).collect();
+    let on_set = out_chars.iter().all(|&c| c == '1');
+    let off_set = out_chars.iter().all(|&c| c == '0');
+    if !(on_set || off_set) {
+        return Err(NetlistError::BlifParse {
+            line: lineno,
+            message: "mixed on-set and off-set cover rows are not supported".into(),
+        });
+    }
+
+    let mut products: Vec<NetId> = Vec::new();
+    for (pattern, _) in rows {
+        if pattern.len() != inputs.len() {
+            return Err(NetlistError::BlifParse {
+                line: lineno,
+                message: format!(
+                    "cover row `{pattern}` has {} columns but the block has {} inputs",
+                    pattern.len(),
+                    inputs.len()
+                ),
+            });
+        }
+        let mut literals: Vec<NetId> = Vec::new();
+        for (i, ch) in pattern.chars().enumerate() {
+            match ch {
+                '1' => literals.push(inputs[i]),
+                '0' => literals.push(b.not_auto(inputs[i])),
+                '-' => {}
+                other => {
+                    return Err(NetlistError::BlifParse {
+                        line: lineno,
+                        message: format!("invalid cover character `{other}`"),
+                    });
+                }
+            }
+        }
+        products.push(b.and_reduce(&literals));
+    }
+    let sum = b.or_reduce(&products);
+    let value = if on_set { sum } else { b.not_auto(sum) };
+    Ok(b.buf(output_name.to_owned(), value))
+}
+
+/// Serialises a netlist to BLIF text.
+///
+/// See the module documentation for how registers with asynchronous reset
+/// and retention controls are lowered.
+pub fn write(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let name_of = |id: NetId| sanitize(&netlist.net(id).name);
+
+    let _ = writeln!(out, ".model {}", sanitize(netlist.name()));
+    let inputs: Vec<String> = netlist.inputs().iter().map(|&i| name_of(i)).collect();
+    if !inputs.is_empty() {
+        let _ = writeln!(out, ".inputs {}", inputs.join(" "));
+    }
+    let outputs: Vec<String> = netlist.outputs().iter().map(|&o| name_of(o)).collect();
+    if !outputs.is_empty() {
+        let _ = writeln!(out, ".outputs {}", outputs.join(" "));
+    }
+
+    // Constants.
+    for (id, net) in netlist.nets() {
+        if let NetDriver::Constant(v) = net.driver {
+            let _ = writeln!(out, ".names {}", name_of(id));
+            if v {
+                let _ = writeln!(out, "1");
+            }
+        }
+    }
+
+    for (_, cell) in netlist.cells() {
+        match cell.kind {
+            CellKind::Gate(op) => {
+                let ins: Vec<String> = cell.inputs.iter().map(|&i| name_of(i)).collect();
+                let _ = writeln!(out, ".names {} {}", ins.join(" "), name_of(cell.output));
+                let rows: &[&str] = match op {
+                    GateOp::Buf => &["1 1"],
+                    GateOp::Not => &["0 1"],
+                    GateOp::And => &["11 1"],
+                    GateOp::Or => &["1- 1", "-1 1"],
+                    GateOp::Xor => &["10 1", "01 1"],
+                    GateOp::Nand => &["0- 1", "-0 1"],
+                    GateOp::Nor => &["00 1"],
+                    GateOp::Xnor => &["11 1", "00 1"],
+                    GateOp::Mux => &["11- 1", "0-1 1"],
+                };
+                for r in rows {
+                    let _ = writeln!(out, "{r}");
+                }
+            }
+            CellKind::Reg(kind) => {
+                let q = name_of(cell.output);
+                let clk = name_of(cell.reg_clock());
+                let d_effective = match kind {
+                    RegKind::Simple => name_of(cell.reg_data()),
+                    RegKind::AsyncReset { reset_value } => {
+                        // d' = NRST ? d : reset_value
+                        let d = name_of(cell.reg_data());
+                        let nrst = name_of(cell.reg_nrst().expect("has nrst"));
+                        let wrapped = format!("{q}__next");
+                        let _ = writeln!(out, ".names {nrst} {d} {wrapped}");
+                        if reset_value {
+                            let _ = writeln!(out, "11 1");
+                            let _ = writeln!(out, "0- 1");
+                        } else {
+                            let _ = writeln!(out, "11 1");
+                        }
+                        wrapped
+                    }
+                    RegKind::Retention { reset_value } => {
+                        // d' = NRET ? (NRST ? d : reset_value) : q
+                        let d = name_of(cell.reg_data());
+                        let nrst = name_of(cell.reg_nrst().expect("has nrst"));
+                        let nret = name_of(cell.reg_nret().expect("has nret"));
+                        let wrapped = format!("{q}__next");
+                        let _ = writeln!(out, ".names {nret} {nrst} {d} {q} {wrapped}");
+                        // NRET=1, NRST=1 -> d ; NRET=1, NRST=0 -> reset_value ;
+                        // NRET=0 -> q
+                        let _ = writeln!(out, "111- 1");
+                        if reset_value {
+                            let _ = writeln!(out, "10-- 1");
+                        }
+                        let _ = writeln!(out, "0--1 1");
+                        wrapped
+                    }
+                };
+                let _ = writeln!(out, ".latch {d_effective} {q} re {clk} 0");
+            }
+        }
+    }
+    let _ = writeln!(out, ".end");
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    // Whitespace would break tokenisation; '$' is reserved for the builder's
+    // generated names, so mapping it away guarantees that re-importing an
+    // exported file can never collide with the names the reader generates
+    // for its own intermediate gates.
+    name.chars()
+        .map(|c| match c {
+            c if c.is_whitespace() => '_',
+            '$' => '.',
+            c => c,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    const SMALL_BLIF: &str = "\
+# a tiny sequential design
+.model counter_bit
+.inputs enable clock
+.outputs q
+.names enable q d
+10 1
+01 1
+.latch d q re clock 0
+.end
+";
+
+    #[test]
+    fn parse_small_design() {
+        let n = parse(SMALL_BLIF).expect("parses");
+        assert_eq!(n.name(), "counter_bit");
+        assert_eq!(n.inputs().len(), 2);
+        assert_eq!(n.outputs().len(), 1);
+        assert_eq!(n.state_cells().count(), 1);
+        assert!(n.find_net("d").is_some());
+        assert!(n.validate().is_ok());
+    }
+
+    #[test]
+    fn parse_constant_and_dont_care() {
+        let text = "\
+.model consts
+.inputs a b
+.outputs one z
+.names one
+1
+.names a b z
+1- 1
+-1 1
+.end
+";
+        let n = parse(text).expect("parses");
+        assert_eq!(n.outputs().len(), 2);
+        assert!(n.find_net("one").is_some());
+    }
+
+    #[test]
+    fn parse_off_set_cover() {
+        let text = "\
+.model offset
+.inputs a b
+.outputs y
+.names a b y
+11 0
+.end
+";
+        // y is the complement of a AND b (NAND).
+        let n = parse(text).expect("parses");
+        assert!(n.find_net("y").is_some());
+        assert!(n.comb_cells().count() >= 2);
+    }
+
+    #[test]
+    fn parse_errors_are_reported_with_lines() {
+        let bad = ".model m\n.baddirective x\n.end\n";
+        match parse(bad) {
+            Err(NetlistError::BlifParse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        let bad_cover = ".model m\n.inputs a\n.outputs y\n.names a y\n2 1\n.end\n";
+        assert!(matches!(
+            parse(bad_cover),
+            Err(NetlistError::BlifParse { .. })
+        ));
+        let row_outside = ".model m\n11 1\n.end\n";
+        assert!(matches!(
+            parse(row_outside),
+            Err(NetlistError::BlifParse { .. })
+        ));
+    }
+
+    #[test]
+    fn continuation_lines_are_joined() {
+        let text = ".model m\n.inputs a \\\nb\n.outputs y\n.names a b y\n11 1\n.end\n";
+        let n = parse(text).expect("parses");
+        assert_eq!(n.inputs().len(), 2);
+    }
+
+    #[test]
+    fn writer_roundtrip_preserves_interface_and_state() {
+        let mut b = NetlistBuilder::new("rt");
+        let clk = b.input("clock");
+        let nrst = b.input("NRST");
+        let nret = b.input("NRET");
+        let d = b.input("d");
+        let g = b.and("g", d, d);
+        let q = b.reg(
+            "q",
+            RegKind::Retention { reset_value: false },
+            g,
+            clk,
+            Some(nrst),
+            Some(nret),
+        );
+        let q2 = b.reg("q2", RegKind::AsyncReset { reset_value: true }, g, clk, Some(nrst), None);
+        b.mark_output(q);
+        b.mark_output(q2);
+        let n = b.finish().expect("valid");
+
+        let text = write(&n);
+        assert!(text.contains(".model rt"));
+        assert!(text.contains(".latch"));
+
+        let back = parse(&text).expect("reparses");
+        assert_eq!(back.inputs().len(), n.inputs().len());
+        assert_eq!(back.outputs().len(), n.outputs().len());
+        assert_eq!(back.state_cells().count(), n.state_cells().count());
+        assert!(back.validate().is_ok());
+    }
+}

@@ -1,0 +1,295 @@
+//! The [`Netlist`] container: nets, cells and primary I/O.
+
+use std::collections::HashMap;
+
+use crate::cell::{Cell, CellId, CellKind};
+use crate::error::NetlistError;
+
+/// Identifier of a [`Net`] within its [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    /// Raw index of the net.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What drives a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetDriver {
+    /// Primary input — driven by the environment / STE antecedent.
+    Input,
+    /// Constant 0 or 1.
+    Constant(bool),
+    /// Output of the given cell.
+    Cell(CellId),
+    /// Declared but not (yet) driven.  Validation rejects these unless the
+    /// net is completely unused.
+    Undriven,
+}
+
+/// A named signal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Net {
+    /// Hierarchical name, e.g. `"IFR_Instr[31]"` or `"regfile/r4[7]"`.
+    pub name: String,
+    /// The driver of this net.
+    pub driver: NetDriver,
+}
+
+/// A flat gate-level netlist.
+///
+/// Construct through [`crate::builder::NetlistBuilder`] (preferred) or
+/// [`crate::blif::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Netlist {
+    name: String,
+    nets: Vec<Net>,
+    cells: Vec<Cell>,
+    inputs: Vec<NetId>,
+    outputs: Vec<NetId>,
+    by_name: HashMap<String, NetId>,
+}
+
+impl Netlist {
+    pub(crate) fn new_raw(
+        name: String,
+        nets: Vec<Net>,
+        cells: Vec<Cell>,
+        inputs: Vec<NetId>,
+        outputs: Vec<NetId>,
+        by_name: HashMap<String, NetId>,
+    ) -> Self {
+        Netlist {
+            name,
+            nets,
+            cells,
+            inputs,
+            outputs,
+            by_name,
+        }
+    }
+
+    /// The design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of cells (gates and registers).
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The net with the given id.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// The cell with the given id.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.index()]
+    }
+
+    /// Looks a net up by exact name.
+    pub fn find_net(&self, name: &str) -> Option<NetId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Primary inputs in declaration order.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Primary outputs in declaration order.
+    pub fn outputs(&self) -> &[NetId] {
+        &self.outputs
+    }
+
+    /// Iterates over all nets with their ids.
+    pub fn nets(&self) -> impl Iterator<Item = (NetId, &Net)> {
+        self.nets
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NetId(i as u32), n))
+    }
+
+    /// Iterates over all cells with their ids.
+    pub fn cells(&self) -> impl Iterator<Item = (CellId, &Cell)> {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (CellId(i as u32), c))
+    }
+
+    /// Iterates over the state cells (registers) only.
+    pub fn state_cells(&self) -> impl Iterator<Item = (CellId, &Cell)> {
+        self.cells().filter(|(_, c)| c.kind.is_state())
+    }
+
+    /// Iterates over the combinational cells only.
+    pub fn comb_cells(&self) -> impl Iterator<Item = (CellId, &Cell)> {
+        self.cells().filter(|(_, c)| !c.kind.is_state())
+    }
+
+    /// Nets whose name starts with `prefix`, sorted by the numeric suffix if
+    /// the names follow the `prefix[i]` convention and lexicographically
+    /// otherwise.  Useful for collecting the bits of a word.
+    pub fn nets_with_prefix(&self, prefix: &str) -> Vec<NetId> {
+        let mut matches: Vec<(NetId, &str)> = self
+            .nets()
+            .filter(|(_, n)| n.name.starts_with(prefix))
+            .map(|(id, n)| (id, n.name.as_str()))
+            .collect();
+        matches.sort_by(|a, b| {
+            let idx = |s: &str| -> Option<u64> {
+                let open = s.rfind('[')?;
+                let close = s.rfind(']')?;
+                s[open + 1..close].parse().ok()
+            };
+            match (idx(a.1), idx(b.1)) {
+                (Some(x), Some(y)) => x.cmp(&y),
+                _ => a.1.cmp(b.1),
+            }
+        });
+        matches.into_iter().map(|(id, _)| id).collect()
+    }
+
+    /// The bits of the named word `name[0]`, `name[1]`, ..., LSB first.
+    /// Returns an empty vector if no bits are found.
+    pub fn word(&self, name: &str) -> Vec<NetId> {
+        let mut bits = Vec::new();
+        for i in 0.. {
+            match self.find_net(&format!("{name}[{i}]")) {
+                Some(id) => bits.push(id),
+                None => break,
+            }
+        }
+        bits
+    }
+
+    /// Validates structural invariants: every cell has the right arity,
+    /// every used net is driven, no net has two drivers (guaranteed by
+    /// construction for builder-produced netlists, re-checked for imported
+    /// ones).
+    ///
+    /// # Errors
+    /// Returns the first violation found.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        // Arity check.
+        for (_, cell) in self.cells() {
+            let expected = cell.kind.arity();
+            if cell.inputs.len() != expected {
+                return Err(NetlistError::ArityMismatch {
+                    cell: cell.name.clone(),
+                    expected,
+                    found: cell.inputs.len(),
+                });
+            }
+        }
+        // Single-driver check.
+        let mut drivers: HashMap<NetId, usize> = HashMap::new();
+        for (_, cell) in self.cells() {
+            *drivers.entry(cell.output).or_insert(0) += 1;
+        }
+        for (id, net) in self.nets() {
+            let from_cells = drivers.get(&id).copied().unwrap_or(0);
+            let declared = matches!(net.driver, NetDriver::Input | NetDriver::Constant(_)) as usize;
+            if from_cells + declared > 1 {
+                return Err(NetlistError::MultipleDrivers(net.name.clone()));
+            }
+        }
+        // Every net used as a cell input or primary output must be driven.
+        let mut used: Vec<NetId> = self.outputs.clone();
+        for (_, cell) in self.cells() {
+            used.extend_from_slice(&cell.inputs);
+        }
+        for id in used {
+            let net = self.net(id);
+            let driven = !matches!(net.driver, NetDriver::Undriven);
+            if !driven {
+                return Err(NetlistError::Undriven(net.name.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Cells driving each net (the reverse of the `output` relation).
+    pub(crate) fn driver_map(&self) -> HashMap<NetId, CellId> {
+        self.cells()
+            .map(|(id, c)| (c.output, id))
+            .collect()
+    }
+
+    /// Returns the ids of all retention registers.
+    pub fn retention_cells(&self) -> Vec<CellId> {
+        self.state_cells()
+            .filter(|(_, c)| match c.kind {
+                CellKind::Reg(k) => k.is_retention(),
+                _ => false,
+            })
+            .map(|(id, _)| id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::cell::RegKind;
+
+    fn tiny() -> Netlist {
+        let mut b = NetlistBuilder::new("tiny");
+        let a = b.input("a");
+        let c = b.input("b");
+        let clk = b.input("clk");
+        let x = b.and("x", a, c);
+        let q = b.reg("q", RegKind::Simple, x, clk, None, None);
+        b.mark_output(q);
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn basic_queries() {
+        let n = tiny();
+        assert_eq!(n.name(), "tiny");
+        assert_eq!(n.inputs().len(), 3);
+        assert_eq!(n.outputs().len(), 1);
+        assert_eq!(n.state_cells().count(), 1);
+        assert_eq!(n.comb_cells().count(), 1);
+        assert!(n.find_net("x").is_some());
+        assert!(n.find_net("nope").is_none());
+        assert_eq!(n.retention_cells().len(), 0);
+        assert!(n.validate().is_ok());
+    }
+
+    #[test]
+    fn words_and_prefix_lookup() {
+        let mut b = NetlistBuilder::new("w");
+        let w = b.word_input("data", 4);
+        for &bit in &w {
+            b.mark_output(bit);
+        }
+        let n = b.finish().expect("valid");
+        let bits = n.word("data");
+        assert_eq!(bits.len(), 4);
+        assert_eq!(n.net(bits[0]).name, "data[0]");
+        assert_eq!(n.net(bits[3]).name, "data[3]");
+        let pref = n.nets_with_prefix("data[");
+        assert_eq!(pref, bits);
+        assert!(n.word("missing").is_empty());
+    }
+}

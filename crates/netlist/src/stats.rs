@@ -1,0 +1,198 @@
+//! Netlist statistics and the area proxy used by the retention cost model.
+//!
+//! The paper's §IV quantifies the motivation for *selective* retention:
+//! retention registers are 25–40 % larger per flop than ordinary registers.
+//! [`NetlistStats::area`] turns a cell census into a relative area figure
+//! using configurable per-cell weights so the savings of retaining only the
+//! architectural state can be computed for any generated core.
+
+use std::collections::BTreeMap;
+
+use crate::cell::{CellKind, GateOp};
+use crate::netlist::Netlist;
+
+/// Relative area weights, in units of a unit-drive 2-input NAND equivalent.
+///
+/// The flop figures follow the Low Power Methodology Manual ballpark used by
+/// the paper: an ordinary flop is several gate-equivalents and a retention
+/// flop carries a 25–40 % premium (default 32.5 %, the midpoint).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaModel {
+    /// Area of a simple 2-input gate.
+    pub gate: f64,
+    /// Area of a 2-to-1 mux.
+    pub mux: f64,
+    /// Area of an inverter or buffer.
+    pub inverter: f64,
+    /// Area of an ordinary (non-retention) flip-flop.
+    pub flop: f64,
+    /// Extra area of a retention flip-flop, as a fraction of `flop`
+    /// (0.25–0.40 in the paper; default 0.325).
+    pub retention_overhead: f64,
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        AreaModel {
+            gate: 1.0,
+            mux: 1.75,
+            inverter: 0.5,
+            flop: 6.0,
+            retention_overhead: 0.325,
+        }
+    }
+}
+
+impl AreaModel {
+    /// Area of a single cell of the given kind under this model.
+    pub fn cell_area(&self, kind: CellKind) -> f64 {
+        match kind {
+            CellKind::Gate(GateOp::Not) | CellKind::Gate(GateOp::Buf) => self.inverter,
+            CellKind::Gate(GateOp::Mux) => self.mux,
+            CellKind::Gate(_) => self.gate,
+            CellKind::Reg(k) => {
+                if k.is_retention() {
+                    self.flop * (1.0 + self.retention_overhead)
+                } else {
+                    self.flop
+                }
+            }
+        }
+    }
+}
+
+/// A census of a netlist plus derived area figures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetlistStats {
+    /// Number of nets.
+    pub nets: usize,
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Count per gate operator.
+    pub gates: BTreeMap<String, usize>,
+    /// Total combinational gate count.
+    pub gate_total: usize,
+    /// Ordinary (non-retention) flip-flops.
+    pub flops: usize,
+    /// Retention flip-flops.
+    pub retention_flops: usize,
+    /// Relative area under the supplied [`AreaModel`].
+    pub area: f64,
+    /// Area of the sequential cells only.
+    pub sequential_area: f64,
+}
+
+/// Computes statistics for a netlist under an area model.
+pub fn stats(netlist: &Netlist, model: &AreaModel) -> NetlistStats {
+    let mut gates: BTreeMap<String, usize> = BTreeMap::new();
+    let mut gate_total = 0usize;
+    let mut flops = 0usize;
+    let mut retention_flops = 0usize;
+    let mut area = 0.0;
+    let mut sequential_area = 0.0;
+
+    for (_, cell) in netlist.cells() {
+        let a = model.cell_area(cell.kind);
+        area += a;
+        match cell.kind {
+            CellKind::Gate(op) => {
+                *gates.entry(op.to_string()).or_insert(0) += 1;
+                gate_total += 1;
+            }
+            CellKind::Reg(k) => {
+                sequential_area += a;
+                if k.is_retention() {
+                    retention_flops += 1;
+                } else {
+                    flops += 1;
+                }
+            }
+        }
+    }
+
+    NetlistStats {
+        nets: netlist.net_count(),
+        inputs: netlist.inputs().len(),
+        outputs: netlist.outputs().len(),
+        gates,
+        gate_total,
+        flops,
+        retention_flops,
+        area,
+        sequential_area,
+    }
+}
+
+/// Convenience: sequential area of a register population where
+/// `retained` of the `total` flops are retention flops, under `model`.
+///
+/// This is the quantity compared in experiment E8 (selective vs. full
+/// retention for 3/5/7-stage cores).
+pub fn sequential_area_of(total: usize, retained: usize, model: &AreaModel) -> f64 {
+    assert!(retained <= total, "retained flops cannot exceed total");
+    let plain = (total - retained) as f64 * model.flop;
+    let ret = retained as f64 * model.flop * (1.0 + model.retention_overhead);
+    plain + ret
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::cell::RegKind;
+
+    #[test]
+    fn census_counts_cells() {
+        let mut b = NetlistBuilder::new("t");
+        let clk = b.input("clk");
+        let nrst = b.input("NRST");
+        let nret = b.input("NRET");
+        let a = b.input("a");
+        let c = b.input("b");
+        let x = b.and("x", a, c);
+        let q1 = b.reg("q1", RegKind::Simple, x, clk, None, None);
+        let q2 = b.reg(
+            "q2",
+            RegKind::Retention { reset_value: false },
+            x,
+            clk,
+            Some(nrst),
+            Some(nret),
+        );
+        b.mark_output(q1);
+        b.mark_output(q2);
+        let n = b.finish().expect("valid");
+        let s = stats(&n, &AreaModel::default());
+        assert_eq!(s.gate_total, 1);
+        assert_eq!(s.flops, 1);
+        assert_eq!(s.retention_flops, 1);
+        assert_eq!(s.inputs, 5);
+        assert_eq!(s.outputs, 2);
+        assert!(s.area > 0.0);
+        // The retention flop costs more than the plain flop.
+        let m = AreaModel::default();
+        assert!(m.cell_area(CellKind::Reg(RegKind::Retention { reset_value: false }))
+            > m.cell_area(CellKind::Reg(RegKind::Simple)));
+    }
+
+    #[test]
+    fn selective_retention_saves_area() {
+        let m = AreaModel::default();
+        let full = sequential_area_of(1000, 1000, &m);
+        let selective = sequential_area_of(1000, 300, &m);
+        let none = sequential_area_of(1000, 0, &m);
+        assert!(selective < full);
+        assert!(none < selective);
+        // Full retention pays the whole overhead.
+        let expected_full = 1000.0 * m.flop * (1.0 + m.retention_overhead);
+        assert!((full - expected_full).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "retained flops cannot exceed total")]
+    fn retained_bounded_by_total() {
+        sequential_area_of(10, 11, &AreaModel::default());
+    }
+}

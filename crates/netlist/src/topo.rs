@@ -1,0 +1,239 @@
+//! Structural analyses: topological ordering of the combinational logic,
+//! combinational-loop detection and cone-of-influence extraction.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::cell::CellId;
+use crate::error::NetlistError;
+use crate::netlist::{NetDriver, NetId, Netlist};
+
+/// A topological evaluation order of the combinational cells.
+///
+/// Register outputs, primary inputs and constants are treated as sources;
+/// the order lists every combinational cell such that all of a cell's
+/// combinational predecessors appear before it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalOrder {
+    /// Combinational cells in dependency order.
+    pub comb_cells: Vec<CellId>,
+    /// Longest combinational path length, in gates ("logic depth").
+    pub depth: usize,
+}
+
+/// Computes an evaluation order for the combinational part of `netlist`.
+///
+/// # Errors
+/// Returns [`NetlistError::CombinationalLoop`] naming a net on a cycle if
+/// the combinational logic is cyclic.
+pub fn eval_order(netlist: &Netlist) -> Result<EvalOrder, NetlistError> {
+    let driver = netlist.driver_map();
+
+    // Build the dependency graph between combinational cells only.
+    let comb: Vec<CellId> = netlist.comb_cells().map(|(id, _)| id).collect();
+    let comb_set: HashSet<CellId> = comb.iter().copied().collect();
+
+    let mut in_degree: HashMap<CellId, usize> = comb.iter().map(|&c| (c, 0)).collect();
+    let mut successors: HashMap<CellId, Vec<CellId>> = HashMap::new();
+
+    for &cell_id in &comb {
+        let cell = netlist.cell(cell_id);
+        for &input in &cell.inputs {
+            if let Some(&src) = driver.get(&input) {
+                if comb_set.contains(&src) {
+                    successors.entry(src).or_default().push(cell_id);
+                    *in_degree.get_mut(&cell_id).expect("present") += 1;
+                }
+            }
+        }
+    }
+
+    // Kahn's algorithm, tracking logic depth.
+    let mut queue: VecDeque<CellId> = comb
+        .iter()
+        .copied()
+        .filter(|c| in_degree[c] == 0)
+        .collect();
+    let mut level: HashMap<CellId, usize> = queue.iter().map(|&c| (c, 1)).collect();
+    let mut order = Vec::with_capacity(comb.len());
+    let mut depth = 0usize;
+
+    while let Some(c) = queue.pop_front() {
+        order.push(c);
+        depth = depth.max(level[&c]);
+        if let Some(succs) = successors.get(&c) {
+            for &s in succs.clone().iter() {
+                let d = in_degree.get_mut(&s).expect("present");
+                *d -= 1;
+                let candidate = level[&c] + 1;
+                let entry = level.entry(s).or_insert(candidate);
+                if *entry < candidate {
+                    *entry = candidate;
+                }
+                if *d == 0 {
+                    queue.push_back(s);
+                }
+            }
+        }
+    }
+
+    if order.len() != comb.len() {
+        // Some cell was never released: it sits on a cycle.
+        let stuck = comb
+            .iter()
+            .find(|c| !order.contains(c))
+            .expect("at least one cell on the cycle");
+        let net = netlist.cell(*stuck).output;
+        return Err(NetlistError::CombinationalLoop(
+            netlist.net(net).name.clone(),
+        ));
+    }
+
+    Ok(EvalOrder {
+        comb_cells: order,
+        depth,
+    })
+}
+
+/// Computes the cone of influence of the given sink nets: the set of cells
+/// and nets that can affect them (crossing register boundaries).
+///
+/// Returns `(cells, nets)` as sets.
+pub fn cone_of_influence(
+    netlist: &Netlist,
+    sinks: &[NetId],
+) -> (HashSet<CellId>, HashSet<NetId>) {
+    let driver = netlist.driver_map();
+    let mut cells = HashSet::new();
+    let mut nets: HashSet<NetId> = HashSet::new();
+    let mut work: Vec<NetId> = sinks.to_vec();
+
+    while let Some(net) = work.pop() {
+        if !nets.insert(net) {
+            continue;
+        }
+        match netlist.net(net).driver {
+            NetDriver::Cell(_) => {
+                if let Some(&cell_id) = driver.get(&net) {
+                    if cells.insert(cell_id) {
+                        for &input in &netlist.cell(cell_id).inputs {
+                            work.push(input);
+                        }
+                    }
+                }
+            }
+            NetDriver::Input | NetDriver::Constant(_) | NetDriver::Undriven => {}
+        }
+    }
+    (cells, nets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::cell::RegKind;
+
+    #[test]
+    fn order_respects_dependencies() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("b");
+        let x = b.and("x", a, c);
+        let y = b.or("y", x, a);
+        let z = b.xor("z", y, x);
+        b.mark_output(z);
+        let n = b.finish().expect("valid");
+        let order = eval_order(&n).expect("acyclic");
+        assert_eq!(order.comb_cells.len(), 3);
+        let pos: Vec<usize> = ["x", "y", "z"]
+            .iter()
+            .map(|name| {
+                let net = n.find_net(name).unwrap();
+                order
+                    .comb_cells
+                    .iter()
+                    .position(|&c| n.cell(c).output == net)
+                    .unwrap()
+            })
+            .collect();
+        assert!(pos[0] < pos[1] && pos[1] < pos[2]);
+        assert_eq!(order.depth, 3);
+    }
+
+    #[test]
+    fn registers_break_cycles() {
+        // q feeds back through an inverter into its own data input: legal,
+        // because the register breaks the loop.
+        let mut b = NetlistBuilder::new("t");
+        let clk = b.input("clk");
+        let tmp = b.constant(false);
+        let q = b.reg("q", RegKind::Simple, tmp, clk, None, None);
+        let nq = b.not("nq", q);
+        b.patch_reg_data(q, nq);
+        b.mark_output(q);
+        let n = b.finish().expect("valid");
+        let order = eval_order(&n).expect("registers break the cycle");
+        assert_eq!(order.comb_cells.len(), 1);
+    }
+
+    #[test]
+    fn combinational_loop_detected() {
+        // x = a AND y; y = NOT x — a purely combinational cycle, built
+        // through the raw constructor because the builder cannot produce it.
+        use crate::cell::{Cell, CellKind, GateOp};
+        use crate::netlist::{Net, NetDriver, Netlist};
+        use std::collections::HashMap;
+        let nets = vec![
+            Net { name: "a".into(), driver: NetDriver::Input },
+            Net { name: "x".into(), driver: NetDriver::Cell(CellId(0)) },
+            Net { name: "y".into(), driver: NetDriver::Cell(CellId(1)) },
+        ];
+        let cells = vec![
+            Cell {
+                name: "x".into(),
+                kind: CellKind::Gate(GateOp::And),
+                inputs: vec![NetId(0), NetId(2)],
+                output: NetId(1),
+            },
+            Cell {
+                name: "y".into(),
+                kind: CellKind::Gate(GateOp::Not),
+                inputs: vec![NetId(1)],
+                output: NetId(2),
+            },
+        ];
+        let by_name: HashMap<String, NetId> = nets
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.name.clone(), NetId(i as u32)))
+            .collect();
+        let cyclic = Netlist::new_raw(
+            "cyclic".into(),
+            nets,
+            cells,
+            vec![NetId(0)],
+            vec![NetId(2)],
+            by_name,
+        );
+        assert!(matches!(
+            eval_order(&cyclic),
+            Err(NetlistError::CombinationalLoop(_))
+        ));
+    }
+
+    #[test]
+    fn cone_of_influence_stops_at_unrelated_logic() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("b");
+        let unrelated = b.input("u");
+        let x = b.and("x", a, c);
+        let _dead = b.not("dead", unrelated);
+        b.mark_output(x);
+        let n = b.finish().expect("valid");
+        let (cells, nets) = cone_of_influence(&n, &[n.find_net("x").unwrap()]);
+        assert_eq!(cells.len(), 1);
+        assert!(nets.contains(&n.find_net("a").unwrap()));
+        assert!(!nets.contains(&n.find_net("u").unwrap()));
+    }
+}

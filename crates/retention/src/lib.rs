@@ -1,0 +1,30 @@
+//! # ssr-retention — retention intent, sleep/resume sequencing, selection
+//! analysis and the area/leakage savings model
+//!
+//! This crate holds the "low-power methodology" side of the reproduction:
+//!
+//! * [`sequencer`] — the sleep/resume protocol of §III-A of the paper (stop
+//!   the clock, assert `NRET` low, pulse `NRST`; resume in reverse order),
+//!   generated both as an STE stimulus formula and as a timetable the
+//!   property suites use to know when commits become visible;
+//! * [`intent`] — a UPF-lite retention-intent description (the paper cites
+//!   the Accellera UPF standard as the way designs annotate power intent)
+//!   with a tiny text format, plus a checker that audits a netlist against
+//!   the declared intent;
+//! * [`selection`] — retention-set exploration: classify state cells into
+//!   architectural vs micro-architectural groups by name, and search for a
+//!   minimal retention policy that still satisfies a caller-supplied
+//!   verification oracle (the Property II suite in practice);
+//! * [`area`] — the area and standby-leakage savings model behind the
+//!   paper's conclusion (retention flops are 25–40 % larger; the
+//!   micro-architectural state roughly doubles per CPU generation).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod intent;
+pub mod selection;
+pub mod sequencer;
+
+pub use sequencer::SleepResumeSchedule;

@@ -1,0 +1,461 @@
+//! The ternary symbolic simulator — the STE excitation function.
+
+use ssr_bdd::BddManager;
+use ssr_netlist::{CellKind, GateOp, NetDriver, NetId, RegKind};
+use ssr_ternary::SymTernary;
+
+use crate::model::CompiledModel;
+
+/// The complete symbolic circuit state at one STE time unit: a dual-rail
+/// value for every net, plus the per-register clock shadows used for edge
+/// detection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymState {
+    nodes: Vec<SymTernary>,
+    shadow_clk: Vec<SymTernary>,
+}
+
+impl SymState {
+    /// The value of a net.
+    ///
+    /// # Panics
+    /// Panics if the net id does not belong to the model this state was
+    /// created from.
+    pub fn node(&self, id: NetId) -> SymTernary {
+        self.nodes[id.index()]
+    }
+
+    /// All node values, indexed by net id.
+    pub fn nodes(&self) -> &[SymTernary] {
+        &self.nodes
+    }
+
+    /// The clock shadow (clock value one step earlier) of the state cell
+    /// with the given state index.
+    pub fn shadow_clk(&self, state_index: usize) -> SymTernary {
+        self.shadow_clk[state_index]
+    }
+}
+
+/// Symbolic simulator over a [`CompiledModel`].
+///
+/// See the crate-level documentation for the timing model and an example.
+#[derive(Debug, Clone)]
+pub struct SymSimulator<'m, 'n> {
+    model: &'m CompiledModel<'n>,
+}
+
+impl<'m, 'n> SymSimulator<'m, 'n> {
+    /// Creates a simulator for the given model.
+    pub fn new(model: &'m CompiledModel<'n>) -> Self {
+        SymSimulator { model }
+    }
+
+    /// The model being simulated.
+    pub fn model(&self) -> &'m CompiledModel<'n> {
+        self.model
+    }
+
+    /// Builds the state at time 0: every node starts at `X`, the constraints
+    /// in `drive` are joined on top, constants take their values and the
+    /// combinational logic is closed.
+    pub fn initial_state(
+        &self,
+        m: &mut BddManager,
+        drive: &[(NetId, SymTernary)],
+    ) -> SymState {
+        let netlist = self.model.netlist();
+        let mut nodes = vec![SymTernary::X; netlist.net_count()];
+        let shadow_clk = vec![SymTernary::X; self.model.state_bits()];
+        self.apply_constants(&mut nodes);
+        Self::apply_drive(m, &mut nodes, drive);
+        self.propagate(m, &mut nodes);
+        SymState { nodes, shadow_clk }
+    }
+
+    /// Computes the state at time `t` from the state at `t-1` (`prev`) and
+    /// the constraints the antecedent imposes at time `t` (`drive`).
+    ///
+    /// The result is `drive ⊔ M(prev)` closed under the combinational logic,
+    /// exactly the recurrence of the STE defining trajectory (Definition 3
+    /// of the paper).
+    pub fn step(
+        &self,
+        m: &mut BddManager,
+        prev: &SymState,
+        drive: &[(NetId, SymTernary)],
+    ) -> SymState {
+        let netlist = self.model.netlist();
+        let mut nodes = vec![SymTernary::X; netlist.net_count()];
+        let mut shadow_clk = Vec::with_capacity(self.model.state_bits());
+
+        // Sequential excitation: next value of every register output.
+        for (state_index, &cell_id) in self.model.state_cells().iter().enumerate() {
+            let cell = netlist.cell(cell_id);
+            let kind = match cell.kind {
+                CellKind::Reg(k) => k,
+                CellKind::Gate(_) => unreachable!("state_cells only holds registers"),
+            };
+            let q_prev = prev.node(cell.output);
+            let d_prev = prev.node(cell.reg_data());
+            let clk_prev = prev.node(cell.reg_clock());
+            let clk_shadow = prev.shadow_clk(state_index);
+
+            // Rising edge seen now: clock was 1 at t-1 and 0 at t-2.
+            let rising = {
+                let not_shadow = clk_shadow.not();
+                clk_prev.and(m, &not_shadow)
+            };
+            let clocked = SymTernary::mux(m, &rising, &d_prev, &q_prev);
+
+            let next = match kind {
+                RegKind::Simple => clocked,
+                RegKind::AsyncReset { reset_value } => {
+                    let nrst = prev.node(cell.reg_nrst().expect("async reset has nrst"));
+                    let reset = SymTernary::from_bool(reset_value);
+                    SymTernary::mux(m, &nrst, &clocked, &reset)
+                }
+                RegKind::Retention { reset_value } => {
+                    let nrst = prev.node(cell.reg_nrst().expect("retention has nrst"));
+                    let nret = prev.node(cell.reg_nret().expect("retention has nret"));
+                    let reset = SymTernary::from_bool(reset_value);
+                    let sample_path = SymTernary::mux(m, &nrst, &clocked, &reset);
+                    // Retention has priority over reset: NRET low holds q.
+                    SymTernary::mux(m, &nret, &sample_path, &q_prev)
+                }
+            };
+            nodes[cell.output.index()] = next;
+            shadow_clk.push(clk_prev);
+        }
+
+        self.apply_constants(&mut nodes);
+        Self::apply_drive(m, &mut nodes, drive);
+        self.propagate(m, &mut nodes);
+        SymState { nodes, shadow_clk }
+    }
+
+    /// Runs a whole trajectory: `drives[t]` is the constraint list for time
+    /// `t`.  Returns the state sequence (same length as `drives`).
+    pub fn run(
+        &self,
+        m: &mut BddManager,
+        drives: &[Vec<(NetId, SymTernary)>],
+    ) -> Vec<SymState> {
+        let mut states = Vec::with_capacity(drives.len());
+        for (t, drive) in drives.iter().enumerate() {
+            let state = if t == 0 {
+                self.initial_state(m, drive)
+            } else {
+                self.step(m, &states[t - 1], drive)
+            };
+            states.push(state);
+        }
+        states
+    }
+
+    fn apply_constants(&self, nodes: &mut [SymTernary]) {
+        for (id, net) in self.model.netlist().nets() {
+            if let NetDriver::Constant(v) = net.driver {
+                nodes[id.index()] = SymTernary::from_bool(v);
+            }
+        }
+    }
+
+    fn apply_drive(
+        m: &mut BddManager,
+        nodes: &mut [SymTernary],
+        drive: &[(NetId, SymTernary)],
+    ) {
+        for &(id, value) in drive {
+            let joined = nodes[id.index()].join(m, &value);
+            nodes[id.index()] = joined;
+        }
+    }
+
+    /// Closes the combinational logic: every gate output is joined with the
+    /// gate function applied to its (already final) inputs.  One pass in
+    /// topological order suffices.
+    fn propagate(&self, m: &mut BddManager, nodes: &mut [SymTernary]) {
+        let netlist = self.model.netlist();
+        for &cell_id in self.model.comb_order() {
+            let cell = netlist.cell(cell_id);
+            let op = match cell.kind {
+                CellKind::Gate(op) => op,
+                CellKind::Reg(_) => unreachable!("comb_order only holds gates"),
+            };
+            let value = Self::eval_gate(m, op, cell.inputs.iter().map(|&i| nodes[i.index()]));
+            let out = cell.output.index();
+            nodes[out] = nodes[out].join(m, &value);
+        }
+    }
+
+    fn eval_gate(
+        m: &mut BddManager,
+        op: GateOp,
+        mut inputs: impl Iterator<Item = SymTernary>,
+    ) -> SymTernary {
+        let a = inputs.next().expect("gate has at least one input");
+        match op {
+            GateOp::Buf => a,
+            GateOp::Not => a.not(),
+            GateOp::And => {
+                let b = inputs.next().expect("binary gate");
+                a.and(m, &b)
+            }
+            GateOp::Or => {
+                let b = inputs.next().expect("binary gate");
+                a.or(m, &b)
+            }
+            GateOp::Xor => {
+                let b = inputs.next().expect("binary gate");
+                a.xor(m, &b)
+            }
+            GateOp::Nand => {
+                let b = inputs.next().expect("binary gate");
+                a.nand(m, &b)
+            }
+            GateOp::Nor => {
+                let b = inputs.next().expect("binary gate");
+                a.nor(m, &b)
+            }
+            GateOp::Xnor => {
+                let b = inputs.next().expect("binary gate");
+                a.xnor(m, &b)
+            }
+            GateOp::Mux => {
+                let then_v = inputs.next().expect("mux has three inputs");
+                let else_v = inputs.next().expect("mux has three inputs");
+                SymTernary::mux(m, &a, &then_v, &else_v)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssr_netlist::builder::NetlistBuilder;
+    use ssr_netlist::Netlist;
+    use ssr_ternary::Ternary;
+
+    fn dff_with_controls(kind: RegKind) -> Netlist {
+        let mut b = NetlistBuilder::new("dff");
+        let clk = b.input("clock");
+        let d = b.input("d");
+        let (nrst, nret) = match kind {
+            RegKind::Simple => (None, None),
+            RegKind::AsyncReset { .. } => (Some(b.input("NRST")), None),
+            RegKind::Retention { .. } => {
+                let nrst = b.input("NRST");
+                let nret = b.input("NRET");
+                (Some(nrst), Some(nret))
+            }
+        };
+        let q = b.reg("q", kind, d, clk, nrst, nret);
+        b.mark_output(q);
+        b.finish().expect("valid")
+    }
+
+    fn drive(netlist: &Netlist, pairs: &[(&str, SymTernary)]) -> Vec<(NetId, SymTernary)> {
+        pairs
+            .iter()
+            .map(|(name, v)| (netlist.find_net(name).expect("net exists"), *v))
+            .collect()
+    }
+
+    #[test]
+    fn combinational_propagation_and_x() {
+        let mut b = NetlistBuilder::new("comb");
+        let a = b.input("a");
+        let c = b.input("b");
+        let x = b.and("x", a, c);
+        let y = b.or("y", a, c);
+        b.mark_output(x);
+        b.mark_output(y);
+        let n = b.finish().expect("valid");
+        let model = CompiledModel::new(&n).expect("compiles");
+        let sim = SymSimulator::new(&model);
+        let mut m = BddManager::new();
+
+        // a = 0, b = X: the AND is 0, the OR is X.
+        let s = sim.initial_state(&mut m, &drive(&n, &[("a", SymTernary::ZERO)]));
+        assert_eq!(
+            s.node(n.find_net("x").unwrap()).to_constant(&m),
+            Some(Ternary::Zero)
+        );
+        assert_eq!(
+            s.node(n.find_net("y").unwrap()).to_constant(&m),
+            Some(Ternary::X)
+        );
+    }
+
+    #[test]
+    fn simple_dff_captures_on_rising_edge() {
+        let n = dff_with_controls(RegKind::Simple);
+        let model = CompiledModel::new(&n).expect("compiles");
+        let sim = SymSimulator::new(&model);
+        let mut m = BddManager::new();
+
+        let lo = SymTernary::ZERO;
+        let hi = SymTernary::ONE;
+        // t0: clk=0, d=1.  t1: clk=1, d=1 (edge seen at t2).  t2: clk=0.
+        let s0 = sim.initial_state(&mut m, &drive(&n, &[("clock", lo), ("d", hi)]));
+        let q = n.find_net("q").unwrap();
+        assert_eq!(s0.node(q).to_constant(&m), Some(Ternary::X));
+        let s1 = sim.step(&mut m, &s0, &drive(&n, &[("clock", hi), ("d", hi)]));
+        // Still X: the edge is only *seen* one step later.
+        assert_eq!(s1.node(q).to_constant(&m), Some(Ternary::X));
+        let s2 = sim.step(&mut m, &s1, &drive(&n, &[("clock", lo)]));
+        assert_eq!(s2.node(q).to_constant(&m), Some(Ternary::One));
+        // Without another rising edge the value is held.
+        let s3 = sim.step(&mut m, &s2, &drive(&n, &[("clock", lo)]));
+        assert_eq!(s3.node(q).to_constant(&m), Some(Ternary::One));
+    }
+
+    #[test]
+    fn no_edge_no_capture() {
+        let n = dff_with_controls(RegKind::Simple);
+        let model = CompiledModel::new(&n).expect("compiles");
+        let sim = SymSimulator::new(&model);
+        let mut m = BddManager::new();
+        let q = n.find_net("q").unwrap();
+        // Clock held high throughout: no 0->1 transition, so q stays X.
+        let hi = SymTernary::ONE;
+        let s0 = sim.initial_state(&mut m, &drive(&n, &[("clock", hi), ("d", hi)]));
+        let s1 = sim.step(&mut m, &s0, &drive(&n, &[("clock", hi), ("d", hi)]));
+        let s2 = sim.step(&mut m, &s1, &drive(&n, &[("clock", hi)]));
+        assert_eq!(s2.node(q).to_constant(&m), Some(Ternary::X));
+    }
+
+    #[test]
+    fn async_reset_clears_register() {
+        let n = dff_with_controls(RegKind::AsyncReset { reset_value: false });
+        let model = CompiledModel::new(&n).expect("compiles");
+        let sim = SymSimulator::new(&model);
+        let mut m = BddManager::new();
+        let q = n.find_net("q").unwrap();
+        let lo = SymTernary::ZERO;
+        let hi = SymTernary::ONE;
+        // Capture a 1 first (NRST held high).
+        let s0 = sim.initial_state(&mut m, &drive(&n, &[("clock", lo), ("d", hi), ("NRST", hi)]));
+        let s1 = sim.step(&mut m, &s0, &drive(&n, &[("clock", hi), ("d", hi), ("NRST", hi)]));
+        let s2 = sim.step(&mut m, &s1, &drive(&n, &[("clock", lo), ("NRST", hi)]));
+        assert_eq!(s2.node(q).to_constant(&m), Some(Ternary::One));
+        // Assert NRST low: the register resets regardless of the clock.
+        let s3 = sim.step(&mut m, &s2, &drive(&n, &[("clock", lo), ("NRST", lo)]));
+        let s4 = sim.step(&mut m, &s3, &drive(&n, &[("clock", lo), ("NRST", hi)]));
+        assert_eq!(s4.node(q).to_constant(&m), Some(Ternary::Zero));
+    }
+
+    #[test]
+    fn retention_register_holds_through_reset_when_nret_low() {
+        // This is the Figure 1 behaviour with the paper's priority rule:
+        // NRET low ⇒ hold, even while NRST pulses low.
+        let n = dff_with_controls(RegKind::Retention { reset_value: false });
+        let model = CompiledModel::new(&n).expect("compiles");
+        let sim = SymSimulator::new(&model);
+        let mut m = BddManager::new();
+        let q = n.find_net("q").unwrap();
+        let lo = SymTernary::ZERO;
+        let hi = SymTernary::ONE;
+        let sym_d = SymTernary::symbol(&mut m, "v");
+
+        // Capture the symbolic value v.
+        let s0 = sim.initial_state(
+            &mut m,
+            &drive(&n, &[("clock", lo), ("d", sym_d), ("NRST", hi), ("NRET", hi)]),
+        );
+        let s1 = sim.step(
+            &mut m,
+            &s0,
+            &drive(&n, &[("clock", hi), ("d", sym_d), ("NRST", hi), ("NRET", hi)]),
+        );
+        let s2 = sim.step(
+            &mut m,
+            &s1,
+            &drive(&n, &[("clock", lo), ("NRST", hi), ("NRET", hi)]),
+        );
+        assert_eq!(s2.node(q), sym_d, "register captured the symbolic value");
+
+        // Sleep: NRET low, then NRST pulses low.  The value must be held.
+        let s3 = sim.step(
+            &mut m,
+            &s2,
+            &drive(&n, &[("clock", lo), ("NRST", hi), ("NRET", lo)]),
+        );
+        let s4 = sim.step(
+            &mut m,
+            &s3,
+            &drive(&n, &[("clock", lo), ("NRST", lo), ("NRET", lo)]),
+        );
+        let s5 = sim.step(
+            &mut m,
+            &s4,
+            &drive(&n, &[("clock", lo), ("NRST", hi), ("NRET", lo)]),
+        );
+        assert_eq!(s5.node(q), sym_d, "retention held the value through reset");
+
+        // Resume: NRET high again, value still there.
+        let s6 = sim.step(
+            &mut m,
+            &s5,
+            &drive(&n, &[("clock", lo), ("NRST", hi), ("NRET", hi)]),
+        );
+        assert_eq!(s6.node(q), sym_d);
+    }
+
+    #[test]
+    fn retention_register_resets_in_sample_mode() {
+        // With NRET high (sample mode) the reset behaves normally.
+        let n = dff_with_controls(RegKind::Retention { reset_value: false });
+        let model = CompiledModel::new(&n).expect("compiles");
+        let sim = SymSimulator::new(&model);
+        let mut m = BddManager::new();
+        let q = n.find_net("q").unwrap();
+        let lo = SymTernary::ZERO;
+        let hi = SymTernary::ONE;
+        let s0 = sim.initial_state(
+            &mut m,
+            &drive(&n, &[("clock", lo), ("d", hi), ("NRST", lo), ("NRET", hi)]),
+        );
+        let s1 = sim.step(
+            &mut m,
+            &s0,
+            &drive(&n, &[("clock", lo), ("NRST", hi), ("NRET", hi)]),
+        );
+        assert_eq!(s1.node(q).to_constant(&m), Some(Ternary::Zero));
+    }
+
+    #[test]
+    fn overconstrained_drive_produces_top() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let x = b.buf("x", a);
+        b.mark_output(x);
+        let n = b.finish().expect("valid");
+        let model = CompiledModel::new(&n).expect("compiles");
+        let sim = SymSimulator::new(&model);
+        let mut m = BddManager::new();
+        let a_id = n.find_net("a").unwrap();
+        let s = sim.initial_state(
+            &mut m,
+            &[(a_id, SymTernary::ZERO), (a_id, SymTernary::ONE)],
+        );
+        assert_eq!(s.node(a_id).to_constant(&m), Some(Ternary::Top));
+    }
+
+    #[test]
+    fn run_produces_one_state_per_drive() {
+        let n = dff_with_controls(RegKind::Simple);
+        let model = CompiledModel::new(&n).expect("compiles");
+        let sim = SymSimulator::new(&model);
+        let mut m = BddManager::new();
+        let drives = vec![
+            drive(&n, &[("clock", SymTernary::ZERO)]),
+            drive(&n, &[("clock", SymTernary::ONE)]),
+            drive(&n, &[("clock", SymTernary::ZERO)]),
+        ];
+        let states = sim.run(&mut m, &drives);
+        assert_eq!(states.len(), 3);
+    }
+}

@@ -1,0 +1,151 @@
+//! Textual waveform capture, used by the examples and for diagnostics.
+
+use ssr_bdd::{Assignment, BddManager};
+use ssr_netlist::Netlist;
+use ssr_ternary::Ternary;
+
+use crate::concrete::ConcreteState;
+use crate::symbolic::SymState;
+
+/// A recorded waveform: one row of scalar lattice values per signal.
+///
+/// ```
+/// use ssr_sim::waveform::Waveform;
+/// use ssr_ternary::Ternary;
+/// let mut w = Waveform::new();
+/// w.push("clock", vec![Ternary::Zero, Ternary::One, Ternary::Zero]);
+/// w.push("q", vec![Ternary::X, Ternary::X, Ternary::One]);
+/// let text = w.render();
+/// assert!(text.contains("clock"));
+/// assert!(text.contains("010"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Waveform {
+    rows: Vec<(String, Vec<Ternary>)>,
+}
+
+impl Waveform {
+    /// Creates an empty waveform.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a named row of values.
+    pub fn push(&mut self, name: impl Into<String>, values: Vec<Ternary>) {
+        self.rows.push((name.into(), values));
+    }
+
+    /// Number of recorded signals.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The recorded rows.
+    pub fn rows(&self) -> &[(String, Vec<Ternary>)] {
+        &self.rows
+    }
+
+    /// Records the named nets of a concrete simulation run.
+    ///
+    /// Nets that do not exist in the netlist are silently skipped.
+    pub fn from_concrete_run(netlist: &Netlist, states: &[ConcreteState], nets: &[&str]) -> Self {
+        let mut w = Waveform::new();
+        for &name in nets {
+            if let Some(id) = netlist.find_net(name) {
+                w.push(name, states.iter().map(|s| s.node(id)).collect());
+            }
+        }
+        w
+    }
+
+    /// Records the named nets of a symbolic run under a concrete assignment
+    /// of the symbolic variables (bits the assignment leaves open are shown
+    /// as `X`).
+    pub fn from_symbolic_run(
+        netlist: &Netlist,
+        manager: &BddManager,
+        states: &[SymState],
+        nets: &[&str],
+        assignment: &Assignment,
+    ) -> Self {
+        let mut w = Waveform::new();
+        for &name in nets {
+            if let Some(id) = netlist.find_net(name) {
+                let values = states
+                    .iter()
+                    .map(|s| s.node(id).eval(manager, assignment).unwrap_or(Ternary::X))
+                    .collect();
+                w.push(name, values);
+            }
+        }
+        w
+    }
+
+    /// Renders the waveform as an ASCII table, one signal per line.
+    pub fn render(&self) -> String {
+        let width = self
+            .rows
+            .iter()
+            .map(|(n, _)| n.len())
+            .max()
+            .unwrap_or(0);
+        let mut out = String::new();
+        for (name, values) in &self.rows {
+            out.push_str(&format!("{name:<width$} | "));
+            for v in values {
+                out.push_str(&v.to_string());
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CompiledModel, ConcreteSimulator};
+    use ssr_netlist::builder::NetlistBuilder;
+    use ssr_netlist::RegKind;
+
+    #[test]
+    fn render_aligns_names() {
+        let mut w = Waveform::new();
+        w.push("clk", vec![Ternary::Zero, Ternary::One]);
+        w.push("longer_name", vec![Ternary::X, Ternary::Top]);
+        let text = w.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("01"));
+        assert!(lines[1].contains("XT"));
+        assert_eq!(w.len(), 2);
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn capture_from_concrete_run() {
+        let mut b = NetlistBuilder::new("t");
+        let clk = b.input("clock");
+        let d = b.input("d");
+        let q = b.reg("q", RegKind::Simple, d, clk, None, None);
+        b.mark_output(q);
+        let n = b.finish().expect("valid");
+        let model = CompiledModel::new(&n).expect("compiles");
+        let sim = ConcreteSimulator::new(&model);
+        let find = |name: &str| n.find_net(name).unwrap();
+        let states = sim.run(&[
+            vec![(find("clock"), Ternary::Zero), (find("d"), Ternary::One)],
+            vec![(find("clock"), Ternary::One), (find("d"), Ternary::One)],
+            vec![(find("clock"), Ternary::Zero)],
+        ]);
+        let w = Waveform::from_concrete_run(&n, &states, &["clock", "q", "missing"]);
+        assert_eq!(w.len(), 2, "missing nets are skipped");
+        let q_row = &w.rows()[1];
+        assert_eq!(q_row.1, vec![Ternary::X, Ternary::X, Ternary::One]);
+    }
+}

@@ -1,0 +1,418 @@
+//! The STE assertion checker (Definition 3 and the verification condition).
+
+use std::time::{Duration, Instant};
+
+use ssr_bdd::{Assignment, Bdd, BddManager};
+use ssr_sim::{CompiledModel, SymSimulator, SymState};
+use ssr_ternary::Ternary;
+
+use crate::error::SteError;
+use crate::formula::{Assertion, Formula};
+
+/// One violated consequent constraint in a counterexample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailedNode {
+    /// Time unit of the violated constraint.
+    pub time: usize,
+    /// Node name.
+    pub node: String,
+    /// Value the consequent required (under the counterexample assignment).
+    pub expected: Ternary,
+    /// Value the defining trajectory actually carries.
+    pub actual: Ternary,
+}
+
+/// A concrete counterexample: an assignment of the symbolic variables plus
+/// the list of violated constraints it exposes.
+///
+/// As the paper notes, a single symbolic counterexample captures *all*
+/// failing scalar traces; this type reports one satisfying assignment of the
+/// failure condition (and the full failure condition is available as
+/// `!CheckReport::ok`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// The satisfying assignment of the failure condition.
+    pub assignment: Assignment,
+    /// The constraints that fail under this assignment.
+    pub failures: Vec<FailedNode>,
+}
+
+/// The result of checking one assertion.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// The assertion's name, if it had one.
+    pub name: Option<String>,
+    /// `true` iff the assertion holds for every assignment of the symbolic
+    /// variables.
+    pub holds: bool,
+    /// BDD over the symbolic variables where the consequent is satisfied.
+    /// The assertion holds iff this is the constant true function.
+    pub ok: Bdd,
+    /// BDD where some antecedent-driven node became `⊤` (overconstrained).
+    /// A non-false value means the antecedent conflicts with the circuit (or
+    /// itself) for those assignments and the check is vacuous there.
+    pub antecedent_conflict: Bdd,
+    /// One concrete counterexample if the assertion fails.
+    pub counterexample: Option<Counterexample>,
+    /// Number of time units simulated.
+    pub depth: usize,
+    /// Number of point-wise `⊑` checks performed.
+    pub constraints_checked: usize,
+    /// Wall-clock time of the check (simulation + comparison).
+    pub duration: Duration,
+}
+
+impl CheckReport {
+    /// Convenience: `true` when the assertion failed but only because the
+    /// antecedent was contradictory everywhere (a vacuous pass would be
+    /// reported as `holds == true`, so this flags suspicious successes).
+    pub fn is_vacuous(&self) -> bool {
+        self.holds && self.antecedent_conflict.is_true()
+    }
+}
+
+/// The STE model checker bound to a compiled circuit model.
+#[derive(Debug, Clone)]
+pub struct Ste<'m, 'n> {
+    model: &'m CompiledModel<'n>,
+}
+
+impl<'m, 'n> Ste<'m, 'n> {
+    /// Creates a checker for the given model.
+    pub fn new(model: &'m CompiledModel<'n>) -> Self {
+        Ste { model }
+    }
+
+    /// The model being checked.
+    pub fn model(&self) -> &'m CompiledModel<'n> {
+        self.model
+    }
+
+    /// Computes the defining trajectory of `antecedent` for `depth` time
+    /// units: the weakest run of the circuit consistent with the antecedent.
+    ///
+    /// # Errors
+    /// Returns [`SteError::UnknownNode`] if the formula mentions an unknown
+    /// node.
+    pub fn defining_trajectory(
+        &self,
+        m: &mut BddManager,
+        antecedent: &Formula,
+        depth: usize,
+    ) -> Result<Vec<SymState>, SteError> {
+        let seq = antecedent.defining_sequence(m, self.model.netlist(), depth)?;
+        let sim = SymSimulator::new(self.model);
+        Ok(sim.run(m, &seq))
+    }
+
+    /// Checks the assertion `A ⇒ C` against the model.
+    ///
+    /// # Errors
+    /// Returns [`SteError::UnknownNode`] if either formula mentions a node
+    /// that does not exist in the model.
+    pub fn check(
+        &self,
+        m: &mut BddManager,
+        assertion: &Assertion,
+    ) -> Result<CheckReport, SteError> {
+        let start = Instant::now();
+        let netlist = self.model.netlist();
+        let depth = assertion.depth();
+
+        let a_seq = assertion
+            .antecedent
+            .defining_sequence(m, netlist, depth)?;
+        let c_seq = assertion
+            .consequent
+            .defining_sequence(m, netlist, depth)?;
+
+        let sim = SymSimulator::new(self.model);
+        let trajectory = sim.run(m, &a_seq);
+
+        // Antecedent consistency: a ⊤ on any antecedent-driven node means the
+        // stimulus contradicts the circuit (or itself) for those assignments.
+        let mut conflict = Bdd::FALSE;
+        for (t, constraints) in a_seq.iter().enumerate() {
+            for &(net, _) in constraints {
+                let top_here = trajectory[t].node(net).is_top(m);
+                conflict = m.or(conflict, top_here);
+            }
+        }
+
+        // The verification condition: ∀ t, n. [C] t n ⊑ [[A]] t n.
+        let mut ok = Bdd::TRUE;
+        let mut constraints_checked = 0usize;
+        let mut violated: Vec<(usize, ssr_netlist::NetId, ssr_ternary::SymTernary)> = Vec::new();
+        for (t, constraints) in c_seq.iter().enumerate() {
+            for &(net, required) in constraints {
+                let actual = trajectory[t].node(net);
+                let cond = required.leq(m, &actual);
+                constraints_checked += 1;
+                if !cond.is_true() {
+                    violated.push((t, net, required));
+                }
+                ok = m.and(ok, cond);
+            }
+        }
+
+        let holds = ok.is_true();
+        let counterexample = if holds {
+            None
+        } else {
+            let not_ok = m.not(ok);
+            m.one_sat(not_ok).map(|assignment| {
+                let mut failures = Vec::new();
+                for &(t, net, required) in &violated {
+                    let expected = required.eval(m, &assignment).unwrap_or(Ternary::X);
+                    let actual = trajectory[t]
+                        .node(net)
+                        .eval(m, &assignment)
+                        .unwrap_or(Ternary::X);
+                    if !expected.leq(actual) {
+                        failures.push(FailedNode {
+                            time: t,
+                            node: netlist.net(net).name.clone(),
+                            expected,
+                            actual,
+                        });
+                    }
+                }
+                Counterexample {
+                    assignment,
+                    failures,
+                }
+            })
+        };
+
+        Ok(CheckReport {
+            name: assertion.name.clone(),
+            holds,
+            ok,
+            antecedent_conflict: conflict,
+            counterexample,
+            depth,
+            constraints_checked,
+            duration: start.elapsed(),
+        })
+    }
+
+    /// Checks a whole suite of assertions, returning one report per
+    /// assertion in order.
+    ///
+    /// # Errors
+    /// Fails fast on the first elaboration error.
+    pub fn check_all(
+        &self,
+        m: &mut BddManager,
+        assertions: &[Assertion],
+    ) -> Result<Vec<CheckReport>, SteError> {
+        assertions.iter().map(|a| self.check(m, a)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssr_bdd::BddVec;
+    use ssr_netlist::builder::NetlistBuilder;
+    use ssr_netlist::{Netlist, RegKind};
+
+    fn and_gate() -> Netlist {
+        let mut b = NetlistBuilder::new("and");
+        let a = b.input("a");
+        let c = b.input("b");
+        let x = b.and("out", a, c);
+        b.mark_output(x);
+        b.finish().expect("valid")
+    }
+
+    fn dff() -> Netlist {
+        let mut b = NetlistBuilder::new("dff");
+        let clk = b.input("clock");
+        let d = b.input("d");
+        let q = b.reg("q", RegKind::Simple, d, clk, None, None);
+        b.mark_output(q);
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn combinational_assertion_holds() {
+        let n = and_gate();
+        let model = CompiledModel::new(&n).expect("compiles");
+        let ste = Ste::new(&model);
+        let mut m = BddManager::new();
+        let va = m.new_var("va");
+        let vb = m.new_var("vb");
+        let a = Formula::is_bdd(&mut m, "a", va).and(Formula::is_bdd(&mut m, "b", vb));
+        let expected = m.and(va, vb);
+        let c = Formula::is_bdd(&mut m, "out", expected);
+        let report = ste
+            .check(&mut m, &Assertion::named("and_ok", a, c))
+            .expect("checks");
+        assert!(report.holds);
+        assert!(report.counterexample.is_none());
+        assert!(report.antecedent_conflict.is_false());
+        assert_eq!(report.depth, 1);
+        assert_eq!(report.name.as_deref(), Some("and_ok"));
+    }
+
+    #[test]
+    fn wrong_spec_produces_counterexample() {
+        let n = and_gate();
+        let model = CompiledModel::new(&n).expect("compiles");
+        let ste = Ste::new(&model);
+        let mut m = BddManager::new();
+        let va = m.new_var("va");
+        let vb = m.new_var("vb");
+        let a = Formula::is_bdd(&mut m, "a", va).and(Formula::is_bdd(&mut m, "b", vb));
+        // Wrong: claim the output is the OR of the inputs.
+        let wrong = m.or(va, vb);
+        let c = Formula::is_bdd(&mut m, "out", wrong);
+        let report = ste.check(&mut m, &Assertion::new(a, c)).expect("checks");
+        assert!(!report.holds);
+        let cex = report.counterexample.expect("has counterexample");
+        assert!(!cex.failures.is_empty());
+        assert_eq!(cex.failures[0].node, "out");
+        // The reported assignment indeed violates AND vs OR (exactly one
+        // input true).
+        let va_val = cex.assignment.get(0).unwrap_or(false);
+        let vb_val = cex.assignment.get(1).unwrap_or(false);
+        assert_ne!(va_val && vb_val, va_val || vb_val);
+    }
+
+    #[test]
+    fn partial_information_yields_x_failure() {
+        // Asking for a defined output value without driving the inputs
+        // cannot hold: the trajectory carries X.
+        let n = and_gate();
+        let model = CompiledModel::new(&n).expect("compiles");
+        let ste = Ste::new(&model);
+        let mut m = BddManager::new();
+        let a = Formula::is1("a"); // b is left unconstrained
+        let c = Formula::is1("out");
+        let report = ste.check(&mut m, &Assertion::new(a, c)).expect("checks");
+        assert!(!report.holds);
+        let cex = report.counterexample.expect("has counterexample");
+        assert_eq!(cex.failures[0].actual, Ternary::X);
+        assert_eq!(cex.failures[0].expected, Ternary::One);
+    }
+
+    #[test]
+    fn controlling_zero_needs_no_second_input() {
+        // a = 0 forces out = 0 even though b is X — the ternary abstraction
+        // at work.
+        let n = and_gate();
+        let model = CompiledModel::new(&n).expect("compiles");
+        let ste = Ste::new(&model);
+        let mut m = BddManager::new();
+        let a = Formula::is0("a");
+        let c = Formula::is0("out");
+        let report = ste.check(&mut m, &Assertion::new(a, c)).expect("checks");
+        assert!(report.holds);
+    }
+
+    #[test]
+    fn sequential_assertion_with_clocking() {
+        // Drive a value through the flop across a rising edge and check the
+        // output two steps later (the model's documented timing).
+        let n = dff();
+        let model = CompiledModel::new(&n).expect("compiles");
+        let ste = Ste::new(&model);
+        let mut m = BddManager::new();
+        let v = m.new_var("v");
+        let clock = Formula::is0("clock")
+            .and(Formula::is1("clock").delay(1))
+            .and(Formula::is0("clock").delay(2));
+        let data = Formula::is_bdd(&mut m, "d", v).from_to(0, 2);
+        let a = clock.and(data);
+        let c = Formula::is_bdd(&mut m, "q", v).delay(2);
+        let report = ste
+            .check(&mut m, &Assertion::named("dff_capture", a, c))
+            .expect("checks");
+        assert!(report.holds, "flop captures the symbolic value");
+        assert_eq!(report.depth, 3);
+
+        // Negative control: claiming the value appears one step too early
+        // must fail.
+        let clock2 = Formula::is0("clock")
+            .and(Formula::is1("clock").delay(1))
+            .and(Formula::is0("clock").delay(2));
+        let data2 = Formula::is_bdd(&mut m, "d", v).from_to(0, 2);
+        let early = Formula::is_bdd(&mut m, "q", v).delay(1);
+        let report2 = ste
+            .check(&mut m, &Assertion::new(clock2.and(data2), early))
+            .expect("checks");
+        assert!(!report2.holds);
+    }
+
+    #[test]
+    fn antecedent_conflict_is_reported() {
+        let n = and_gate();
+        let model = CompiledModel::new(&n).expect("compiles");
+        let ste = Ste::new(&model);
+        let mut m = BddManager::new();
+        // a is required to be both 0 and 1: contradictory antecedent.
+        let a = Formula::is0("a").and(Formula::is1("a"));
+        let c = Formula::is0("out");
+        let report = ste.check(&mut m, &Assertion::new(a, c)).expect("checks");
+        assert!(report.antecedent_conflict.is_true());
+    }
+
+    #[test]
+    fn unknown_nodes_are_errors() {
+        let n = and_gate();
+        let model = CompiledModel::new(&n).expect("compiles");
+        let ste = Ste::new(&model);
+        let mut m = BddManager::new();
+        let a = Formula::is1("nonexistent");
+        let c = Formula::is1("out");
+        assert!(matches!(
+            ste.check(&mut m, &Assertion::new(a, c)),
+            Err(SteError::UnknownNode(_))
+        ));
+    }
+
+    #[test]
+    fn check_all_returns_one_report_per_assertion() {
+        let n = and_gate();
+        let model = CompiledModel::new(&n).expect("compiles");
+        let ste = Ste::new(&model);
+        let mut m = BddManager::new();
+        let suite = vec![
+            Assertion::named("zero_a", Formula::is0("a"), Formula::is0("out")),
+            Assertion::named("zero_b", Formula::is0("b"), Formula::is0("out")),
+        ];
+        let reports = ste.check_all(&mut m, &suite).expect("checks");
+        assert_eq!(reports.len(), 2);
+        assert!(reports.iter().all(|r| r.holds));
+    }
+
+    #[test]
+    fn word_level_datapath_check() {
+        // A 4-bit adder netlist: sum = a + b (mod 16).
+        let mut b = NetlistBuilder::new("adder");
+        let a_in = b.word_input("a", 4);
+        let b_in = b.word_input("b", 4);
+        let (sum, _carry) = b.word_add(&a_in, &b_in, None).expect("widths");
+        let named: Vec<_> = sum
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| b.buf(format!("sum[{i}]"), s))
+            .collect();
+        b.mark_word_output(&named);
+        let n = b.finish().expect("valid");
+        let model = CompiledModel::new(&n).expect("compiles");
+        let ste = Ste::new(&model);
+        let mut m = BddManager::new();
+        let (va, vb) = BddVec::new_interleaved_pair(&mut m, "va", "vb", 4);
+        let a_f = Formula::word_is(&mut m, "a", &va);
+        let b_f = Formula::word_is(&mut m, "b", &vb);
+        let expected = va.add(&mut m, &vb).expect("widths");
+        let c = Formula::word_is(&mut m, "sum", &expected);
+        let report = ste
+            .check(&mut m, &Assertion::named("adder", a_f.and(b_f), c))
+            .expect("checks");
+        assert!(report.holds);
+        assert_eq!(report.constraints_checked, 8);
+    }
+}

@@ -1,0 +1,57 @@
+//! Error type for the STE crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while elaborating or checking trajectory formulas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SteError {
+    /// A formula references a circuit node that does not exist in the model.
+    UnknownNode(String),
+    /// A word-level assertion had mismatched widths.
+    WidthMismatch {
+        /// Number of node bits.
+        nodes: usize,
+        /// Number of value bits.
+        values: usize,
+    },
+    /// An inference rule's side condition failed.
+    RuleViolation(String),
+}
+
+impl fmt::Display for SteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SteError::UnknownNode(n) => write!(f, "formula references unknown circuit node `{n}`"),
+            SteError::WidthMismatch { nodes, values } => {
+                write!(f, "word assertion width mismatch: {nodes} nodes vs {values} value bits")
+            }
+            SteError::RuleViolation(msg) => write!(f, "inference rule side condition failed: {msg}"),
+        }
+    }
+}
+
+impl Error for SteError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            SteError::UnknownNode("pc".into()).to_string(),
+            "formula references unknown circuit node `pc`"
+        );
+        assert!(SteError::WidthMismatch { nodes: 3, values: 4 }
+            .to_string()
+            .contains("3 nodes vs 4"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn check<E: std::error::Error + Send + Sync>() {}
+        check::<SteError>();
+    }
+}

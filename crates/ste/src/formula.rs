@@ -1,0 +1,414 @@
+//! Trajectory formulas (Definition 1 of the paper) and their defining
+//! sequences (Definition 2).
+
+use ssr_bdd::{Bdd, BddManager, BddVec};
+use ssr_netlist::{NetId, Netlist};
+use ssr_ternary::SymTernary;
+
+use crate::error::SteError;
+
+/// A symbolic trajectory formula.
+///
+/// The five core constructs follow the paper's Definition 1; everything else
+/// on this type is sugar that expands into them.  Node references are by
+/// name and resolved against the netlist when the formula is elaborated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Formula {
+    /// `n is 0` — the named node carries Boolean 0 at time 0.
+    Is0(String),
+    /// `n is 1` — the named node carries Boolean 1 at time 0.
+    Is1(String),
+    /// Conjunction of two formulas.
+    And(Box<Formula>, Box<Formula>),
+    /// `f when G` — `f` is asserted only where the guard `G` holds.
+    When(Box<Formula>, Bdd),
+    /// `N f` — `f` holds one time unit later.
+    Next(Box<Formula>),
+    /// The trivially-true formula (the unit of conjunction).  Technically
+    /// not part of Definition 1 but convenient as the empty conjunction; its
+    /// defining sequence is everywhere `X`.
+    True,
+}
+
+impl Formula {
+    // ------------------------------------------------------------------
+    // Constructors and sugar
+    // ------------------------------------------------------------------
+
+    /// `n is 0`.
+    pub fn is0(node: impl Into<String>) -> Formula {
+        Formula::Is0(node.into())
+    }
+
+    /// `n is 1`.
+    pub fn is1(node: impl Into<String>) -> Formula {
+        Formula::Is1(node.into())
+    }
+
+    /// `n is v` for a Boolean constant `v`.
+    pub fn is_bool(node: impl Into<String>, value: bool) -> Formula {
+        if value {
+            Formula::is1(node)
+        } else {
+            Formula::is0(node)
+        }
+    }
+
+    /// `n is b` for a symbolic Boolean `b`: expands to
+    /// `(n is 1 when b) and (n is 0 when ¬b)`.
+    pub fn is_bdd(m: &mut BddManager, node: impl Into<String>, b: Bdd) -> Formula {
+        let node = node.into();
+        let nb = m.not(b);
+        Formula::is1(node.clone())
+            .when(b)
+            .and(Formula::is0(node).when(nb))
+    }
+
+    /// Word-level assertion: node bits `prefix[0]..prefix[w-1]` take the
+    /// values of `value` (a [`BddVec`] of the same width, LSB first).
+    pub fn word_is(m: &mut BddManager, prefix: &str, value: &BddVec) -> Formula {
+        let mut acc = Formula::True;
+        for (i, &bit) in value.bits().iter().enumerate() {
+            acc = acc.and(Formula::is_bdd(m, format!("{prefix}[{i}]"), bit));
+        }
+        acc
+    }
+
+    /// Word-level assertion against a constant.
+    pub fn word_is_const(prefix: &str, value: u64, width: usize) -> Formula {
+        let mut acc = Formula::True;
+        for i in 0..width {
+            let bit = i < 64 && (value >> i) & 1 == 1;
+            acc = acc.and(Formula::is_bool(format!("{prefix}[{i}]"), bit));
+        }
+        acc
+    }
+
+    /// Conjunction `self and other`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn and(self, other: Formula) -> Formula {
+        match (self, other) {
+            (Formula::True, f) | (f, Formula::True) => f,
+            (a, b) => Formula::And(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Conjunction over an iterator of formulas.
+    pub fn all<I: IntoIterator<Item = Formula>>(formulas: I) -> Formula {
+        formulas
+            .into_iter()
+            .fold(Formula::True, |acc, f| acc.and(f))
+    }
+
+    /// `self when guard`.
+    pub fn when(self, guard: Bdd) -> Formula {
+        Formula::When(Box::new(self), guard)
+    }
+
+    /// `N self` — one time unit later.
+    pub fn next(self) -> Formula {
+        Formula::Next(Box::new(self))
+    }
+
+    /// `N^k self`.
+    pub fn delay(self, k: usize) -> Formula {
+        (0..k).fold(self, |f, _| f.next())
+    }
+
+    /// The paper's `f from i to j` sugar:
+    /// `N^i f and N^(i+1) f and … and N^(j-1) f`.
+    ///
+    /// # Panics
+    /// Panics if `j <= i` (an empty interval is almost certainly a property
+    /// bug).
+    pub fn from_to(self, i: usize, j: usize) -> Formula {
+        assert!(j > i, "`from {i} to {j}` denotes an empty interval");
+        let mut acc = Formula::True;
+        for t in i..j {
+            acc = acc.and(self.clone().delay(t));
+        }
+        acc
+    }
+
+    /// Sugar for the ubiquitous `"n" is v from i to j`.
+    pub fn node_is_from_to(node: impl Into<String>, value: bool, i: usize, j: usize) -> Formula {
+        Formula::is_bool(node, value).from_to(i, j)
+    }
+
+    // ------------------------------------------------------------------
+    // Structure
+    // ------------------------------------------------------------------
+
+    /// The temporal depth: the number of time units the formula talks about
+    /// (1 + the deepest nesting of `N`).
+    pub fn depth(&self) -> usize {
+        match self {
+            Formula::Is0(_) | Formula::Is1(_) | Formula::True => 1,
+            Formula::And(a, b) => a.depth().max(b.depth()),
+            Formula::When(f, _) => f.depth(),
+            Formula::Next(f) => 1 + f.depth(),
+        }
+    }
+
+    /// The set of node names the formula mentions (sorted, deduplicated).
+    pub fn nodes(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_nodes(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_nodes(&self, out: &mut Vec<String>) {
+        match self {
+            Formula::Is0(n) | Formula::Is1(n) => out.push(n.clone()),
+            Formula::And(a, b) => {
+                a.collect_nodes(out);
+                b.collect_nodes(out);
+            }
+            Formula::When(f, _) => f.collect_nodes(out),
+            Formula::Next(f) => f.collect_nodes(out),
+            Formula::True => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Defining sequence (Definition 2)
+    // ------------------------------------------------------------------
+
+    /// Elaborates the formula into its defining sequence over `netlist`:
+    /// for each time unit, the list of `(net, value)` constraints whose join
+    /// is the weakest sequence satisfying the formula.  The result has
+    /// exactly [`Formula::depth`] entries unless `min_depth` is larger, in
+    /// which case it is padded with empty constraint lists.
+    ///
+    /// # Errors
+    /// Returns [`SteError::UnknownNode`] if the formula mentions a node that
+    /// does not exist in the netlist.
+    pub fn defining_sequence(
+        &self,
+        m: &mut BddManager,
+        netlist: &Netlist,
+        min_depth: usize,
+    ) -> Result<Vec<Vec<(NetId, SymTernary)>>, SteError> {
+        let depth = self.depth().max(min_depth);
+        let mut seq: Vec<Vec<(NetId, SymTernary)>> = vec![Vec::new(); depth];
+        self.collect_constraints(m, netlist, 0, Bdd::TRUE, &mut seq)?;
+        Ok(seq)
+    }
+
+    fn collect_constraints(
+        &self,
+        m: &mut BddManager,
+        netlist: &Netlist,
+        time: usize,
+        guard: Bdd,
+        seq: &mut Vec<Vec<(NetId, SymTernary)>>,
+    ) -> Result<(), SteError> {
+        match self {
+            Formula::True => Ok(()),
+            Formula::Is0(name) | Formula::Is1(name) => {
+                let id = netlist
+                    .find_net(name)
+                    .ok_or_else(|| SteError::UnknownNode(name.clone()))?;
+                let value = if matches!(self, Formula::Is1(_)) {
+                    SymTernary::ONE
+                } else {
+                    SymTernary::ZERO
+                };
+                let guarded = SymTernary::guarded(m, guard, &value);
+                seq[time].push((id, guarded));
+                Ok(())
+            }
+            Formula::And(a, b) => {
+                a.collect_constraints(m, netlist, time, guard, seq)?;
+                b.collect_constraints(m, netlist, time, guard, seq)
+            }
+            Formula::When(f, g) => {
+                let combined = m.and(guard, *g);
+                f.collect_constraints(m, netlist, time, combined, seq)
+            }
+            Formula::Next(f) => f.collect_constraints(m, netlist, time + 1, guard, seq),
+        }
+    }
+}
+
+/// An STE assertion `A ⇒ C`: the antecedent drives the circuit, the
+/// consequent states what must be observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assertion {
+    /// The antecedent `A`.
+    pub antecedent: Formula,
+    /// The consequent `C`.
+    pub consequent: Formula,
+    /// An optional human-readable name used in reports.
+    pub name: Option<String>,
+}
+
+impl Assertion {
+    /// Creates an unnamed assertion.
+    pub fn new(antecedent: Formula, consequent: Formula) -> Self {
+        Assertion {
+            antecedent,
+            consequent,
+            name: None,
+        }
+    }
+
+    /// Creates a named assertion (the name shows up in check reports and
+    /// benchmark output).
+    pub fn named(name: impl Into<String>, antecedent: Formula, consequent: Formula) -> Self {
+        Assertion {
+            antecedent,
+            consequent,
+            name: Some(name.into()),
+        }
+    }
+
+    /// The number of time units the assertion spans.
+    pub fn depth(&self) -> usize {
+        self.antecedent.depth().max(self.consequent.depth())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssr_netlist::builder::NetlistBuilder;
+
+    fn two_input_netlist() -> Netlist {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("b");
+        let x = b.and("x", a, c);
+        b.mark_output(x);
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn depth_computation() {
+        let f = Formula::is1("a").next().next();
+        assert_eq!(f.depth(), 3);
+        let g = Formula::is0("a").and(Formula::is1("b").next());
+        assert_eq!(g.depth(), 2);
+        assert_eq!(Formula::True.depth(), 1);
+        let h = Formula::is1("a").from_to(2, 5);
+        assert_eq!(h.depth(), 5);
+    }
+
+    #[test]
+    fn node_collection() {
+        let f = Formula::is1("a").and(Formula::is0("b").next()).and(Formula::is1("a"));
+        assert_eq!(f.nodes(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn defining_sequence_of_constants() {
+        let n = two_input_netlist();
+        let mut m = BddManager::new();
+        let f = Formula::is1("a").and(Formula::is0("b").next());
+        let seq = f.defining_sequence(&mut m, &n, 0).expect("elaborates");
+        assert_eq!(seq.len(), 2);
+        assert_eq!(seq[0].len(), 1);
+        assert_eq!(seq[1].len(), 1);
+        let (id0, v0) = seq[0][0];
+        assert_eq!(id0, n.find_net("a").unwrap());
+        assert_eq!(v0, SymTernary::ONE);
+        let (_, v1) = seq[1][0];
+        assert_eq!(v1, SymTernary::ZERO);
+    }
+
+    #[test]
+    fn defining_sequence_padding_and_unknown_node() {
+        let n = two_input_netlist();
+        let mut m = BddManager::new();
+        let f = Formula::is1("a");
+        let seq = f.defining_sequence(&mut m, &n, 4).expect("elaborates");
+        assert_eq!(seq.len(), 4);
+        assert!(seq[3].is_empty());
+        let bad = Formula::is1("nonexistent");
+        assert!(matches!(
+            bad.defining_sequence(&mut m, &n, 0),
+            Err(SteError::UnknownNode(_))
+        ));
+    }
+
+    #[test]
+    fn when_guards_are_conjoined() {
+        let n = two_input_netlist();
+        let mut m = BddManager::new();
+        let g1 = m.new_var("g1");
+        let g2 = m.new_var("g2");
+        let f = Formula::is1("a").when(g1).when(g2);
+        let seq = f.defining_sequence(&mut m, &n, 0).expect("elaborates");
+        let (_, v) = seq[0][0];
+        // Under g1 ∧ g2 the value is 1, otherwise X.
+        let both = m.and(g1, g2);
+        let expected = SymTernary::guarded(&mut m, both, &SymTernary::ONE);
+        assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn is_bdd_expansion() {
+        let n = two_input_netlist();
+        let mut m = BddManager::new();
+        let v = m.new_var("v");
+        let f = Formula::is_bdd(&mut m, "a", v);
+        let seq = f.defining_sequence(&mut m, &n, 0).expect("elaborates");
+        // Two constraints on the same node; their join is the symbolic value.
+        assert_eq!(seq[0].len(), 2);
+        let joined = seq[0]
+            .iter()
+            .fold(SymTernary::X, |acc, (_, val)| acc.join(&mut m, val));
+        let direct = SymTernary::from_bdd(&mut m, v);
+        assert_eq!(joined, direct);
+    }
+
+    #[test]
+    fn word_assertions() {
+        let mut b = NetlistBuilder::new("w");
+        let w = b.word_input("data", 4);
+        b.mark_word_output(&w);
+        let n = b.finish().expect("valid");
+        let mut m = BddManager::new();
+        let f = Formula::word_is_const("data", 0b1010, 4);
+        let seq = f.defining_sequence(&mut m, &n, 0).expect("elaborates");
+        assert_eq!(seq[0].len(), 4);
+        let vec = BddVec::new_input(&mut m, "v", 4);
+        let g = Formula::word_is(&mut m, "data", &vec);
+        let seq2 = g.defining_sequence(&mut m, &n, 0).expect("elaborates");
+        assert_eq!(seq2[0].len(), 8, "two guarded constraints per bit");
+    }
+
+    #[test]
+    fn from_to_expands_to_interval() {
+        let n = two_input_netlist();
+        let mut m = BddManager::new();
+        let f = Formula::node_is_from_to("a", true, 1, 4);
+        let seq = f.defining_sequence(&mut m, &n, 0).expect("elaborates");
+        assert_eq!(seq.len(), 4);
+        assert!(seq[0].is_empty());
+        for t in 1..4 {
+            assert_eq!(seq[t].len(), 1, "constrained at time {t}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty interval")]
+    fn empty_from_to_panics() {
+        let _ = Formula::is1("a").from_to(3, 3);
+    }
+
+    #[test]
+    fn assertion_depth_and_names() {
+        let a = Assertion::named(
+            "p",
+            Formula::is1("a"),
+            Formula::is1("x").delay(2),
+        );
+        assert_eq!(a.depth(), 3);
+        assert_eq!(a.name.as_deref(), Some("p"));
+        let b = Assertion::new(Formula::True, Formula::True);
+        assert_eq!(b.depth(), 1);
+    }
+}

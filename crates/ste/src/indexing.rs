@@ -1,0 +1,214 @@
+//! Symbolic indexing for memory arrays.
+//!
+//! Verifying a `2ᵏ`-word memory naively requires one fresh symbolic variable
+//! per stored bit — `2ᵏ · w` variables — and the antecedent constrains every
+//! word.  *Symbolic indexing* (Pandey et al., DAC 1997, cited by the paper)
+//! instead introduces only the `k` address variables and `w` data variables
+//! and constrains **only the addressed word**:
+//!
+//! ```text
+//! for every word i:   (Mem_wᵢ is D) when (Addr = i)
+//! ```
+//!
+//! The paper reports that this turns the linear time/space cost of checking
+//! SRAMs into a logarithmic one; experiment E7 reproduces that trend by
+//! sweeping the memory depth with both antecedent styles.
+
+use ssr_bdd::{BddManager, BddVec};
+
+use crate::formula::Formula;
+
+/// Builds the *direct* (non-indexed) memory antecedent: a fresh symbolic
+/// variable per stored bit.  Word `i` of the memory `prefix` is asserted to
+/// hold the fresh vector `mem{i}` over the time interval `[from, to)`.
+///
+/// Returns the formula together with the per-word symbolic vectors (needed
+/// to phrase the expected read data).
+pub fn direct_memory_antecedent(
+    m: &mut BddManager,
+    prefix: &str,
+    depth: usize,
+    width: usize,
+    from: usize,
+    to: usize,
+) -> (Formula, Vec<BddVec>) {
+    let mut words = Vec::with_capacity(depth);
+    let mut formula = Formula::True;
+    for i in 0..depth {
+        let word = BddVec::new_input(m, &format!("mem{i}"), width);
+        let f = Formula::word_is(m, &format!("{prefix}_w{i}"), &word).from_to(from, to);
+        formula = formula.and(f);
+        words.push(word);
+    }
+    (formula, words)
+}
+
+/// Builds the *symbolically indexed* memory antecedent: only the word
+/// addressed by `addr` is constrained, to hold `data`, over `[from, to)`.
+///
+/// `addr` must be wide enough to address `depth` words.
+pub fn indexed_memory_antecedent(
+    m: &mut BddManager,
+    prefix: &str,
+    depth: usize,
+    addr: &BddVec,
+    data: &BddVec,
+    from: usize,
+    to: usize,
+) -> Formula {
+    let mut formula = Formula::True;
+    for i in 0..depth {
+        let hit = addr.equals_constant(m, i as u64);
+        let f = Formula::word_is(m, &format!("{prefix}_w{i}"), data)
+            .when(hit)
+            .from_to(from, to);
+        formula = formula.and(f);
+    }
+    formula
+}
+
+/// The read-after-write ("RAW") function quoted in the paper: the value read
+/// from address `ra` after a (potential) write of `wd` to `wa` under write
+/// enable `we`, given the memory's initial contents `words`:
+///
+/// ```text
+/// RAW = (ra = i) → ((we ∧ wa = i) → wd | memᵢ)    for each word i
+/// ```
+///
+/// # Panics
+/// Panics if `words` is empty or the word widths disagree with `wd`.
+pub fn raw_expected(
+    m: &mut BddManager,
+    ra: &BddVec,
+    wa: &BddVec,
+    we: ssr_bdd::Bdd,
+    wd: &BddVec,
+    words: &[BddVec],
+) -> BddVec {
+    assert!(!words.is_empty(), "memory must have at least one word");
+    let width = wd.width();
+    assert!(
+        words.iter().all(|w| w.width() == width),
+        "word width mismatch in RAW"
+    );
+    let mut result = BddVec::zeros(width);
+    for (i, word) in words.iter().enumerate() {
+        let wa_hit = wa.equals_constant(m, i as u64);
+        let write_here = m.and(we, wa_hit);
+        let content = wd.mux(m, write_here, word).expect("same width");
+        let ra_hit = ra.equals_constant(m, i as u64);
+        result = content.mux(m, ra_hit, &result).expect("same width");
+    }
+    result
+}
+
+/// The expected read data under symbolic indexing: if the read address
+/// equals the indexed address, the content is `data` (possibly overridden by
+/// a write); otherwise the value is unknown and the caller should not state
+/// anything about it.  Returns `(expected, known)` where `known` is the BDD
+/// condition under which the expectation applies.
+pub fn raw_expected_indexed(
+    m: &mut BddManager,
+    ra: &BddVec,
+    indexed_addr: &BddVec,
+    wa: &BddVec,
+    we: ssr_bdd::Bdd,
+    wd: &BddVec,
+    data: &BddVec,
+) -> (BddVec, ssr_bdd::Bdd) {
+    let write_hits_read = {
+        let eq = wa.equals(m, ra).expect("same width");
+        m.and(we, eq)
+    };
+    let original = data.clone();
+    let expected = wd.mux(m, write_hits_read, &original).expect("same width");
+    let known = {
+        // We know the original content only when the read address is the
+        // indexed one (or the location was just overwritten).
+        let indexed_hit = ra.equals(m, indexed_addr).expect("same width");
+        m.or(indexed_hit, write_hits_read)
+    };
+    (expected, known)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssr_bdd::Assignment;
+
+    #[test]
+    fn raw_selects_written_or_original_data() {
+        let mut m = BddManager::new();
+        let ra = BddVec::new_input(&mut m, "RA", 2);
+        let wa = BddVec::new_input(&mut m, "WA", 2);
+        let we = m.new_var("we");
+        let wd = BddVec::constant(&mut m, 0xAA, 8);
+        let words: Vec<BddVec> = (0..4)
+            .map(|i| BddVec::constant(&mut m, 0x10 + i, 8))
+            .collect();
+        let raw = raw_expected(&mut m, &ra, &wa, we, &wd, &words);
+
+        // Case 1: write enabled, WA == RA == 2 → read the written data.
+        let mut asg = Assignment::new();
+        let ra_vars = ra.support(&m);
+        let wa_vars = wa.support(&m);
+        asg.set(ra_vars[0], false);
+        asg.set(ra_vars[1], true);
+        asg.set(wa_vars[0], false);
+        asg.set(wa_vars[1], true);
+        asg.set(4, true); // we
+        assert_eq!(raw.decode(&m, &asg), Some(0xAA));
+
+        // Case 2: write disabled → read the original content of word 2.
+        asg.set(4, false);
+        assert_eq!(raw.decode(&m, &asg), Some(0x12));
+
+        // Case 3: write to a different address → original content again.
+        asg.set(4, true);
+        asg.set(wa_vars[0], true); // WA = 3
+        assert_eq!(raw.decode(&m, &asg), Some(0x12));
+    }
+
+    #[test]
+    fn direct_antecedent_sizes() {
+        let mut m = BddManager::new();
+        let (f, words) = direct_memory_antecedent(&mut m, "M", 4, 8, 0, 1);
+        assert_eq!(words.len(), 4);
+        assert_eq!(m.var_count(), 32, "one variable per stored bit");
+        // The formula mentions all 32 storage nets.
+        assert_eq!(f.nodes().len(), 32);
+    }
+
+    #[test]
+    fn indexed_antecedent_uses_logarithmically_many_variables() {
+        let mut m = BddManager::new();
+        let addr = BddVec::new_input(&mut m, "A", 2);
+        let data = BddVec::new_input(&mut m, "D", 8);
+        let f = indexed_memory_antecedent(&mut m, "M", 4, &addr, &data, 0, 1);
+        assert_eq!(m.var_count(), 10, "address + data variables only");
+        // The formula still mentions every storage net (guarded), but the
+        // variable count is what drives BDD cost.
+        assert_eq!(f.nodes().len(), 32);
+    }
+
+    #[test]
+    fn indexed_raw_expectation() {
+        let mut m = BddManager::new();
+        let indexed = BddVec::new_input(&mut m, "A", 2);
+        let data = BddVec::new_input(&mut m, "D", 4);
+        let ra = indexed.clone(); // read back the indexed address
+        let wa = BddVec::new_input(&mut m, "WA", 2);
+        let we = m.new_var("we");
+        let wd = BddVec::new_input(&mut m, "WD", 4);
+        let (expected, known) = raw_expected_indexed(&mut m, &ra, &indexed, &wa, we, &wd, &data);
+        // Reading the indexed address is always "known".
+        assert!(known.is_true());
+        // With the write disabled the expectation is exactly `data`.
+        let we_false = m.nliteral(m.var_by_name("we").unwrap());
+        for (bit, &b) in expected.bits().iter().enumerate() {
+            let under_no_write = m.and(we_false, b);
+            let data_bit = m.and(we_false, data.bit(bit));
+            assert_eq!(under_no_write, data_bit);
+        }
+    }
+}

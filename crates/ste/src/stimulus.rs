@@ -1,0 +1,101 @@
+//! Stimulus helpers: clock and control waveforms as trajectory formulas.
+//!
+//! The paper's properties drive the clock, `NRET` and `NRST` explicitly
+//! ("clock is F from 0 to 1 and clock is T from 1 to 2 and …").  These
+//! helpers build exactly those formulas.
+
+use crate::formula::Formula;
+
+/// One segment of a waveform: the node holds `value` from `from` (inclusive)
+/// to `to` (exclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// The Boolean value held over the interval.
+    pub value: bool,
+    /// Start time (inclusive).
+    pub from: usize,
+    /// End time (exclusive).
+    pub to: usize,
+}
+
+impl Segment {
+    /// Creates a segment.
+    pub fn new(value: bool, from: usize, to: usize) -> Self {
+        Segment { value, from, to }
+    }
+}
+
+/// A waveform on a named node: the conjunction of its segments.
+///
+/// # Panics
+/// Panics if any segment is empty (`to <= from`).
+pub fn waveform(node: &str, segments: &[Segment]) -> Formula {
+    Formula::all(
+        segments
+            .iter()
+            .map(|s| Formula::node_is_from_to(node, s.value, s.from, s.to)),
+    )
+}
+
+/// A free-running rising-edge clock on `node`: low on even time units and
+/// high on odd ones, starting at `start` and running for `cycles` full
+/// cycles (`2 * cycles` time units).
+///
+/// This matches the paper's "uninterrupted rising edge clock" used by
+/// Property I.
+pub fn clock(node: &str, start: usize, cycles: usize) -> Formula {
+    let mut segments = Vec::with_capacity(2 * cycles);
+    for c in 0..cycles {
+        let t = start + 2 * c;
+        segments.push(Segment::new(false, t, t + 1));
+        segments.push(Segment::new(true, t + 1, t + 2));
+    }
+    waveform(node, &segments)
+}
+
+/// Holds `node` at `value` over `[from, to)` — a readable alias for the
+/// pervasive `"NRET" is T from i to j` idiom of the paper.
+pub fn held(node: &str, value: bool, from: usize, to: usize) -> Formula {
+    Formula::node_is_from_to(node, value, from, to)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_alternates() {
+        let f = clock("clock", 0, 2);
+        // Depth covers 4 time units.
+        assert_eq!(f.depth(), 4);
+        // The formula only mentions the clock node.
+        assert_eq!(f.nodes(), vec!["clock".to_string()]);
+    }
+
+    #[test]
+    fn clock_with_offset() {
+        let f = clock("clk", 3, 1);
+        assert_eq!(f.depth(), 5);
+    }
+
+    #[test]
+    fn waveform_concatenates_segments() {
+        let f = waveform(
+            "NRET",
+            &[Segment::new(true, 0, 5), Segment::new(false, 5, 8), Segment::new(true, 8, 10)],
+        );
+        assert_eq!(f.depth(), 10);
+        assert_eq!(f.nodes(), vec!["NRET".to_string()]);
+    }
+
+    #[test]
+    fn held_is_from_to() {
+        assert_eq!(held("NRST", true, 0, 6), Formula::node_is_from_to("NRST", true, 0, 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty interval")]
+    fn empty_segment_panics() {
+        let _ = waveform("x", &[Segment::new(true, 2, 2)]);
+    }
+}

@@ -1,0 +1,267 @@
+//! Fixed-width vectors of symbolic ternary values.
+
+use ssr_bdd::{Assignment, BddManager, BddVec};
+
+use crate::scalar::Ternary;
+use crate::symbolic::SymTernary;
+
+/// A little-endian vector of [`SymTernary`] values (bit 0 is the LSB).
+///
+/// Used to express word-level state — registers, memory words, buses — in
+/// the ternary domain.  Conversions to and from [`BddVec`] let the Boolean
+/// word-level helpers (adders, comparators) be reused where all bits are
+/// known to be Boolean.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SymTernaryVec {
+    bits: Vec<SymTernary>,
+}
+
+impl SymTernaryVec {
+    /// Builds a vector from explicit ternary bits (LSB first).
+    pub fn from_bits(bits: Vec<SymTernary>) -> Self {
+        SymTernaryVec { bits }
+    }
+
+    /// An all-`X` vector of the given width.
+    pub fn unknown(width: usize) -> Self {
+        SymTernaryVec {
+            bits: vec![SymTernary::X; width],
+        }
+    }
+
+    /// Lifts a constant to a `width`-bit ternary vector.
+    pub fn constant(value: u64, width: usize) -> Self {
+        SymTernaryVec {
+            bits: (0..width)
+                .map(|i| SymTernary::from_bool(i < 64 && (value >> i) & 1 == 1))
+                .collect(),
+        }
+    }
+
+    /// Declares `width` fresh symbolic Boolean variables and wraps them as a
+    /// ternary vector (each bit is `0` or `1`, never `X`).
+    pub fn new_symbolic(m: &mut BddManager, prefix: &str, width: usize) -> Self {
+        SymTernaryVec {
+            bits: (0..width)
+                .map(|i| SymTernary::symbol(m, format!("{prefix}[{i}]")))
+                .collect(),
+        }
+    }
+
+    /// Wraps an existing Boolean [`BddVec`] as a ternary vector.
+    pub fn from_bddvec(m: &mut BddManager, v: &BddVec) -> Self {
+        SymTernaryVec {
+            bits: v.bits().iter().map(|&b| SymTernary::from_bdd(m, b)).collect(),
+        }
+    }
+
+    /// Width in bits.
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Returns `true` if the vector has zero width.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// The bits, LSB first.
+    pub fn bits(&self) -> &[SymTernary] {
+        &self.bits
+    }
+
+    /// Bit `i` (LSB = 0).
+    ///
+    /// # Panics
+    /// Panics if `i >= width()`.
+    pub fn bit(&self, i: usize) -> SymTernary {
+        self.bits[i]
+    }
+
+    /// Replaces bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= width()`.
+    pub fn set_bit(&mut self, i: usize, value: SymTernary) {
+        self.bits[i] = value;
+    }
+
+    /// A sub-range `[lo, hi)` of the bits as a new vector.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds or reversed.
+    pub fn slice(&self, lo: usize, hi: usize) -> SymTernaryVec {
+        assert!(lo <= hi && hi <= self.bits.len(), "slice out of range");
+        SymTernaryVec {
+            bits: self.bits[lo..hi].to_vec(),
+        }
+    }
+
+    /// Point-wise join with another vector of the same width.
+    ///
+    /// # Panics
+    /// Panics if the widths differ.
+    pub fn join(&self, m: &mut BddManager, other: &SymTernaryVec) -> SymTernaryVec {
+        assert_eq!(self.width(), other.width(), "width mismatch in join");
+        SymTernaryVec {
+            bits: self
+                .bits
+                .iter()
+                .zip(&other.bits)
+                .map(|(a, b)| a.join(m, b))
+                .collect(),
+        }
+    }
+
+    /// BDD that holds where every bit of `self` is ⊑ the corresponding bit
+    /// of `other`.
+    ///
+    /// # Panics
+    /// Panics if the widths differ.
+    pub fn leq(&self, m: &mut BddManager, other: &SymTernaryVec) -> ssr_bdd::Bdd {
+        assert_eq!(self.width(), other.width(), "width mismatch in leq");
+        let conds: Vec<_> = self
+            .bits
+            .iter()
+            .zip(&other.bits)
+            .map(|(a, b)| a.leq(m, b))
+            .collect();
+        m.and_all(conds)
+    }
+
+    /// Evaluates every bit under a concrete assignment.  Returns `None` if
+    /// any bit is undetermined by the assignment.
+    pub fn eval(&self, m: &BddManager, asg: &Assignment) -> Option<Vec<Ternary>> {
+        self.bits.iter().map(|b| b.eval(m, asg)).collect()
+    }
+
+    /// Decodes the vector as a `u64` if every bit is a constant Boolean for
+    /// every assignment.
+    pub fn to_constant_u64(&self, m: &BddManager) -> Option<u64> {
+        let mut value = 0u64;
+        for (i, b) in self.bits.iter().enumerate() {
+            match b.to_constant(m)? {
+                Ternary::One => {
+                    if i < 64 {
+                        value |= 1 << i;
+                    }
+                }
+                Ternary::Zero => {}
+                _ => return None,
+            }
+        }
+        Some(value)
+    }
+
+    /// If every bit is a Boolean (never `X`/`⊤` for any assignment), extracts
+    /// the underlying Boolean vector (the `hi` rails).
+    pub fn to_bddvec(&self, m: &mut BddManager) -> Option<BddVec> {
+        let mut bits = Vec::with_capacity(self.bits.len());
+        for b in &self.bits {
+            if !b.is_boolean(m).is_true() {
+                return None;
+            }
+            bits.push(b.hi());
+        }
+        Some(BddVec::from_bits(bits))
+    }
+
+    /// Returns the BDD condition under which any bit of the vector is `⊤`.
+    pub fn any_top(&self, m: &mut BddManager) -> ssr_bdd::Bdd {
+        let tops: Vec<_> = self.bits.iter().map(|b| b.is_top(m)).collect();
+        m.or_all(tops)
+    }
+
+    /// Returns the BDD condition under which any bit of the vector is `X`.
+    pub fn any_x(&self, m: &mut BddManager) -> ssr_bdd::Bdd {
+        let xs: Vec<_> = self.bits.iter().map(|b| b.is_x(m)).collect();
+        m.or_all(xs)
+    }
+}
+
+impl FromIterator<SymTernary> for SymTernaryVec {
+    fn from_iter<I: IntoIterator<Item = SymTernary>>(iter: I) -> Self {
+        SymTernaryVec {
+            bits: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_roundtrip() {
+        let m = BddManager::new();
+        let v = SymTernaryVec::constant(0b1010, 4);
+        assert_eq!(v.to_constant_u64(&m), Some(0b1010));
+        assert_eq!(v.width(), 4);
+        assert_eq!(v.bit(1).to_constant(&m), Some(Ternary::One));
+        assert_eq!(v.bit(0).to_constant(&m), Some(Ternary::Zero));
+    }
+
+    #[test]
+    fn unknown_vector_has_no_constant_value() {
+        let m = BddManager::new();
+        let v = SymTernaryVec::unknown(3);
+        assert_eq!(v.to_constant_u64(&m), None);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn symbolic_vector_roundtrips_through_bddvec() {
+        let mut m = BddManager::new();
+        let v = SymTernaryVec::new_symbolic(&mut m, "r", 4);
+        let b = v.to_bddvec(&mut m).expect("all bits are boolean");
+        assert_eq!(b.width(), 4);
+        let back = SymTernaryVec::from_bddvec(&mut m, &b);
+        assert_eq!(back, v);
+        // An unknown vector cannot be converted.
+        let u = SymTernaryVec::unknown(4);
+        assert!(u.to_bddvec(&mut m).is_none());
+    }
+
+    #[test]
+    fn join_and_leq() {
+        let mut m = BddManager::new();
+        let x = SymTernaryVec::unknown(4);
+        let c = SymTernaryVec::constant(0b0110, 4);
+        let joined = x.join(&mut m, &c);
+        assert_eq!(joined.to_constant_u64(&m), Some(0b0110));
+        assert!(x.leq(&mut m, &c).is_true());
+        let d = SymTernaryVec::constant(0b0111, 4);
+        // c and d disagree in bit 0, so neither is below the other.
+        assert!(c.leq(&mut m, &d).is_false());
+        // Joining conflicting constants produces a top bit.
+        let conflict = c.join(&mut m, &d);
+        assert!(conflict.any_top(&mut m).is_true());
+    }
+
+    #[test]
+    fn slices_and_eval() {
+        let mut m = BddManager::new();
+        let v = SymTernaryVec::new_symbolic(&mut m, "v", 4);
+        let lo = v.slice(0, 2);
+        assert_eq!(lo.width(), 2);
+        let asg: Assignment = [(0, true), (1, false), (2, true), (3, true)]
+            .into_iter()
+            .collect();
+        let values = v.eval(&m, &asg).expect("fully assigned");
+        assert_eq!(
+            values,
+            vec![Ternary::One, Ternary::Zero, Ternary::One, Ternary::One]
+        );
+    }
+
+    #[test]
+    fn from_iterator_and_any_x() {
+        let mut m = BddManager::new();
+        let v: SymTernaryVec = [SymTernary::ONE, SymTernary::X].into_iter().collect();
+        assert_eq!(v.width(), 2);
+        assert!(v.any_x(&mut m).is_true());
+        let w: SymTernaryVec = [SymTernary::ONE, SymTernary::ZERO].into_iter().collect();
+        assert!(w.any_x(&mut m).is_false());
+        assert!(w.any_top(&mut m).is_false());
+    }
+}

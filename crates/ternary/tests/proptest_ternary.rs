@@ -1,0 +1,106 @@
+//! Property-based tests: the symbolic dual-rail gates agree with the scalar
+//! lattice gates under every assignment, and the scalar gates are monotone.
+
+use proptest::prelude::*;
+use ssr_bdd::{Assignment, BddManager};
+use ssr_ternary::{SymTernary, Ternary};
+
+/// A symbolic ternary operand description: either a constant lattice value
+/// or a fresh symbolic Boolean variable.
+#[derive(Debug, Clone)]
+enum Operand {
+    Const(Ternary),
+    Symbol,
+}
+
+fn arb_ternary() -> impl Strategy<Value = Ternary> {
+    prop_oneof![
+        Just(Ternary::X),
+        Just(Ternary::Zero),
+        Just(Ternary::One),
+        Just(Ternary::Top),
+    ]
+}
+
+fn arb_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![arb_ternary().prop_map(Operand::Const), Just(Operand::Symbol)]
+}
+
+fn materialise(
+    m: &mut BddManager,
+    op: &Operand,
+    name: &str,
+) -> (SymTernary, Box<dyn Fn(&Assignment) -> Ternary>) {
+    match op {
+        Operand::Const(t) => {
+            let t = *t;
+            (SymTernary::constant(t), Box::new(move |_| t))
+        }
+        Operand::Symbol => {
+            let var = m.var_count() as u32;
+            let sym = SymTernary::symbol(m, name);
+            (
+                sym,
+                Box::new(move |asg: &Assignment| {
+                    Ternary::from_bool(asg.get(var).unwrap_or(false))
+                }),
+            )
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Dual-rail AND/OR/XOR/NOT agree with the scalar lattice gates for
+    /// every combination of constants and symbolic operands, under every
+    /// assignment of the symbolic variables.
+    #[test]
+    fn symbolic_agrees_with_scalar(a in arb_operand(), b in arb_operand(),
+                                   va in any::<bool>(), vb in any::<bool>()) {
+        let mut m = BddManager::new();
+        let (sa, fa) = materialise(&mut m, &a, "a");
+        let (sb, fb) = materialise(&mut m, &b, "b");
+        let mut asg = Assignment::new();
+        // Assign all declared variables (at most two).
+        let vals = [va, vb];
+        for v in 0..m.var_count() {
+            asg.set(v as u32, vals[v]);
+        }
+        let ta = fa(&asg);
+        let tb = fb(&asg);
+
+        let and = sa.and(&mut m, &sb);
+        prop_assert_eq!(and.eval(&m, &asg), Some(ta.and(tb)));
+        let or = sa.or(&mut m, &sb);
+        prop_assert_eq!(or.eval(&m, &asg), Some(ta.or(tb)));
+        let xor = sa.xor(&mut m, &sb);
+        prop_assert_eq!(xor.eval(&m, &asg), Some(ta.xor(tb)));
+        let not = sa.not();
+        prop_assert_eq!(not.eval(&m, &asg), Some(ta.not()));
+        let join = sa.join(&mut m, &sb);
+        prop_assert_eq!(join.eval(&m, &asg), Some(ta.join(tb)));
+    }
+
+    /// Scalar mux is monotone in every argument.
+    #[test]
+    fn scalar_mux_is_monotone(s1 in arb_ternary(), s2 in arb_ternary(),
+                              a1 in arb_ternary(), a2 in arb_ternary(),
+                              b1 in arb_ternary(), b2 in arb_ternary()) {
+        prop_assume!(s1.leq(s2) && a1.leq(a2) && b1.leq(b2));
+        let lo = Ternary::mux(s1, a1, b1);
+        let hi = Ternary::mux(s2, a2, b2);
+        prop_assert!(lo.leq(hi), "mux({s1},{a1},{b1})={lo} not ⊑ mux({s2},{a2},{b2})={hi}");
+    }
+
+    /// Join is the least upper bound: it is an upper bound and below any
+    /// other upper bound.
+    #[test]
+    fn join_is_least_upper_bound(a in arb_ternary(), b in arb_ternary(), c in arb_ternary()) {
+        let j = a.join(b);
+        prop_assert!(a.leq(j) && b.leq(j));
+        if a.leq(c) && b.leq(c) {
+            prop_assert!(j.leq(c));
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Quickstart: build a retention register, simulate it symbolically and
+//! check a first STE property.
+//!
+//! Run with `cargo run --example quickstart -p ssr`.
+
+use ssr::bdd::BddManager;
+use ssr::netlist::builder::NetlistBuilder;
+use ssr::netlist::RegKind;
+use ssr::sim::CompiledModel;
+use ssr::ste::stimulus::{waveform, Segment};
+use ssr::ste::{Assertion, Formula, Ste};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ------------------------------------------------------------------
+    // 1. Build the emulated retention register of Figure 1 of the paper.
+    // ------------------------------------------------------------------
+    let mut b = NetlistBuilder::new("figure1");
+    let clk = b.input("clock");
+    let nrst = b.input("NRST");
+    let nret = b.input("NRET");
+    let d = b.input("d");
+    let q = b.reg(
+        "q",
+        RegKind::Retention { reset_value: false },
+        d,
+        clk,
+        Some(nrst),
+        Some(nret),
+    );
+    b.mark_output(q);
+    let netlist = b.finish()?;
+    let model = CompiledModel::new(&netlist)?;
+    println!(
+        "built `{}`: {} cells, {} of them retention registers",
+        netlist.name(),
+        netlist.cell_count(),
+        netlist.retention_cells().len()
+    );
+
+    // ------------------------------------------------------------------
+    // 2. The paper's key behaviour for a single cell: a symbolic value
+    //    captured before sleep is still there after the sleep/resume
+    //    hand-shake, even though NRST pulses low while NRET is low.
+    // ------------------------------------------------------------------
+    let mut m = BddManager::new();
+    let v = m.new_var("v");
+
+    let antecedent = waveform(
+        "clock",
+        &[
+            Segment::new(false, 0, 1),
+            Segment::new(true, 1, 2),
+            Segment::new(false, 2, 8),
+        ],
+    )
+    .and(waveform(
+        "NRET",
+        &[
+            Segment::new(true, 0, 3),
+            Segment::new(false, 3, 6),
+            Segment::new(true, 6, 8),
+        ],
+    ))
+    .and(waveform(
+        "NRST",
+        &[
+            Segment::new(true, 0, 4),
+            Segment::new(false, 4, 5),
+            Segment::new(true, 5, 8),
+        ],
+    ))
+    .and(Formula::is_bdd(&mut m, "d", v).from_to(0, 2));
+
+    // The captured value is visible from time 2 and survives to the end.
+    let consequent = Formula::is_bdd(&mut m, "q", v).from_to(2, 8);
+
+    let report = Ste::new(&model).check(
+        &mut m,
+        &Assertion::named("retention_survives", antecedent, consequent),
+    )?;
+    println!(
+        "property `retention_survives`: holds = {}, checked {} constraints over {} time units in {:?}",
+        report.holds, report.constraints_checked, report.depth, report.duration
+    );
+    assert!(report.holds);
+
+    // ------------------------------------------------------------------
+    // 3. The negative control: an ordinary (non-retention) register loses
+    //    the value to the reset pulse, and STE produces a counterexample.
+    // ------------------------------------------------------------------
+    let mut b = NetlistBuilder::new("volatile");
+    let clk = b.input("clock");
+    let nrst = b.input("NRST");
+    let d = b.input("d");
+    let q = b.reg(
+        "q",
+        RegKind::AsyncReset { reset_value: false },
+        d,
+        clk,
+        Some(nrst),
+        None,
+    );
+    b.mark_output(q);
+    let volatile = b.finish()?;
+    let volatile_model = CompiledModel::new(&volatile)?;
+
+    let mut m = BddManager::new();
+    let v = m.new_var("v");
+    let antecedent = waveform(
+        "clock",
+        &[
+            Segment::new(false, 0, 1),
+            Segment::new(true, 1, 2),
+            Segment::new(false, 2, 8),
+        ],
+    )
+    .and(waveform(
+        "NRST",
+        &[
+            Segment::new(true, 0, 4),
+            Segment::new(false, 4, 5),
+            Segment::new(true, 5, 8),
+        ],
+    ))
+    .and(Formula::is_bdd(&mut m, "d", v).from_to(0, 2));
+    let consequent = Formula::is_bdd(&mut m, "q", v).from_to(2, 8);
+    let report = Ste::new(&volatile_model).check(
+        &mut m,
+        &Assertion::named("volatile_loses_state", antecedent, consequent),
+    )?;
+    println!("property `volatile_loses_state`: holds = {}", report.holds);
+    if let Some(cex) = &report.counterexample {
+        for f in &cex.failures {
+            println!(
+                "  counterexample: node `{}` at time {} expected {} but the trajectory carries {}",
+                f.node, f.time, f.expected, f.actual
+            );
+        }
+    }
+    assert!(!report.holds);
+
+    println!("quickstart finished");
+    Ok(())
+}

@@ -1,0 +1,98 @@
+//! Cross-crate integration: the generated core survives a BLIF export /
+//! re-import round trip and the re-imported model still satisfies a
+//! representative STE property.
+
+use ssr::bdd::BddManager;
+use ssr::cpu::{build_core, CoreConfig};
+use ssr::netlist::blif;
+use ssr::properties::CoreHarness;
+use ssr::sim::CompiledModel;
+use ssr::ste::{Assertion, Formula, Ste};
+
+#[test]
+fn generated_core_roundtrips_through_blif() {
+    let netlist = build_core(&CoreConfig::small_test()).expect("core generates");
+    let text = blif::write(&netlist);
+    assert!(text.contains(".model risc32"));
+    assert!(text.contains(".latch"));
+
+    let reimported = blif::parse(&text).expect("reparses");
+    assert_eq!(reimported.inputs().len(), netlist.inputs().len());
+    assert_eq!(reimported.outputs().len(), netlist.outputs().len());
+    assert_eq!(
+        reimported.state_cells().count(),
+        netlist.state_cells().count(),
+        "every register survives the round trip"
+    );
+    assert!(reimported.validate().is_ok());
+    // The re-imported model still compiles to an executable FSM.
+    assert!(CompiledModel::new(&reimported).is_ok());
+}
+
+#[test]
+fn reimported_combinational_logic_still_satisfies_ste_properties() {
+    // The BLIF writer lowers retention/reset controls into mux logic around
+    // plain latches (documented in `ssr_netlist::blif`), so combinational
+    // properties — here the control unit's truth table — must keep holding
+    // on the re-imported design.
+    let netlist = build_core(&CoreConfig::small_test()).expect("core generates");
+    let reimported = blif::parse(&blif::write(&netlist)).expect("reparses");
+    let model = CompiledModel::new(&reimported).expect("compiles");
+    let ste = Ste::new(&model);
+    let mut m = BddManager::new();
+
+    // lw decodes with MemRead and RegWrite asserted, MemWrite deasserted.
+    let a = Formula::word_is_const("IFR_Instr", 0b100011, 6);
+    let c = Formula::is1("MemRead")
+        .and(Formula::is1("RegWrite"))
+        .and(Formula::is0("MemWrite"))
+        .and(Formula::is1("ALUSrc"));
+    let report = ste
+        .check(&mut m, &Assertion::named("lw_controls_after_roundtrip", a, c))
+        .expect("checks");
+    assert!(report.holds);
+}
+
+#[test]
+fn external_blif_designs_can_be_verified() {
+    // A hand-written BLIF design (a 2-bit gray-code counter) imported and
+    // checked end to end — the paper's "synthesise to BLIF, compile to an
+    // FSM, model check" flow for third-party designs.
+    let text = "\
+.model gray2
+.inputs clock enable
+.outputs q0 q1
+.names enable q0 q1 d0
+100 1
+101 1
+010 1
+011 1
+.names enable q0 q1 d1
+110 1
+111 1
+001 1
+011 1
+.latch d0 q0 re clock 0
+.latch d1 q1 re clock 0
+.end
+";
+    let netlist = blif::parse(text).expect("parses");
+    let model = CompiledModel::new(&netlist).expect("compiles");
+    let ste = Ste::new(&model);
+    let mut m = BddManager::new();
+
+    // From state 00 with enable high, one clock cycle reaches 01 (gray
+    // order), observed two steps after the rising edge under the documented
+    // timing.
+    let a = Formula::node_is_from_to("clock", false, 0, 1)
+        .and(Formula::node_is_from_to("clock", true, 1, 2))
+        .and(Formula::node_is_from_to("clock", false, 2, 3))
+        .and(Formula::node_is_from_to("enable", true, 0, 2))
+        .and(Formula::is0("q0"))
+        .and(Formula::is0("q1"));
+    let c = Formula::is1("q0").delay(2).and(Formula::is0("q1").delay(2));
+    let report = ste
+        .check(&mut m, &Assertion::named("gray_counter_step", a, c))
+        .expect("checks");
+    assert!(report.holds, "{:?}", report.counterexample);
+}
