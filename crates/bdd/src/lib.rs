@@ -46,10 +46,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dot;
 mod error;
 mod manager;
 mod node;
-pub mod dot;
 pub mod vec;
 
 pub use error::BddError;

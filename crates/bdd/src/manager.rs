@@ -213,7 +213,10 @@ impl BddManager {
     /// Looks up a variable index by name (linear scan; intended for tests
     /// and diagnostics, not hot paths).
     pub fn var_by_name(&self, name: &str) -> Option<u32> {
-        self.var_names.iter().position(|n| n == name).map(|i| i as u32)
+        self.var_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| i as u32)
     }
 
     /// The order position ("level") of variable `var`; lower levels are
@@ -577,13 +580,7 @@ impl BddManager {
         self.compose_rec(f, var, g, &mut cache)
     }
 
-    fn compose_rec(
-        &mut self,
-        f: Bdd,
-        var: u32,
-        g: Bdd,
-        cache: &mut HashMap<Bdd, Bdd>,
-    ) -> Bdd {
+    fn compose_rec(&mut self, f: Bdd, var: u32, g: Bdd, cache: &mut HashMap<Bdd, Bdd>) -> Bdd {
         if f.is_terminal() {
             return f;
         }
@@ -870,8 +867,7 @@ mod tests {
         for va in [false, true] {
             for vb in [false, true] {
                 for vc in [false, true] {
-                    let asg: Assignment =
-                        [(0, va), (1, vb), (2, vc)].into_iter().collect();
+                    let asg: Assignment = [(0, va), (1, vb), (2, vc)].into_iter().collect();
                     let expected = if va { vb } else { vc };
                     assert_eq!(m.eval(f, &asg), Some(expected));
                 }

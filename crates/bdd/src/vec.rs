@@ -247,10 +247,8 @@ impl BddVec {
     pub fn shl_constant(&self, amount: usize) -> BddVec {
         let width = self.width();
         let mut bits = vec![Bdd::FALSE; width];
-        for i in 0..width {
-            if i >= amount {
-                bits[i] = self.bits[i - amount];
-            }
+        for (i, bit) in bits.iter_mut().enumerate().skip(amount) {
+            *bit = self.bits[i - amount];
         }
         BddVec { bits }
     }
@@ -259,12 +257,7 @@ impl BddVec {
     ///
     /// # Errors
     /// Returns [`BddError::WidthMismatch`] if the widths differ.
-    pub fn mux(
-        &self,
-        m: &mut BddManager,
-        sel: Bdd,
-        other: &BddVec,
-    ) -> Result<BddVec, BddError> {
+    pub fn mux(&self, m: &mut BddManager, sel: Bdd, other: &BddVec) -> Result<BddVec, BddError> {
         self.check_width(other)?;
         Ok(BddVec {
             bits: self
@@ -345,13 +338,8 @@ impl BddVec {
     pub fn decode(&self, m: &BddManager, assignment: &Assignment) -> Option<u64> {
         let mut value = 0u64;
         for (i, &b) in self.bits.iter().enumerate() {
-            match m.eval(b, assignment)? {
-                true => {
-                    if i < 64 {
-                        value |= 1 << i;
-                    }
-                }
-                false => {}
+            if m.eval(b, assignment)? && i < 64 {
+                value |= 1 << i;
             }
         }
         Some(value)
@@ -359,11 +347,7 @@ impl BddVec {
 
     /// Collects the union of the supports of all bits.
     pub fn support(&self, m: &BddManager) -> Vec<u32> {
-        let mut vars: Vec<u32> = self
-            .bits
-            .iter()
-            .flat_map(|&b| m.support(b))
-            .collect();
+        let mut vars: Vec<u32> = self.bits.iter().flat_map(|&b| m.support(b)).collect();
         vars.sort_unstable();
         vars.dedup();
         vars

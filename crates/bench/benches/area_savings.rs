@@ -12,11 +12,16 @@ use ssr_retention::area::{render_table, savings, LeakageModel};
 fn area_savings(c: &mut Criterion) {
     // The generation-level table (the paper's §IV argument).
     for overhead in [0.25, 0.40] {
-        let model = AreaModel { retention_overhead: overhead, ..AreaModel::default() };
+        let model = AreaModel {
+            retention_overhead: overhead,
+            ..AreaModel::default()
+        };
         let rows = savings(&generations(), &model, &LeakageModel::default());
         println!("retention flop overhead {:.0}%:", overhead * 100.0);
         println!("{}", render_table(&rows));
-        assert!(rows.windows(2).all(|w| w[0].area_saving_fraction < w[1].area_saving_fraction));
+        assert!(rows
+            .windows(2)
+            .all(|w| w[0].area_saving_fraction < w[1].area_saving_fraction));
     }
 
     // The same comparison on the generated core: selective retention pays
@@ -44,7 +49,13 @@ fn area_savings(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("area_model");
     group.bench_function("generation_savings_table", |b| {
-        b.iter(|| savings(&generations(), &AreaModel::default(), &LeakageModel::default()))
+        b.iter(|| {
+            savings(
+                &generations(),
+                &AreaModel::default(),
+                &LeakageModel::default(),
+            )
+        })
     });
     group.bench_function("generated_core_census", |b| {
         b.iter(|| {

@@ -22,8 +22,11 @@ fn monolithic(harness: &CoreHarness) -> bool {
         .and(Formula::word_is(&mut m, "ReadData1", &a_vec))
         .and(Formula::word_is(&mut m, "ReadData2", &b_vec));
     let sum = a_vec.add(&mut m, &b_vec).expect("width");
-    let consequent = Formula::word_is(&mut m, "ALUResult", &sum)
-        .and(Formula::word_is(&mut m, "WriteBackData", &sum));
+    let consequent = Formula::word_is(&mut m, "ALUResult", &sum).and(Formula::word_is(
+        &mut m,
+        "WriteBackData",
+        &sum,
+    ));
     harness
         .check(&mut m, &Assertion::new(antecedent, consequent))
         .expect("checks")
@@ -59,7 +62,9 @@ fn decomposition(c: &mut Criterion) {
     let mut group = c.benchmark_group("decomposition");
     group.sample_size(10);
     group.bench_function("monolithic_property", |b| b.iter(|| monolithic(&harness)));
-    group.bench_function("decomposed_with_inference_rules", |b| b.iter(|| decomposed(&harness)));
+    group.bench_function("decomposed_with_inference_rules", |b| {
+        b.iter(|| decomposed(&harness))
+    });
     group.finish();
 }
 

@@ -18,7 +18,10 @@ fn property_suites(c: &mut Criterion) {
         let reports = harness.check_all(&mut m, &suite).expect("checks");
         assert_eq!(reports.len(), 26);
         assert!(reports.iter().all(|r| r.holds));
-        let slowest = reports.iter().max_by_key(|r| r.duration).expect("non-empty");
+        let slowest = reports
+            .iter()
+            .max_by_key(|r| r.duration)
+            .expect("non-empty");
         println!(
             "Property I: 26/26 hold; slowest `{}` at {:?}",
             slowest.name.as_deref().unwrap_or("?"),
@@ -29,7 +32,10 @@ fn property_suites(c: &mut Criterion) {
     let mut group = c.benchmark_group("property_one");
     group.sample_size(10);
     for (label, builder) in [
-        ("fetch", property_one::fetch as fn(&CoreHarness, &mut BddManager) -> Vec<_>),
+        (
+            "fetch",
+            property_one::fetch as fn(&CoreHarness, &mut BddManager) -> Vec<_>,
+        ),
         ("decode", property_one::decode),
         ("control", property_one::control),
         ("execute", property_one::execute),

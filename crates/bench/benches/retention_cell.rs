@@ -15,7 +15,11 @@ fn cell(kind: RegKind) -> Netlist {
     let clk = b.input("clock");
     let nrst = b.input("NRST");
     let nret_needed = matches!(kind, RegKind::Retention { .. });
-    let nret = if nret_needed { Some(b.input("NRET")) } else { None };
+    let nret = if nret_needed {
+        Some(b.input("NRET"))
+    } else {
+        None
+    };
     let d = b.input("d");
     let q = b.reg("q", kind, d, clk, Some(nrst), nret);
     b.mark_output(q);
@@ -28,17 +32,29 @@ fn check(netlist: &Netlist, with_nret: bool) -> bool {
     let v = m.new_var("v");
     let mut a = waveform(
         "clock",
-        &[Segment::new(false, 0, 1), Segment::new(true, 1, 2), Segment::new(false, 2, 8)],
+        &[
+            Segment::new(false, 0, 1),
+            Segment::new(true, 1, 2),
+            Segment::new(false, 2, 8),
+        ],
     )
     .and(waveform(
         "NRST",
-        &[Segment::new(true, 0, 4), Segment::new(false, 4, 5), Segment::new(true, 5, 8)],
+        &[
+            Segment::new(true, 0, 4),
+            Segment::new(false, 4, 5),
+            Segment::new(true, 5, 8),
+        ],
     ))
     .and(Formula::is_bdd(&mut m, "d", v).from_to(0, 2));
     if with_nret {
         a = a.and(waveform(
             "NRET",
-            &[Segment::new(true, 0, 3), Segment::new(false, 3, 6), Segment::new(true, 6, 8)],
+            &[
+                Segment::new(true, 0, 3),
+                Segment::new(false, 3, 6),
+                Segment::new(true, 6, 8),
+            ],
         ));
     }
     let c = Formula::is_bdd(&mut m, "q", v).from_to(2, 8);
@@ -59,7 +75,9 @@ fn retention_cell(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("retention_cell_check");
     group.bench_function("retention_register", |b| b.iter(|| check(&retained, true)));
-    group.bench_function("async_reset_register", |b| b.iter(|| check(&volatile, false)));
+    group.bench_function("async_reset_register", |b| {
+        b.iter(|| check(&volatile, false))
+    });
     group.finish();
 }
 

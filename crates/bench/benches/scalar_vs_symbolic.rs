@@ -54,8 +54,14 @@ fn concrete_alu_runs(netlist: &Netlist, runs: usize, seed: u64) -> usize {
             ));
         }
         for bit in 0..32 {
-            inputs.push((find(&format!("ReadData1[{bit}]")), Ternary::from_bool((a >> bit) & 1 == 1)));
-            inputs.push((find(&format!("ReadData2[{bit}]")), Ternary::from_bool((b >> bit) & 1 == 1)));
+            inputs.push((
+                find(&format!("ReadData1[{bit}]")),
+                Ternary::from_bool((a >> bit) & 1 == 1),
+            ));
+            inputs.push((
+                find(&format!("ReadData2[{bit}]")),
+                Ternary::from_bool((b >> bit) & 1 == 1),
+            ));
         }
         let state = sim.initial_state(&inputs);
         let mut result = 0u32;

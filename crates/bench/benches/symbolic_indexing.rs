@@ -27,12 +27,23 @@ fn memory_netlist(depth: usize) -> Netlist {
     let re = b.input("MemRead");
     let rdata = b.memory(
         "Mem",
-        MemoryConfig { depth, width: WIDTH, kind: RegKind::Retention { reset_value: false } },
+        MemoryConfig {
+            depth,
+            width: WIDTH,
+            kind: RegKind::Retention { reset_value: false },
+        },
         clk,
         Some(nrst),
         Some(nret),
-        Some(&WritePort { addr: waddr, data: wdata, enable: we }),
-        &[ReadPort { addr: raddr, enable: Some(re) }],
+        Some(&WritePort {
+            addr: waddr,
+            data: wdata,
+            enable: we,
+        }),
+        &[ReadPort {
+            addr: raddr,
+            enable: Some(re),
+        }],
     );
     b.mark_word_output(&rdata[0]);
     b.finish().expect("valid")

@@ -1,0 +1,332 @@
+//! Hand-rolled argument parsing (the workspace builds offline, so there is
+//! no `clap`).
+
+use ssr_cpu::ControlPath;
+use ssr_engine::{named_policies, policy_by_name, Granularity, NamedConfig, NamedPolicy, Suite};
+
+/// The usage text shown on `ssr help` and on parse errors.
+pub const USAGE: &str = "\
+ssr — selective-state-retention verification campaigns (DATE 2009 flow)
+
+USAGE:
+    ssr <COMMAND> [OPTIONS]
+
+COMMANDS:
+    campaign   Check every (config x policy x suite) job on a worker pool
+    check      Check one policy against one suite (a one-job campaign);
+               requires an explicit, single --suite
+    minimise   Reproduce the paper's minimal-retention-set search with the
+               engine as the verification oracle
+    stats      Print the generated core's state classification, netlist
+               census, retention-intent audit and area/leakage savings
+    help       Show this text
+
+OPTIONS:
+    --config <small|paper|d<N>>   Core configuration; repeatable.  `d<N>`
+                                  is a square core with N-word memories
+                                  (N a power of two).        [default: small]
+    --policy <NAME|all>           Retention policy; repeatable or
+                                  comma-separated.  Names: architectural,
+                                  full, none, no-pc, no-imem, no-regfile,
+                                  no-dmem.          [default: architectural]
+    --suite <one|two|ifr|all>     Property suite; repeatable or
+                                  comma-separated.  [default: all; minimise
+                                  defaults to the Property II oracle]
+    --jobs <N>                    Worker threads (0 = one per CPU) [default: 0]
+    --granularity <suite|assertion>
+                                  Job granularity: whole suites, or one job
+                                  per proof obligation.  [default: suite for
+                                  campaign/check, assertion for minimise]
+    --control-path <ifr|combinational|unsafe>
+                                  Control-path variant of the generated
+                                  core.                      [default: ifr]
+    --json <PATH|->               Also write the campaign report as JSON to
+                                  PATH (or stdout for `-`)
+    --quiet                       Suppress the result table
+    --verbose                     Stream per-job progress to stderr
+
+EXIT CODE:
+    campaign/check: 0 if every checked assertion holds, 1 otherwise.
+    minimise: 0 if the baseline (all-architectural) policy verifies;
+              rejected exploration candidates are expected to fail and do
+              not affect the exit code.
+    stats/help: 0.  Usage errors: 2.
+";
+
+/// Which subcommand runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// The full product campaign.
+    Campaign,
+    /// A single policy × suite check.
+    Check,
+    /// Engine-driven retention-set minimisation.
+    Minimise,
+    /// Core statistics, no checking.
+    Stats,
+    /// Print usage.
+    Help,
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone)]
+pub struct Command {
+    /// The subcommand.
+    pub action: Action,
+    /// Core configurations.
+    pub configs: Vec<NamedConfig>,
+    /// Retention policies.
+    pub policies: Vec<NamedPolicy>,
+    /// Property suites; empty means "the subcommand's default" (`all` for
+    /// campaign, Property II for minimise).
+    pub suites: Vec<Suite>,
+    /// Worker threads (0 = auto).
+    pub jobs: usize,
+    /// Job granularity, if explicitly requested (subcommands pick their own
+    /// default otherwise: `suite` for campaigns, `assertion` for the
+    /// minimisation oracle).
+    pub granularity: Option<Granularity>,
+    /// Where to write the JSON report (`-` = stdout).
+    pub json: Option<String>,
+    /// Suppress the table.
+    pub quiet: bool,
+    /// Stream per-job progress to stderr.
+    pub verbose: bool,
+}
+
+fn parse_config(text: &str, control_path: ControlPath) -> Result<NamedConfig, String> {
+    let mut named = match text {
+        "small" => NamedConfig::small(),
+        "paper" => NamedConfig::paper(),
+        other => {
+            let depth: usize = other
+                .strip_prefix('d')
+                .and_then(|d| d.parse().ok())
+                .ok_or_else(|| format!("unknown config `{other}` (try small, paper or d<N>)"))?;
+            if depth < 2 || !depth.is_power_of_two() {
+                return Err(format!("config depth {depth} must be a power of two >= 2"));
+            }
+            NamedConfig::sized(depth)
+        }
+    };
+    named.config.control_path = control_path;
+    Ok(named)
+}
+
+fn parse_policies(text: &str) -> Result<Vec<NamedPolicy>, String> {
+    if text == "all" {
+        return Ok(named_policies());
+    }
+    text.split(',')
+        .map(|name| {
+            policy_by_name(name.trim())
+                .ok_or_else(|| format!("unknown policy `{name}` (try --policy all)"))
+        })
+        .collect()
+}
+
+fn parse_suites(text: &str) -> Result<Vec<Suite>, String> {
+    if text == "all" {
+        return Ok(Suite::ALL.to_vec());
+    }
+    text.split(',')
+        .map(|name| {
+            Suite::parse(name.trim())
+                .ok_or_else(|| format!("unknown suite `{name}` (try one, two, ifr or all)"))
+        })
+        .collect()
+}
+
+/// Parses the raw argument vector.
+///
+/// # Errors
+/// Returns a usage message on unknown commands, options or values.
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let action = match argv.first().map(String::as_str) {
+        Some("campaign") => Action::Campaign,
+        Some("check") => Action::Check,
+        Some("minimise" | "minimize") => Action::Minimise,
+        Some("stats") => Action::Stats,
+        Some("help" | "--help" | "-h") | None => Action::Help,
+        Some(other) => return Err(format!("unknown command `{other}`")),
+    };
+
+    let mut config_names: Vec<String> = Vec::new();
+    let mut policies: Vec<NamedPolicy> = Vec::new();
+    let mut suites: Vec<Suite> = Vec::new();
+    let mut jobs = 0usize;
+    let mut granularity: Option<Granularity> = None;
+    let mut control_path = ControlPath::RefreshingIfr;
+    let mut json = None;
+    let mut quiet = false;
+    let mut verbose = false;
+
+    let mut it = argv.iter().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--config" => config_names.push(value("--config")?),
+            "--policy" => policies.extend(parse_policies(&value("--policy")?)?),
+            "--suite" => suites.extend(parse_suites(&value("--suite")?)?),
+            "--jobs" => {
+                let v = value("--jobs")?;
+                jobs = v
+                    .parse()
+                    .map_err(|_| format!("--jobs needs a number, got `{v}`"))?;
+            }
+            "--granularity" => {
+                let v = value("--granularity")?;
+                granularity = Some(
+                    Granularity::parse(&v).ok_or_else(|| format!("unknown granularity `{v}`"))?,
+                );
+            }
+            "--control-path" => {
+                let v = value("--control-path")?;
+                control_path = match v.as_str() {
+                    "ifr" | "refreshing-ifr" => ControlPath::RefreshingIfr,
+                    "combinational" => ControlPath::Combinational,
+                    "unsafe" | "unsafe-reset-ifr" => ControlPath::UnsafeResetIfr,
+                    other => return Err(format!("unknown control path `{other}`")),
+                };
+            }
+            "--json" => json = Some(value("--json")?),
+            "--quiet" => quiet = true,
+            "--verbose" => verbose = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+
+    let configs = if config_names.is_empty() {
+        vec![parse_config("small", control_path)?]
+    } else {
+        config_names
+            .iter()
+            .map(|name| parse_config(name, control_path))
+            .collect::<Result<_, _>>()?
+    };
+    if policies.is_empty() {
+        policies = vec![policy_by_name("architectural").expect("named policy exists")];
+    }
+
+    if action == Action::Check && (configs.len() != 1 || policies.len() != 1 || suites.len() != 1) {
+        return Err(
+            "`check` is a one-job campaign: at most one --config, one --policy (defaults to \
+             architectural) and exactly one explicit --suite"
+                .into(),
+        );
+    }
+
+    Ok(Command {
+        action,
+        configs,
+        policies,
+        suites,
+        jobs,
+        granularity,
+        json,
+        quiet,
+        verbose,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn campaign_all_expands_policies_and_suites() {
+        let cmd = parse(&argv(&[
+            "campaign", "--policy", "all", "--suite", "all", "--jobs", "4",
+        ]))
+        .expect("parses");
+        assert_eq!(cmd.action, Action::Campaign);
+        assert_eq!(cmd.policies.len(), named_policies().len());
+        assert_eq!(cmd.suites, Suite::ALL.to_vec());
+        assert_eq!(cmd.jobs, 4);
+    }
+
+    #[test]
+    fn comma_separated_lists_work() {
+        let cmd = parse(&argv(&[
+            "campaign",
+            "--policy",
+            "architectural,none",
+            "--suite",
+            "one,ifr",
+        ]))
+        .expect("parses");
+        assert_eq!(cmd.policies.len(), 2);
+        assert_eq!(cmd.suites, vec![Suite::PropertyOne, Suite::Ifr]);
+    }
+
+    #[test]
+    fn check_requires_exactly_one_policy_and_suite() {
+        assert!(parse(&argv(&["check", "--policy", "all", "--suite", "two"])).is_err());
+        assert!(parse(&argv(&["check", "--policy", "no-pc"])).is_err());
+        assert!(parse(&argv(&[
+            "check", "--config", "small", "--config", "paper", "--suite", "two"
+        ]))
+        .is_err());
+        assert!(parse(&argv(&["check", "--policy", "no-pc", "--suite", "two"])).is_ok());
+    }
+
+    #[test]
+    fn granularity_is_none_unless_requested() {
+        assert_eq!(
+            parse(&argv(&["minimise"])).expect("parses").granularity,
+            None
+        );
+        assert_eq!(
+            parse(&argv(&["minimise", "--granularity", "suite"]))
+                .expect("parses")
+                .granularity,
+            Some(Granularity::Suite)
+        );
+        assert!(parse(&argv(&["minimise"]))
+            .expect("parses")
+            .suites
+            .is_empty());
+    }
+
+    #[test]
+    fn sized_configs_parse_and_validate() {
+        let cmd = parse(&argv(&["campaign", "--config", "d16"])).expect("parses");
+        assert_eq!(cmd.configs[0].name, "d16");
+        assert_eq!(cmd.configs[0].config.imem_depth, 16);
+        assert!(parse(&argv(&["campaign", "--config", "d3"])).is_err());
+        assert!(parse(&argv(&["campaign", "--config", "huge"])).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_and_commands_are_rejected() {
+        assert!(parse(&argv(&["explode"])).is_err());
+        assert!(parse(&argv(&["campaign", "--frobnicate"])).is_err());
+        assert!(parse(&argv(&["campaign", "--policy"])).is_err());
+    }
+
+    #[test]
+    fn control_path_applies_to_every_config() {
+        let cmd = parse(&argv(&[
+            "check",
+            "--policy",
+            "architectural",
+            "--suite",
+            "two",
+            "--control-path",
+            "unsafe",
+        ]))
+        .expect("parses");
+        assert_eq!(
+            cmd.configs[0].config.control_path,
+            ControlPath::UnsafeResetIfr
+        );
+    }
+}

@@ -163,9 +163,18 @@ impl CoreConfig {
     /// Panics if any depth is not a power of two ≥ 2 or `reg_count > 32`.
     pub fn validate(&self) {
         let pow2 = |v: usize| v >= 2 && v.is_power_of_two();
-        assert!(pow2(self.imem_depth), "imem_depth must be a power of two >= 2");
-        assert!(pow2(self.dmem_depth), "dmem_depth must be a power of two >= 2");
-        assert!(pow2(self.reg_count), "reg_count must be a power of two >= 2");
+        assert!(
+            pow2(self.imem_depth),
+            "imem_depth must be a power of two >= 2"
+        );
+        assert!(
+            pow2(self.dmem_depth),
+            "dmem_depth must be a power of two >= 2"
+        );
+        assert!(
+            pow2(self.reg_count),
+            "reg_count must be a power of two >= 2"
+        );
         assert!(self.reg_count <= 32, "reg_count cannot exceed 32");
     }
 }
@@ -186,7 +195,10 @@ mod tests {
 
     #[test]
     fn policies() {
-        assert_eq!(RetentionPolicy::architectural().architectural_groups_retained(), 4);
+        assert_eq!(
+            RetentionPolicy::architectural().architectural_groups_retained(),
+            4
+        );
         assert_eq!(RetentionPolicy::none().architectural_groups_retained(), 0);
         assert!(RetentionPolicy::full().micro);
         assert!(!RetentionPolicy::default().micro);

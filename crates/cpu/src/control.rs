@@ -210,7 +210,11 @@ mod tests {
         assert_eq!(AluFunction::Sub.apply(4, 4), (0, true));
         assert_eq!(AluFunction::And.apply(0b1100, 0b1010), (0b1000, false));
         assert_eq!(AluFunction::Or.apply(0b1100, 0b1010), (0b1110, false));
-        assert_eq!(AluFunction::Slt.apply(u32::MAX, 1), (1, false), "-1 < 1 signed");
+        assert_eq!(
+            AluFunction::Slt.apply(u32::MAX, 1),
+            (1, false),
+            "-1 < 1 signed"
+        );
         assert_eq!(AluFunction::Slt.apply(1, u32::MAX), (0, true));
     }
 

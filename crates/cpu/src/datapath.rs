@@ -243,21 +243,18 @@ pub fn build_core(config: &CoreConfig) -> Result<Netlist, NetlistError> {
             .collect();
         regfile_words.push(word);
     }
-    let read_port = |b: &mut NetlistBuilder,
-                     words: &[Vec<NetId>],
-                     addr: &[NetId],
-                     name: &str|
-     -> Vec<NetId> {
-        let mut acc = b.word_constant(0, WORD);
-        for (i, w) in words.iter().enumerate() {
-            let hit = b.word_eq_const(addr, i as u64);
-            acc = b.word_mux(hit, w, &acc).expect("equal widths");
-        }
-        acc.iter()
-            .enumerate()
-            .map(|(bit, &n)| b.buf(format!("{name}[{bit}]"), n))
-            .collect()
-    };
+    let read_port =
+        |b: &mut NetlistBuilder, words: &[Vec<NetId>], addr: &[NetId], name: &str| -> Vec<NetId> {
+            let mut acc = b.word_constant(0, WORD);
+            for (i, w) in words.iter().enumerate() {
+                let hit = b.word_eq_const(addr, i as u64);
+                acc = b.word_mux(hit, w, &acc).expect("equal widths");
+            }
+            acc.iter()
+                .enumerate()
+                .map(|(bit, &n)| b.buf(format!("{name}[{bit}]"), n))
+                .collect()
+        };
     let read_data1 = read_port(&mut b, &regfile_words, &rs_addr, "ReadData1");
     let read_data2 = read_port(&mut b, &regfile_words, &rt_addr, "ReadData2");
 
@@ -437,12 +434,35 @@ mod tests {
         assert_eq!(n.retention_cells().len(), 32 + 3 * 8 * 32);
         assert_eq!(n.state_cells().count(), 32 + 3 * 8 * 32 + 6);
         for name in [
-            "PC[0]", "PC[31]", "Instruction[0]", "Instruction[31]", "IFR_Instr[5]",
-            "RegDst", "Branch", "MemRead", "MemtoReg", "MemWrite", "ALUSrc", "RegWrite",
-            "PCWrite", "ALUOp[0]", "ALUOp[1]", "ALUControl[0]", "ALUControl[2]",
-            "ReadData1[31]", "ReadData2[0]", "SignExt[31]", "ALUResult[0]", "Zero",
-            "MemReadData[31]", "WriteBackData[0]", "BranchTarget[31]", "PCSrc",
-            "IMem_w0[0]", "Registers_w7[31]", "DMem_w7[31]",
+            "PC[0]",
+            "PC[31]",
+            "Instruction[0]",
+            "Instruction[31]",
+            "IFR_Instr[5]",
+            "RegDst",
+            "Branch",
+            "MemRead",
+            "MemtoReg",
+            "MemWrite",
+            "ALUSrc",
+            "RegWrite",
+            "PCWrite",
+            "ALUOp[0]",
+            "ALUOp[1]",
+            "ALUControl[0]",
+            "ALUControl[2]",
+            "ReadData1[31]",
+            "ReadData2[0]",
+            "SignExt[31]",
+            "ALUResult[0]",
+            "Zero",
+            "MemReadData[31]",
+            "WriteBackData[0]",
+            "BranchTarget[31]",
+            "PCSrc",
+            "IMem_w0[0]",
+            "Registers_w7[31]",
+            "DMem_w7[31]",
         ] {
             assert!(n.find_net(name).is_some(), "net `{name}` should exist");
         }

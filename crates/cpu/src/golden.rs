@@ -41,7 +41,10 @@ impl ArchState {
     /// # Panics
     /// Panics if the program does not fit.
     pub fn load_program(&mut self, words: &[u32]) {
-        assert!(words.len() <= self.imem.len(), "program does not fit in imem");
+        assert!(
+            words.len() <= self.imem.len(),
+            "program does not fit in imem"
+        );
         self.imem[..words.len()].copy_from_slice(words);
     }
 
@@ -86,7 +89,11 @@ impl ArchState {
         // Register write-back.
         if signals.reg_write {
             let dest = if signals.reg_dst { rd } else { rt };
-            let value = if signals.mem_to_reg { mem_data } else { alu_result };
+            let value = if signals.mem_to_reg {
+                mem_data
+            } else {
+                alu_result
+            };
             self.regs[dest] = value;
         }
 
@@ -127,11 +134,31 @@ mod tests {
         s.regs[1] = 20;
         s.regs[2] = 22;
         s.load_program(&assemble(&[
-            Instr::Add { rd: 3, rs: 1, rt: 2 },
-            Instr::Sub { rd: 4, rs: 2, rt: 1 },
-            Instr::And { rd: 5, rs: 1, rt: 2 },
-            Instr::Or { rd: 6, rs: 1, rt: 2 },
-            Instr::Slt { rd: 7, rs: 1, rt: 2 },
+            Instr::Add {
+                rd: 3,
+                rs: 1,
+                rt: 2,
+            },
+            Instr::Sub {
+                rd: 4,
+                rs: 2,
+                rt: 1,
+            },
+            Instr::And {
+                rd: 5,
+                rs: 1,
+                rt: 2,
+            },
+            Instr::Or {
+                rd: 6,
+                rs: 1,
+                rt: 2,
+            },
+            Instr::Slt {
+                rd: 7,
+                rs: 1,
+                rt: 2,
+            },
         ]));
         s.run(5);
         assert_eq!(s.regs[3], 42);
@@ -148,8 +175,16 @@ mod tests {
         s.regs[1] = 8; // base address
         s.regs[2] = 0xDEAD_BEEF;
         s.load_program(&assemble(&[
-            Instr::Sw { rt: 2, rs: 1, imm: 4 },  // dmem[(8+4)/4] = regs[2]
-            Instr::Lw { rt: 3, rs: 1, imm: 4 },  // regs[3] = dmem[(8+4)/4]
+            Instr::Sw {
+                rt: 2,
+                rs: 1,
+                imm: 4,
+            }, // dmem[(8+4)/4] = regs[2]
+            Instr::Lw {
+                rt: 3,
+                rs: 1,
+                imm: 4,
+            }, // regs[3] = dmem[(8+4)/4]
         ]));
         s.run(2);
         assert_eq!(s.dmem[3], 0xDEAD_BEEF);
@@ -163,11 +198,31 @@ mod tests {
         s.regs[2] = 5;
         s.regs[3] = 9;
         s.load_program(&assemble(&[
-            Instr::Beq { rs: 1, rt: 2, imm: 2 }, // taken: skip 2 instructions
-            Instr::Add { rd: 4, rs: 1, rt: 1 },  // skipped
-            Instr::Add { rd: 5, rs: 1, rt: 1 },  // skipped
-            Instr::Beq { rs: 1, rt: 3, imm: 5 }, // not taken
-            Instr::Add { rd: 6, rs: 1, rt: 2 },  // executed
+            Instr::Beq {
+                rs: 1,
+                rt: 2,
+                imm: 2,
+            }, // taken: skip 2 instructions
+            Instr::Add {
+                rd: 4,
+                rs: 1,
+                rt: 1,
+            }, // skipped
+            Instr::Add {
+                rd: 5,
+                rs: 1,
+                rt: 1,
+            }, // skipped
+            Instr::Beq {
+                rs: 1,
+                rt: 3,
+                imm: 5,
+            }, // not taken
+            Instr::Add {
+                rd: 6,
+                rs: 1,
+                rt: 2,
+            }, // executed
         ]));
         s.step();
         assert_eq!(s.pc, 4 + 8, "branch target is PC+4 plus offset*4");
@@ -193,10 +248,26 @@ mod tests {
         let mut s = ArchState::new(4, 4, 4);
         s.pc = 12;
         s.load_program(&assemble(&[
-            Instr::Add { rd: 1, rs: 0, rt: 0 },
-            Instr::Add { rd: 2, rs: 0, rt: 0 },
-            Instr::Add { rd: 3, rs: 0, rt: 0 },
-            Instr::Or { rd: 1, rs: 2, rt: 3 },
+            Instr::Add {
+                rd: 1,
+                rs: 0,
+                rt: 0,
+            },
+            Instr::Add {
+                rd: 2,
+                rs: 0,
+                rt: 0,
+            },
+            Instr::Add {
+                rd: 3,
+                rs: 0,
+                rt: 0,
+            },
+            Instr::Or {
+                rd: 1,
+                rs: 2,
+                rt: 3,
+            },
         ]));
         assert_eq!(s.pc_word(), 3);
         s.step();

@@ -179,14 +179,46 @@ mod tests {
     #[test]
     fn encode_decode_roundtrip() {
         let instrs = [
-            Instr::Add { rd: 3, rs: 1, rt: 2 },
-            Instr::Sub { rd: 7, rs: 6, rt: 5 },
-            Instr::And { rd: 1, rs: 2, rt: 3 },
-            Instr::Or { rd: 4, rs: 5, rt: 6 },
-            Instr::Slt { rd: 2, rs: 3, rt: 4 },
-            Instr::Lw { rt: 5, rs: 1, imm: 8 },
-            Instr::Sw { rt: 5, rs: 1, imm: -4 },
-            Instr::Beq { rs: 1, rt: 2, imm: 3 },
+            Instr::Add {
+                rd: 3,
+                rs: 1,
+                rt: 2,
+            },
+            Instr::Sub {
+                rd: 7,
+                rs: 6,
+                rt: 5,
+            },
+            Instr::And {
+                rd: 1,
+                rs: 2,
+                rt: 3,
+            },
+            Instr::Or {
+                rd: 4,
+                rs: 5,
+                rt: 6,
+            },
+            Instr::Slt {
+                rd: 2,
+                rs: 3,
+                rt: 4,
+            },
+            Instr::Lw {
+                rt: 5,
+                rs: 1,
+                imm: 8,
+            },
+            Instr::Sw {
+                rt: 5,
+                rs: 1,
+                imm: -4,
+            },
+            Instr::Beq {
+                rs: 1,
+                rt: 2,
+                imm: 3,
+            },
         ];
         for i in instrs {
             assert_eq!(Instr::decode(i.encode()), i, "{i:?}");
@@ -202,7 +234,12 @@ mod tests {
 
     #[test]
     fn field_placement() {
-        let w = Instr::Add { rd: 0b10101, rs: 0b00011, rt: 0b01100 }.encode();
+        let w = Instr::Add {
+            rd: 0b10101,
+            rs: 0b00011,
+            rt: 0b01100,
+        }
+        .encode();
         assert_eq!(w >> 26, OP_RTYPE);
         assert_eq!((w >> 21) & 0x1F, 0b00011);
         assert_eq!((w >> 16) & 0x1F, 0b01100);
@@ -212,7 +249,12 @@ mod tests {
 
     #[test]
     fn negative_immediates_sign_extend() {
-        let w = Instr::Lw { rt: 1, rs: 2, imm: -8 }.encode();
+        let w = Instr::Lw {
+            rt: 1,
+            rs: 2,
+            imm: -8,
+        }
+        .encode();
         match Instr::decode(w) {
             Instr::Lw { imm, .. } => assert_eq!(imm, -8),
             other => panic!("wrong decode: {other:?}"),
@@ -222,8 +264,16 @@ mod tests {
     #[test]
     fn assemble_program() {
         let prog = [
-            Instr::Add { rd: 1, rs: 0, rt: 0 },
-            Instr::Beq { rs: 0, rt: 0, imm: -1 },
+            Instr::Add {
+                rd: 1,
+                rs: 0,
+                rt: 0,
+            },
+            Instr::Beq {
+                rs: 0,
+                rt: 0,
+                imm: -1,
+            },
         ];
         let words = assemble(&prog);
         assert_eq!(words.len(), 2);
@@ -232,7 +282,23 @@ mod tests {
 
     #[test]
     fn opcode_accessor() {
-        assert_eq!(Instr::Lw { rt: 0, rs: 0, imm: 0 }.opcode(), OP_LW);
-        assert_eq!(Instr::Add { rd: 0, rs: 0, rt: 0 }.opcode(), OP_RTYPE);
+        assert_eq!(
+            Instr::Lw {
+                rt: 0,
+                rs: 0,
+                imm: 0
+            }
+            .opcode(),
+            OP_LW
+        );
+        assert_eq!(
+            Instr::Add {
+                rd: 0,
+                rs: 0,
+                rt: 0
+            }
+            .opcode(),
+            OP_RTYPE
+        );
     }
 }

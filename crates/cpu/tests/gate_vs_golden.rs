@@ -6,9 +6,6 @@
 //! randomly generated programs and compares the complete architectural state
 //! after every instruction.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use ssr_cpu::golden::ArchState;
 use ssr_cpu::isa::Instr;
 use ssr_cpu::{build_core, ControlPath, CoreConfig};
@@ -42,21 +39,62 @@ fn drive_word(netlist: &Netlist, prefix: &str, value: u32) -> Vec<(NetId, Ternar
         .collect()
 }
 
-fn random_program(rng: &mut StdRng, len: usize, regs: u8) -> Vec<Instr> {
+/// Deterministic xorshift64* generator: the workspace builds offline, so the
+/// test carries its own PRNG instead of depending on the `rand` crate.
+struct XorShift64(u64);
+
+impl XorShift64 {
+    fn new(seed: u64) -> Self {
+        XorShift64(seed | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform-enough draw in `[0, n)`; the tiny modulo bias is irrelevant
+    /// for program generation.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+fn random_program(rng: &mut XorShift64, len: usize, regs: u8) -> Vec<Instr> {
     (0..len)
         .map(|_| {
-            let rd = rng.gen_range(0..regs);
-            let rs = rng.gen_range(0..regs);
-            let rt = rng.gen_range(0..regs);
-            match rng.gen_range(0..8) {
+            let rd = rng.below(regs as u64) as u8;
+            let rs = rng.below(regs as u64) as u8;
+            let rt = rng.below(regs as u64) as u8;
+            match rng.below(8) {
                 0 => Instr::Add { rd, rs, rt },
                 1 => Instr::Sub { rd, rs, rt },
                 2 => Instr::And { rd, rs, rt },
                 3 => Instr::Or { rd, rs, rt },
                 4 => Instr::Slt { rd, rs, rt },
-                5 => Instr::Lw { rt, rs, imm: rng.gen_range(0..8) * 4 },
-                6 => Instr::Sw { rt, rs, imm: rng.gen_range(0..8) * 4 },
-                _ => Instr::Beq { rs, rt, imm: rng.gen_range(-2..3) },
+                5 => Instr::Lw {
+                    rt,
+                    rs,
+                    imm: rng.below(8) as i16 * 4,
+                },
+                6 => Instr::Sw {
+                    rt,
+                    rs,
+                    imm: rng.below(8) as i16 * 4,
+                },
+                _ => Instr::Beq {
+                    rs,
+                    rt,
+                    imm: rng.below(5) as i16 - 2,
+                },
             }
         })
         .collect()
@@ -70,16 +108,16 @@ fn gate_level_core_matches_golden_model_on_random_programs() {
     let model = CompiledModel::new(&netlist).expect("compiles");
     let sim = ConcreteSimulator::new(&model);
 
-    let mut rng = StdRng::seed_from_u64(0xD0E5_2009);
+    let mut rng = XorShift64::new(0xD0E5_2009);
 
     for trial in 0..3 {
         // Random initial architectural state and program.
         let mut golden = ArchState::new(config.reg_count, config.imem_depth, config.dmem_depth);
         for r in golden.regs.iter_mut() {
-            *r = rng.gen();
+            *r = rng.next_u32();
         }
         for d in golden.dmem.iter_mut() {
-            *d = rng.gen();
+            *d = rng.next_u32();
         }
         let program = random_program(&mut rng, config.imem_depth, config.reg_count as u8);
         golden.load_program(&ssr_cpu::isa::assemble(&program));
@@ -105,7 +143,7 @@ fn gate_level_core_matches_golden_model_on_random_programs() {
             init.extend(drive_word(&netlist, &format!("DMem_w{i}"), word));
         }
 
-        let idle = vec![
+        let idle = [
             (find("NRST"), Ternary::One),
             (find("NRET"), Ternary::One),
             (find("IMemRead"), Ternary::One),

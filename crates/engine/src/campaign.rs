@@ -1,0 +1,375 @@
+//! The campaign executor: a scoped worker pool that drains the job queue.
+//!
+//! Each worker owns its own [`BddManager`] and [`CompiledModel`] per job —
+//! BDD arenas are single-threaded by construction and never cross a thread
+//! boundary.  Workers pull jobs from a shared atomic cursor (work stealing
+//! degenerates to a single fetch-add because jobs are independent), write
+//! results into their job's slot, and the report therefore comes out in
+//! enumeration order no matter how the pool interleaved the work.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use ssr_bdd::BddManager;
+use ssr_properties::{CoreHarness, Suite};
+use ssr_ste::CheckReport;
+
+use crate::job::{enumerate_jobs, Granularity, JobPart, JobSpec, NamedConfig, NamedPolicy};
+use crate::report::{AssertionOutcome, CampaignReport, JobResult};
+
+/// A campaign specification: the (configs × policies × suites) product plus
+/// execution parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    /// Core configurations to generate (retention overwritten per policy).
+    pub configs: Vec<NamedConfig>,
+    /// Retention policies to cross in.
+    pub policies: Vec<NamedPolicy>,
+    /// Property suites to check.
+    pub suites: Vec<Suite>,
+    /// Job granularity.
+    pub granularity: Granularity,
+    /// Worker threads; `0` means one per available CPU.
+    pub threads: usize,
+    /// Stream a line to stderr as each job finishes (progress feedback for
+    /// long campaigns).
+    pub verbose: bool,
+}
+
+impl CampaignSpec {
+    /// A campaign over the small test core: all named policies × all
+    /// suites, suite granularity, auto thread count.
+    pub fn small_all() -> Self {
+        CampaignSpec {
+            configs: vec![NamedConfig::small()],
+            policies: crate::job::named_policies(),
+            suites: Suite::ALL.to_vec(),
+            granularity: Granularity::Suite,
+            threads: 0,
+            verbose: false,
+        }
+    }
+
+    /// The jobs this campaign expands to, in deterministic order.
+    pub fn jobs(&self) -> Vec<JobSpec> {
+        enumerate_jobs(
+            &self.configs,
+            &self.policies,
+            &self.suites,
+            self.granularity,
+        )
+    }
+
+    /// Number of distinct (config × policy × suite) combinations the
+    /// enumeration dropped as inapplicable.  Derived from
+    /// [`CampaignSpec::jobs`] itself so it can never drift from the
+    /// enumeration's skip rule; duplicate list entries (the CLI allows
+    /// repeating a policy or suite) count once.
+    pub fn skipped_combinations(&self) -> usize {
+        let mut requested = std::collections::BTreeSet::new();
+        for config in &self.configs {
+            for policy in &self.policies {
+                for &suite in &self.suites {
+                    requested.insert((config.name.clone(), policy.name.clone(), suite));
+                }
+            }
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for job in self.jobs() {
+            seen.insert((job.config_name, job.policy_name, job.suite));
+        }
+        requested.len() - seen.len()
+    }
+
+    /// The worker count the pool will actually use for `job_count` jobs.
+    pub fn effective_threads(&self, job_count: usize) -> usize {
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let requested = if self.threads == 0 { hw } else { self.threads };
+        requested.clamp(1, job_count.max(1))
+    }
+
+    /// Runs the campaign and collects the report.
+    pub fn run(&self) -> CampaignReport {
+        let jobs = self.jobs();
+        let threads = self.effective_threads(jobs.len());
+        let started = Instant::now();
+
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<JobResult>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(spec) = jobs.get(index) else { break };
+                    if self.verbose {
+                        eprintln!(
+                            "[job {}/{}] start {} {} {} {}",
+                            spec.id + 1,
+                            jobs.len(),
+                            spec.config_name,
+                            spec.policy_name,
+                            spec.suite.name(),
+                            spec.part.render(),
+                        );
+                    }
+                    // A panicking job (e.g. a config that fails the core
+                    // generator's validation asserts) must not abort the
+                    // campaign and lose every completed result: capture it
+                    // as the job's error record instead.
+                    let result =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_job(spec)))
+                            .unwrap_or_else(|payload| panicked_job(spec, &payload));
+                    if self.verbose {
+                        eprintln!(
+                            "[job {}/{}] {} in {} ms ({} nodes)",
+                            spec.id + 1,
+                            jobs.len(),
+                            if result.holds { "holds" } else { "FAILS" },
+                            result.wall_ms,
+                            result.bdd_nodes,
+                        );
+                    }
+                    *slots[index].lock().expect("result slot poisoned") = Some(result);
+                });
+            }
+        });
+
+        CampaignReport {
+            threads: threads as u64,
+            granularity: self.granularity.name().to_owned(),
+            jobs: slots
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .expect("result slot poisoned")
+                        .expect("every job slot is filled once the scope joins")
+                })
+                .collect(),
+            total_wall_ms: started.elapsed().as_millis() as u64,
+        }
+    }
+}
+
+/// The error record for a job whose execution panicked.
+fn panicked_job(spec: &JobSpec, payload: &(dyn std::any::Any + Send)) -> JobResult {
+    let message = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_owned());
+    let (config_name, policy_name, suite, part) = crate::report::job_identity(spec);
+    JobResult {
+        job_id: spec.id as u64,
+        config_name,
+        policy_name,
+        suite,
+        part,
+        assertions: Vec::new(),
+        holds: false,
+        bdd_nodes: 0,
+        bdd_vars: 0,
+        wall_ms: 0,
+        error: Some(format!("job panicked: {message}")),
+    }
+}
+
+/// Runs one job to completion on the calling thread, with a fresh BDD arena.
+pub fn run_job(spec: &JobSpec) -> JobResult {
+    let started = Instant::now();
+    let (config_name, policy_name, suite, part) = crate::report::job_identity(spec);
+    let mut result = JobResult {
+        job_id: spec.id as u64,
+        config_name,
+        policy_name,
+        suite,
+        part,
+        assertions: Vec::new(),
+        holds: false,
+        bdd_nodes: 0,
+        bdd_vars: 0,
+        wall_ms: 0,
+        error: None,
+    };
+
+    let harness = match CoreHarness::new(spec.config) {
+        Ok(h) => h,
+        Err(e) => {
+            result.error = Some(format!("netlist generation failed: {e:?}"));
+            result.wall_ms = started.elapsed().as_millis() as u64;
+            return result;
+        }
+    };
+
+    let mut m = BddManager::new();
+    let assertions = match spec.part {
+        JobPart::WholeSuite => spec.suite.assertions(&harness, &mut m),
+        JobPart::Assertion(index) => vec![spec.suite.assertion(&harness, &mut m, index)],
+    };
+
+    match harness.check_all(&mut m, &assertions) {
+        Ok(reports) => {
+            result.assertions = reports.iter().map(summarise_check).collect();
+            result.holds = reports.iter().all(|r| r.holds);
+        }
+        Err(e) => {
+            result.error = Some(format!("STE elaboration failed: {e:?}"));
+        }
+    }
+    result.bdd_nodes = m.node_count() as u64;
+    result.bdd_vars = m.var_count() as u64;
+    result.wall_ms = started.elapsed().as_millis() as u64;
+    result
+}
+
+/// Compresses an STE [`CheckReport`] into the report-facing outcome.
+fn summarise_check(report: &CheckReport) -> AssertionOutcome {
+    let failures = report
+        .counterexample
+        .iter()
+        .flat_map(|cex| cex.failures.iter().take(4))
+        .map(|f| {
+            format!(
+                "t={} node `{}`: expected {}, trajectory carries {}",
+                f.time, f.node, f.expected, f.actual
+            )
+        })
+        .collect();
+    AssertionOutcome {
+        name: report
+            .name
+            .clone()
+            .unwrap_or_else(|| "<unnamed>".to_owned()),
+        holds: report.holds,
+        vacuous: report.is_vacuous(),
+        constraints: report.constraints_checked as u64,
+        wall_ms: report.duration.as_millis() as u64,
+        failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::policy_by_name;
+
+    fn tiny_spec(threads: usize, granularity: Granularity) -> CampaignSpec {
+        CampaignSpec {
+            configs: vec![NamedConfig::small()],
+            policies: vec![
+                policy_by_name("architectural").expect("named"),
+                policy_by_name("none").expect("named"),
+            ],
+            suites: vec![Suite::PropertyTwo],
+            granularity,
+            threads,
+            verbose: false,
+        }
+    }
+
+    #[test]
+    fn scheduling_is_deterministic_across_thread_counts() {
+        let sequential = tiny_spec(1, Granularity::Suite).run();
+        let parallel = tiny_spec(4, Granularity::Suite).run();
+        assert_eq!(sequential.fingerprint(), parallel.fingerprint());
+        // The architectural policy holds, the none policy does not.
+        assert!(sequential.jobs[0].holds);
+        assert!(!sequential.jobs[1].holds);
+    }
+
+    #[test]
+    fn assertion_granularity_agrees_with_suite_granularity() {
+        let whole = tiny_spec(2, Granularity::Suite).run();
+        let sharded = tiny_spec(4, Granularity::Assertion).run();
+        assert_eq!(
+            sharded.jobs.len(),
+            2 * Suite::PropertyTwo.assertion_count(),
+            "one job per obligation per policy"
+        );
+        // Per-assertion verdicts must agree between the two granularities.
+        let whole_verdicts: Vec<(String, bool)> = whole
+            .jobs
+            .iter()
+            .flat_map(|j| {
+                j.assertions
+                    .iter()
+                    .map(|a| (format!("{}/{}", j.policy_name, a.name), a.holds))
+            })
+            .collect();
+        let sharded_verdicts: Vec<(String, bool)> = sharded
+            .jobs
+            .iter()
+            .flat_map(|j| {
+                j.assertions
+                    .iter()
+                    .map(|a| (format!("{}/{}", j.policy_name, a.name), a.holds))
+            })
+            .collect();
+        assert_eq!(whole_verdicts, sharded_verdicts);
+    }
+
+    #[test]
+    fn report_json_round_trips_from_a_real_run() {
+        let report = tiny_spec(2, Granularity::Suite).run();
+        let parsed = CampaignReport::from_json(&report.to_json()).expect("parses");
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn a_panicking_job_becomes_an_error_record_not_an_abort() {
+        // `sized(12)` is not a power of two; the core generator's
+        // validation panics inside the worker.  The campaign must still
+        // return a report, with the panic captured on the failing job.
+        let spec = CampaignSpec {
+            configs: vec![NamedConfig::small(), NamedConfig::sized(12)],
+            policies: vec![policy_by_name("architectural").expect("named")],
+            suites: vec![Suite::PropertyTwo],
+            granularity: Granularity::Suite,
+            threads: 2,
+            verbose: false,
+        };
+        let report = spec.run();
+        assert_eq!(report.jobs.len(), 2);
+        assert!(report.jobs[0].holds, "the healthy job still completes");
+        let broken = &report.jobs[1];
+        assert!(broken.error.as_deref().unwrap_or("").contains("panicked"));
+        assert!(!broken.holds);
+        assert!(!report.all_hold());
+    }
+
+    #[test]
+    fn duplicate_spec_entries_do_not_inflate_the_skip_count() {
+        let mut spec = tiny_spec(1, Granularity::Suite);
+        // Duplicate an applicable policy and suite: nothing is skipped.
+        spec.policies
+            .push(policy_by_name("architectural").expect("named"));
+        spec.suites.push(Suite::PropertyTwo);
+        assert_eq!(spec.skipped_combinations(), 0);
+    }
+
+    #[test]
+    fn skipped_combinations_tracks_the_enumeration() {
+        let mut spec = tiny_spec(1, Granularity::Suite);
+        assert_eq!(spec.skipped_combinations(), 0);
+        // `full` drops the IFR suite (micro retained); at either
+        // granularity the count is per combination, not per job.
+        spec.policies
+            .push(crate::job::policy_by_name("full").expect("named"));
+        spec.suites = Suite::ALL.to_vec();
+        assert_eq!(spec.skipped_combinations(), 1);
+        spec.granularity = Granularity::Assertion;
+        assert_eq!(spec.skipped_combinations(), 1);
+    }
+
+    #[test]
+    fn effective_threads_clamps_to_job_count() {
+        let spec = tiny_spec(64, Granularity::Suite);
+        assert_eq!(spec.effective_threads(2), 2);
+        assert_eq!(spec.effective_threads(0), 1);
+        let auto = tiny_spec(0, Granularity::Suite);
+        assert!(auto.effective_threads(1000) >= 1);
+    }
+}

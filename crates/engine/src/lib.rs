@@ -1,0 +1,66 @@
+//! # ssr-engine — the parallel verification-campaign engine
+//!
+//! The paper's contribution is a *flow*: generate a core per retention
+//! policy, symbolically simulate it, check the Property I / Property II /
+//! IFR suites, and iterate toward the minimal retention set.  This crate
+//! turns that flow into a batch system in the style of industrial
+//! symbolic-verification campaign runners:
+//!
+//! * [`job`] — a campaign is the (configs × policies × suites) product;
+//!   [`job::enumerate_jobs`] expands it into a deterministic job list, at
+//!   whole-suite or per-obligation ([`Granularity::Assertion`])
+//!   granularity;
+//! * [`campaign`] — [`CampaignSpec::run`] executes the jobs on a scoped
+//!   worker pool.  Every job gets its own [`ssr_bdd::BddManager`] and
+//!   compiled model, so BDD arenas never cross threads and results are
+//!   bit-identical to a sequential run;
+//! * [`report`] — per-job results (verdicts, counterexample summaries, BDD
+//!   node counts, wall times) aggregate into a [`CampaignReport`] that
+//!   serialises to JSON (schema `ssr-campaign-report/v1`) and renders as a
+//!   human-readable table;
+//! * [`oracle`] — the engine doubles as the verification oracle of the
+//!   paper's retention-set exploration: [`minimise_with_engine`] drives
+//!   `ssr_retention::selection::minimise` with a parallel campaign per
+//!   query and keeps the per-step evidence;
+//! * [`json`] — the dependency-free JSON value/parser the reports use (the
+//!   workspace builds offline, so there is no `serde`).
+//!
+//! The `ssr` CLI (`crates/cli`) is a thin front end over this crate.
+//!
+//! ## Example
+//!
+//! ```
+//! use ssr_engine::{CampaignSpec, Granularity, NamedConfig, Suite};
+//!
+//! let spec = CampaignSpec {
+//!     configs: vec![NamedConfig::small()],
+//!     policies: vec![ssr_engine::policy_by_name("architectural").unwrap()],
+//!     suites: vec![Suite::PropertyTwo],
+//!     granularity: Granularity::Suite,
+//!     threads: 2,
+//!     verbose: false,
+//! };
+//! let report = spec.run();
+//! assert!(report.all_hold());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod job;
+pub mod json;
+pub mod oracle;
+pub mod report;
+
+pub use campaign::{run_job, CampaignSpec};
+pub use job::{
+    enumerate_jobs, named_policies, policy_by_name, policy_name, Granularity, JobPart, JobSpec,
+    NamedConfig, NamedPolicy,
+};
+pub use oracle::{minimise_with_engine, EngineOracle, MinimisationOutcome, MinimisationStep};
+pub use report::{AssertionOutcome, CampaignReport, JobResult};
+
+// Re-exported so engine users can name suites without depending on
+// `ssr-properties` directly.
+pub use ssr_properties::Suite;

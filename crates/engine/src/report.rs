@@ -1,0 +1,484 @@
+//! Campaign results: per-job outcomes, the aggregate report, and its JSON
+//! and table renderings.
+
+use crate::job::JobSpec;
+use crate::json::{Json, JsonError};
+use ssr_properties::Suite;
+
+/// Outcome of one checked assertion inside a job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssertionOutcome {
+    /// The assertion's name.
+    pub name: String,
+    /// `true` if `A ⇒ C` held.
+    pub holds: bool,
+    /// `true` if the antecedent was unsatisfiable (the check is vacuous).
+    pub vacuous: bool,
+    /// Number of consequent constraints compared.
+    pub constraints: u64,
+    /// Check wall time in milliseconds.
+    pub wall_ms: u64,
+    /// For failing assertions: a short human-readable counterexample
+    /// summary (first failing nodes), empty otherwise.
+    pub failures: Vec<String>,
+}
+
+/// Result of one campaign job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResult {
+    /// Id of the [`JobSpec`] this result answers.
+    pub job_id: u64,
+    /// Name of the core configuration.
+    pub config_name: String,
+    /// Name of the retention policy.
+    pub policy_name: String,
+    /// Name of the suite.
+    pub suite: String,
+    /// `"suite"` for a whole-suite job, `"#i"` for obligation `i`.
+    pub part: String,
+    /// Per-assertion outcomes, in suite order.
+    pub assertions: Vec<AssertionOutcome>,
+    /// `true` if every assertion held.
+    pub holds: bool,
+    /// BDD nodes allocated by the job's manager when the job finished.
+    pub bdd_nodes: u64,
+    /// BDD variables allocated by the job's manager.
+    pub bdd_vars: u64,
+    /// Total job wall time (model compile + all checks) in milliseconds.
+    pub wall_ms: u64,
+    /// Set when the job could not run at all (e.g. netlist generation
+    /// failed); `assertions` is empty in that case and `holds` is `false`.
+    pub error: Option<String>,
+}
+
+impl JobResult {
+    /// Number of assertions that held.
+    pub fn passed(&self) -> usize {
+        self.assertions.iter().filter(|a| a.holds).count()
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("job_id", Json::Num(self.job_id as f64)),
+            ("config", Json::Str(self.config_name.clone())),
+            ("policy", Json::Str(self.policy_name.clone())),
+            ("suite", Json::Str(self.suite.clone())),
+            ("part", Json::Str(self.part.clone())),
+            (
+                "assertions",
+                Json::Arr(
+                    self.assertions
+                        .iter()
+                        .map(|a| {
+                            Json::obj([
+                                ("name", Json::Str(a.name.clone())),
+                                ("holds", Json::Bool(a.holds)),
+                                ("vacuous", Json::Bool(a.vacuous)),
+                                ("constraints", Json::Num(a.constraints as f64)),
+                                ("wall_ms", Json::Num(a.wall_ms as f64)),
+                                (
+                                    "failures",
+                                    Json::Arr(a.failures.iter().cloned().map(Json::Str).collect()),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("holds", Json::Bool(self.holds)),
+            ("bdd_nodes", Json::Num(self.bdd_nodes as f64)),
+            ("bdd_vars", Json::Num(self.bdd_vars as f64)),
+            ("wall_ms", Json::Num(self.wall_ms as f64)),
+            (
+                "error",
+                match &self.error {
+                    Some(e) => Json::Str(e.clone()),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<JobResult, String> {
+        let str_field = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("job missing string field `{key}`"))
+        };
+        let num_field = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("job missing integer field `{key}`"))
+        };
+        let assertions = v
+            .get("assertions")
+            .and_then(Json::as_arr)
+            .ok_or("job missing `assertions` array")?
+            .iter()
+            .map(|a| -> Result<AssertionOutcome, String> {
+                Ok(AssertionOutcome {
+                    name: a
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .ok_or("assertion missing `name`")?
+                        .to_owned(),
+                    holds: a
+                        .get("holds")
+                        .and_then(Json::as_bool)
+                        .ok_or("assertion missing `holds`")?,
+                    vacuous: a
+                        .get("vacuous")
+                        .and_then(Json::as_bool)
+                        .ok_or("assertion missing `vacuous`")?,
+                    constraints: a
+                        .get("constraints")
+                        .and_then(Json::as_u64)
+                        .ok_or("assertion missing `constraints`")?,
+                    wall_ms: a
+                        .get("wall_ms")
+                        .and_then(Json::as_u64)
+                        .ok_or("assertion missing `wall_ms`")?,
+                    failures: a
+                        .get("failures")
+                        .and_then(Json::as_arr)
+                        .ok_or("assertion missing `failures`")?
+                        .iter()
+                        .map(|f| {
+                            f.as_str()
+                                .map(str::to_owned)
+                                .ok_or_else(|| "non-string failure entry".to_owned())
+                        })
+                        .collect::<Result<_, _>>()?,
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(JobResult {
+            job_id: num_field("job_id")?,
+            config_name: str_field("config")?,
+            policy_name: str_field("policy")?,
+            suite: str_field("suite")?,
+            part: str_field("part")?,
+            assertions,
+            holds: v
+                .get("holds")
+                .and_then(Json::as_bool)
+                .ok_or("job missing `holds`")?,
+            bdd_nodes: num_field("bdd_nodes")?,
+            bdd_vars: num_field("bdd_vars")?,
+            wall_ms: num_field("wall_ms")?,
+            error: match v.get("error") {
+                Some(Json::Str(e)) => Some(e.clone()),
+                _ => None,
+            },
+        })
+    }
+}
+
+/// The aggregate result of a campaign run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// Worker threads the pool ran with.
+    pub threads: u64,
+    /// Job granularity the campaign was cut at (`"suite"`/`"assertion"`).
+    pub granularity: String,
+    /// Per-job results, ordered by job id (independent of scheduling).
+    pub jobs: Vec<JobResult>,
+    /// End-to-end campaign wall time in milliseconds.
+    pub total_wall_ms: u64,
+}
+
+impl CampaignReport {
+    /// `true` if the campaign actually checked something, every job ran and
+    /// every assertion held.  An empty report (every suite inapplicable) is
+    /// *not* a success — treating it as one would let a verification oracle
+    /// vacuously accept a policy it never examined.
+    pub fn all_hold(&self) -> bool {
+        !self.jobs.is_empty() && self.jobs.iter().all(|j| j.holds && j.error.is_none())
+    }
+
+    /// Total number of assertions checked.
+    pub fn assertions_checked(&self) -> usize {
+        self.jobs.iter().map(|j| j.assertions.len()).sum()
+    }
+
+    /// Total number of assertions that held.
+    pub fn assertions_passed(&self) -> usize {
+        self.jobs.iter().map(|j| j.passed()).sum()
+    }
+
+    /// Sum of per-job wall times — the sequential cost the pool amortised.
+    pub fn cpu_ms(&self) -> u64 {
+        self.jobs.iter().map(|j| j.wall_ms).sum()
+    }
+
+    /// The scheduling-independent content of the report (everything except
+    /// timing and BDD-arena telemetry).  Two runs of the same campaign at
+    /// different thread counts must produce equal fingerprints.
+    pub fn fingerprint(&self) -> Vec<(u64, String, String, String, String, bool, usize)> {
+        self.jobs
+            .iter()
+            .map(|j| {
+                (
+                    j.job_id,
+                    j.config_name.clone(),
+                    j.policy_name.clone(),
+                    j.suite.clone(),
+                    j.part.clone(),
+                    j.holds,
+                    j.passed(),
+                )
+            })
+            .collect()
+    }
+
+    /// Serialises the report to pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        Json::obj([
+            ("schema", Json::Str("ssr-campaign-report/v1".into())),
+            ("threads", Json::Num(self.threads as f64)),
+            ("granularity", Json::Str(self.granularity.clone())),
+            ("total_wall_ms", Json::Num(self.total_wall_ms as f64)),
+            (
+                "jobs",
+                Json::Arr(self.jobs.iter().map(JobResult::to_json).collect()),
+            ),
+        ])
+        .render_pretty()
+    }
+
+    /// Parses a report serialised by [`CampaignReport::to_json`].
+    ///
+    /// # Errors
+    /// Returns a human-readable message for syntax errors or missing
+    /// fields.
+    pub fn from_json(text: &str) -> Result<CampaignReport, String> {
+        let doc = Json::parse(text).map_err(|e: JsonError| e.to_string())?;
+        match doc.get("schema").and_then(Json::as_str) {
+            Some("ssr-campaign-report/v1") => {}
+            other => return Err(format!("unsupported report schema {other:?}")),
+        }
+        let jobs = doc
+            .get("jobs")
+            .and_then(Json::as_arr)
+            .ok_or("report missing `jobs` array")?
+            .iter()
+            .map(JobResult::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CampaignReport {
+            threads: doc
+                .get("threads")
+                .and_then(Json::as_u64)
+                .ok_or("report missing `threads`")?,
+            granularity: doc
+                .get("granularity")
+                .and_then(Json::as_str)
+                .ok_or("report missing `granularity`")?
+                .to_owned(),
+            jobs,
+            total_wall_ms: doc
+                .get("total_wall_ms")
+                .and_then(Json::as_u64)
+                .ok_or("report missing `total_wall_ms`")?,
+        })
+    }
+
+    /// Renders the human-readable result table.
+    pub fn render_table(&self) -> String {
+        let mut rows: Vec<[String; 8]> = vec![[
+            "job".into(),
+            "config".into(),
+            "policy".into(),
+            "suite".into(),
+            "part".into(),
+            "holds".into(),
+            "bdd nodes".into(),
+            "ms".into(),
+        ]];
+        for j in &self.jobs {
+            let verdict = match (&j.error, j.holds) {
+                (Some(_), _) => "ERROR".to_owned(),
+                (None, true) => format!("yes {}/{}", j.passed(), j.assertions.len()),
+                (None, false) => format!("NO  {}/{}", j.passed(), j.assertions.len()),
+            };
+            rows.push([
+                j.job_id.to_string(),
+                j.config_name.clone(),
+                j.policy_name.clone(),
+                j.suite.clone(),
+                j.part.clone(),
+                verdict,
+                j.bdd_nodes.to_string(),
+                j.wall_ms.to_string(),
+            ]);
+        }
+        let mut widths = [0usize; 8];
+        for row in &rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for (i, row) in rows.iter().enumerate() {
+            for (col, (cell, width)) in row.iter().zip(widths).enumerate() {
+                if col > 0 {
+                    out.push_str("  ");
+                }
+                // Right-align the numeric columns.
+                if matches!(col, 0 | 6 | 7) {
+                    out.push_str(&" ".repeat(width - cell.len()));
+                    out.push_str(cell);
+                } else {
+                    out.push_str(cell);
+                    if col + 1 < row.len() {
+                        out.push_str(&" ".repeat(width - cell.len()));
+                    }
+                }
+            }
+            out.push('\n');
+            if i == 0 {
+                let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+                out.push_str(&"-".repeat(total));
+                out.push('\n');
+            }
+        }
+        out.push_str(&format!(
+            "{} jobs, {}/{} assertions hold, {} worker thread(s), wall {} ms (cpu {} ms)\n",
+            self.jobs.len(),
+            self.assertions_passed(),
+            self.assertions_checked(),
+            self.threads,
+            self.total_wall_ms,
+            self.cpu_ms(),
+        ));
+        for j in self.jobs.iter().filter(|j| !j.holds || j.error.is_some()) {
+            if let Some(e) = &j.error {
+                out.push_str(&format!("job {}: ERROR: {e}\n", j.job_id));
+            }
+            for a in j.assertions.iter().filter(|a| !a.holds) {
+                out.push_str(&format!("job {}: FAILED `{}`\n", j.job_id, a.name));
+                for f in a.failures.iter().take(4) {
+                    out.push_str(&format!("    {f}\n"));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Builds the table/JSON identity of a job from its spec (shared by the
+/// executor and the tests).
+pub fn job_identity(spec: &JobSpec) -> (String, String, String, String) {
+    (
+        spec.config_name.clone(),
+        spec.policy_name.clone(),
+        spec.suite.name().to_owned(),
+        spec.part.render(),
+    )
+}
+
+/// Convenience: the suite a serialised job named, if it parses back.
+pub fn suite_of(result: &JobResult) -> Option<Suite> {
+    Suite::parse(&result.suite)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> CampaignReport {
+        CampaignReport {
+            threads: 4,
+            granularity: "suite".into(),
+            total_wall_ms: 123,
+            jobs: vec![
+                JobResult {
+                    job_id: 0,
+                    config_name: "small".into(),
+                    policy_name: "architectural".into(),
+                    suite: "property-two".into(),
+                    part: "suite".into(),
+                    assertions: vec![
+                        AssertionOutcome {
+                            name: "survive_pc".into(),
+                            holds: true,
+                            vacuous: false,
+                            constraints: 320,
+                            wall_ms: 12,
+                            failures: vec![],
+                        },
+                        AssertionOutcome {
+                            name: "equivalence_add".into(),
+                            holds: false,
+                            vacuous: false,
+                            constraints: 96,
+                            wall_ms: 40,
+                            failures: vec!["t=9 node `PC[2]`: expected 1, got 0".into()],
+                        },
+                    ],
+                    holds: false,
+                    bdd_nodes: 880,
+                    bdd_vars: 70,
+                    wall_ms: 52,
+                    error: None,
+                },
+                JobResult {
+                    job_id: 1,
+                    config_name: "small".into(),
+                    policy_name: "none".into(),
+                    suite: "ifr".into(),
+                    part: "#1".into(),
+                    assertions: vec![],
+                    holds: false,
+                    bdd_nodes: 0,
+                    bdd_vars: 0,
+                    wall_ms: 0,
+                    error: Some("netlist generation failed".into()),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let report = sample_report();
+        let text = report.to_json();
+        let parsed = CampaignReport::from_json(&text).expect("parses");
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn json_rejects_wrong_schema() {
+        assert!(CampaignReport::from_json("{\"schema\":\"bogus/v9\"}").is_err());
+        assert!(CampaignReport::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn table_reports_failures_and_errors() {
+        let table = sample_report().render_table();
+        assert!(table.contains("FAILED `equivalence_add`"));
+        assert!(table.contains("ERROR: netlist generation failed"));
+        assert!(table.contains("1/2 assertions hold"));
+    }
+
+    #[test]
+    fn empty_reports_do_not_vacuously_hold() {
+        let report = CampaignReport {
+            threads: 1,
+            granularity: "suite".into(),
+            jobs: vec![],
+            total_wall_ms: 0,
+        };
+        assert!(
+            !report.all_hold(),
+            "an oracle must not accept a policy it never examined"
+        );
+    }
+
+    #[test]
+    fn suite_names_parse_back() {
+        let report = sample_report();
+        assert_eq!(suite_of(&report.jobs[0]), Some(Suite::PropertyTwo));
+        assert_eq!(suite_of(&report.jobs[1]), Some(Suite::Ifr));
+    }
+}

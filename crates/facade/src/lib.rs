@@ -18,6 +18,7 @@
 
 pub use ssr_bdd as bdd;
 pub use ssr_cpu as cpu;
+pub use ssr_engine as engine;
 pub use ssr_netlist as netlist;
 pub use ssr_properties as properties;
 pub use ssr_retention as retention;

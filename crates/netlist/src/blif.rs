@@ -32,6 +32,10 @@ use crate::cell::{CellKind, GateOp, RegKind};
 use crate::error::NetlistError;
 use crate::netlist::{NetDriver, NetId, Netlist};
 
+/// A parsed `.names` block: source line, signal list, single-output cover
+/// rows (input pattern, output bit).
+type NamesBlock = (usize, Vec<String>, Vec<(String, char)>);
+
 /// Parses a BLIF document into a [`Netlist`].
 ///
 /// # Errors
@@ -43,10 +47,10 @@ pub fn parse(text: &str) -> Result<Netlist, NetlistError> {
     let mut model_name = String::from("blif");
     let mut inputs: Vec<String> = Vec::new();
     let mut outputs: Vec<String> = Vec::new();
-    let mut names_blocks: Vec<(usize, Vec<String>, Vec<(String, char)>)> = Vec::new();
+    let mut names_blocks: Vec<NamesBlock> = Vec::new();
     let mut latches: Vec<(usize, Vec<String>)> = Vec::new();
 
-    let mut current_names: Option<(usize, Vec<String>, Vec<(String, char)>)> = None;
+    let mut current_names: Option<NamesBlock> = None;
 
     for (lineno, line) in logical_lines {
         let line = line.trim();
@@ -100,13 +104,12 @@ pub fn parse(text: &str) -> Result<Netlist, NetlistError> {
                         (String::new(), line.chars().next().unwrap_or('0'))
                     } else {
                         let pat = parts.next().unwrap_or("").to_owned();
-                        let out = parts
-                            .next()
-                            .and_then(|s| s.chars().next())
-                            .ok_or(NetlistError::BlifParse {
+                        let out = parts.next().and_then(|s| s.chars().next()).ok_or(
+                            NetlistError::BlifParse {
                                 line: lineno,
                                 message: "cover row is missing the output column".into(),
-                            })?;
+                            },
+                        )?;
                         (pat, out)
                     };
                     rows.push((in_pattern, out_char));
@@ -156,7 +159,7 @@ fn build_netlist(
     model_name: String,
     inputs: Vec<String>,
     outputs: Vec<String>,
-    names_blocks: Vec<(usize, Vec<String>, Vec<(String, char)>)>,
+    names_blocks: Vec<NamesBlock>,
     latches: Vec<(usize, Vec<String>)>,
 ) -> Result<Netlist, NetlistError> {
     let mut b = NetlistBuilder::new(model_name);
@@ -184,7 +187,9 @@ fn build_netlist(
         // Optional: <type> <control> [<init>]
         let clock = if args.len() >= 4 && args[3] != "NIL" {
             let clk_name = args[3].clone();
-            *net_of.entry(clk_name.clone()).or_insert_with(|| b.input(clk_name))
+            *net_of
+                .entry(clk_name.clone())
+                .or_insert_with(|| b.input(clk_name))
         } else {
             match implicit_clock {
                 Some(c) => c,
@@ -237,18 +242,15 @@ fn build_netlist(
     // Build .names blocks in dependency order: iterate until no progress,
     // which handles arbitrary declaration order without a full topological
     // sort of the text.
-    let mut remaining: Vec<&(usize, Vec<String>, Vec<(String, char)>)> =
-        names_blocks.iter().collect();
+    let mut remaining: Vec<&NamesBlock> = names_blocks.iter().collect();
     while !remaining.is_empty() {
         let before = remaining.len();
         remaining.retain(|(lineno, signals, rows)| {
             let input_names = &signals[..signals.len() - 1];
             if input_names.iter().all(|n| net_of.contains_key(n)) {
                 let output_name = signals.last().expect("non-empty").clone();
-                let input_ids: Vec<NetId> =
-                    input_names.iter().map(|n| net_of[n]).collect();
-                let out =
-                    build_cover(&mut b, &output_name, &input_ids, rows, *lineno);
+                let input_ids: Vec<NetId> = input_names.iter().map(|n| net_of[n]).collect();
+                let out = build_cover(&mut b, &output_name, &input_ids, rows, *lineno);
                 match out {
                     Ok(id) => {
                         net_of.insert(output_name, id);
@@ -561,7 +563,14 @@ mod tests {
             Some(nrst),
             Some(nret),
         );
-        let q2 = b.reg("q2", RegKind::AsyncReset { reset_value: true }, g, clk, Some(nrst), None);
+        let q2 = b.reg(
+            "q2",
+            RegKind::AsyncReset { reset_value: true },
+            g,
+            clk,
+            Some(nrst),
+            None,
+        );
         b.mark_output(q);
         b.mark_output(q2);
         let n = b.finish().expect("valid");

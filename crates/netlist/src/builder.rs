@@ -112,7 +112,9 @@ impl NetlistBuilder {
 
     /// Declares a word of primary inputs `prefix[0]..prefix[width-1]`.
     pub fn word_input(&mut self, prefix: &str, width: usize) -> Vec<NetId> {
-        (0..width).map(|i| self.input(format!("{prefix}[{i}]"))).collect()
+        (0..width)
+            .map(|i| self.input(format!("{prefix}[{i}]")))
+            .collect()
     }
 
     /// Returns the net holding the Boolean constant `value` (created on
@@ -310,7 +312,10 @@ impl NetlistBuilder {
         let mut inputs = vec![d, clk];
         match kind {
             RegKind::Simple => {
-                assert!(nrst.is_none() && nret.is_none(), "Simple register takes no controls");
+                assert!(
+                    nrst.is_none() && nret.is_none(),
+                    "Simple register takes no controls"
+                );
             }
             RegKind::AsyncReset { .. } => {
                 inputs.push(nrst.expect("AsyncReset register needs an NRST net"));
@@ -375,7 +380,10 @@ impl NetlistBuilder {
     /// Returns [`NetlistError::WidthMismatch`] if the widths differ.
     pub fn word_and(&mut self, a: &[NetId], b: &[NetId]) -> Result<Vec<NetId>, NetlistError> {
         Self::check_widths(a, b)?;
-        Ok(a.iter().zip(b).map(|(&x, &y)| self.and_auto(x, y)).collect())
+        Ok(a.iter()
+            .zip(b)
+            .map(|(&x, &y)| self.and_auto(x, y))
+            .collect())
     }
 
     /// Bitwise OR of two equal-width words.
@@ -393,7 +401,10 @@ impl NetlistBuilder {
     /// Returns [`NetlistError::WidthMismatch`] if the widths differ.
     pub fn word_xor(&mut self, a: &[NetId], b: &[NetId]) -> Result<Vec<NetId>, NetlistError> {
         Self::check_widths(a, b)?;
-        Ok(a.iter().zip(b).map(|(&x, &y)| self.xor_auto(x, y)).collect())
+        Ok(a.iter()
+            .zip(b)
+            .map(|(&x, &y)| self.xor_auto(x, y))
+            .collect())
     }
 
     /// Word-level 2-to-1 mux.

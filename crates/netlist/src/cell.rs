@@ -222,9 +222,8 @@ impl Cell {
     /// The active-low reset input of a register cell, if present.
     pub fn reg_nrst(&self) -> Option<NetId> {
         match self.kind {
-            CellKind::Reg(RegKind::AsyncReset { .. }) | CellKind::Reg(RegKind::Retention { .. }) => {
-                Some(self.inputs[2])
-            }
+            CellKind::Reg(RegKind::AsyncReset { .. })
+            | CellKind::Reg(RegKind::Retention { .. }) => Some(self.inputs[2]),
             _ => None,
         }
     }

@@ -228,9 +228,7 @@ impl Netlist {
 
     /// Cells driving each net (the reverse of the `output` relation).
     pub(crate) fn driver_map(&self) -> HashMap<NetId, CellId> {
-        self.cells()
-            .map(|(id, c)| (c.output, id))
-            .collect()
+        self.cells().map(|(id, c)| (c.output, id)).collect()
     }
 
     /// Returns the ids of all retention registers.

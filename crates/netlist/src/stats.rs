@@ -173,8 +173,10 @@ mod tests {
         assert!(s.area > 0.0);
         // The retention flop costs more than the plain flop.
         let m = AreaModel::default();
-        assert!(m.cell_area(CellKind::Reg(RegKind::Retention { reset_value: false }))
-            > m.cell_area(CellKind::Reg(RegKind::Simple)));
+        assert!(
+            m.cell_area(CellKind::Reg(RegKind::Retention { reset_value: false }))
+                > m.cell_area(CellKind::Reg(RegKind::Simple))
+        );
     }
 
     #[test]

@@ -48,11 +48,7 @@ pub fn eval_order(netlist: &Netlist) -> Result<EvalOrder, NetlistError> {
     }
 
     // Kahn's algorithm, tracking logic depth.
-    let mut queue: VecDeque<CellId> = comb
-        .iter()
-        .copied()
-        .filter(|c| in_degree[c] == 0)
-        .collect();
+    let mut queue: VecDeque<CellId> = comb.iter().copied().filter(|c| in_degree[c] == 0).collect();
     let mut level: HashMap<CellId, usize> = queue.iter().map(|&c| (c, 1)).collect();
     let mut order = Vec::with_capacity(comb.len());
     let mut depth = 0usize;
@@ -98,10 +94,7 @@ pub fn eval_order(netlist: &Netlist) -> Result<EvalOrder, NetlistError> {
 /// and nets that can affect them (crossing register boundaries).
 ///
 /// Returns `(cells, nets)` as sets.
-pub fn cone_of_influence(
-    netlist: &Netlist,
-    sinks: &[NetId],
-) -> (HashSet<CellId>, HashSet<NetId>) {
+pub fn cone_of_influence(netlist: &Netlist, sinks: &[NetId]) -> (HashSet<CellId>, HashSet<NetId>) {
     let driver = netlist.driver_map();
     let mut cells = HashSet::new();
     let mut nets: HashSet<NetId> = HashSet::new();
@@ -184,9 +177,18 @@ mod tests {
         use crate::netlist::{Net, NetDriver, Netlist};
         use std::collections::HashMap;
         let nets = vec![
-            Net { name: "a".into(), driver: NetDriver::Input },
-            Net { name: "x".into(), driver: NetDriver::Cell(CellId(0)) },
-            Net { name: "y".into(), driver: NetDriver::Cell(CellId(1)) },
+            Net {
+                name: "a".into(),
+                driver: NetDriver::Input,
+            },
+            Net {
+                name: "x".into(),
+                driver: NetDriver::Cell(CellId(0)),
+            },
+            Net {
+                name: "y".into(),
+                driver: NetDriver::Cell(CellId(1)),
+            },
         ];
         let cells = vec![
             Cell {

@@ -39,7 +39,11 @@ impl CoreHarness {
     ///
     /// # Errors
     /// Propagates elaboration errors from the STE engine.
-    pub fn check(&self, m: &mut BddManager, assertion: &Assertion) -> Result<CheckReport, SteError> {
+    pub fn check(
+        &self,
+        m: &mut BddManager,
+        assertion: &Assertion,
+    ) -> Result<CheckReport, SteError> {
         let model = CompiledModel::new(&self.netlist).expect("generated cores always compile");
         Ste::new(&model).check(m, assertion)
     }

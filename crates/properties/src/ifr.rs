@@ -77,9 +77,15 @@ pub fn assertion(harness: &CoreHarness, m: &mut BddManager, style: AntecedentSty
     // Memory initialisation and the expected read-after-write value.
     let (memory_init, expected_word) = match style {
         AntecedentStyle::Direct => {
-            let (formula, words) =
-                direct_memory_antecedent(m, "IMem", cfg.imem_depth, 32, 0, 1);
-            let raw = raw_expected(m, &read_word, &write_word, ssr_bdd::Bdd::TRUE, &write_data, &words);
+            let (formula, words) = direct_memory_antecedent(m, "IMem", cfg.imem_depth, 32, 0, 1);
+            let raw = raw_expected(
+                m,
+                &read_word,
+                &write_word,
+                ssr_bdd::Bdd::TRUE,
+                &write_data,
+                &words,
+            );
             (formula, raw)
         }
         AntecedentStyle::Indexed => {
@@ -98,7 +104,13 @@ pub fn assertion(harness: &CoreHarness, m: &mut BddManager, style: AntecedentSty
         .and(Formula::node_is_from_to("IMemWrite", true, 0, 2))
         .and(Formula::node_is_from_to("IMemWrite", false, 2, depth))
         .and(CoreHarness::word_over(m, "IMemWriteAdd", &write_word, 0, 2))
-        .and(CoreHarness::word_over(m, "IMemWriteData", &write_data, 0, 2))
+        .and(CoreHarness::word_over(
+            m,
+            "IMemWriteData",
+            &write_data,
+            0,
+            2,
+        ))
         .and(CoreHarness::pc_is(m, &pc, 0, 2))
         .and(memory_init);
 
@@ -190,6 +202,9 @@ mod tests {
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let _ = assertion(&harness, &mut m, AntecedentStyle::Indexed);
         }));
-        assert!(result.is_err(), "cores without an IFR are rejected up front");
+        assert!(
+            result.is_err(),
+            "cores without an IFR are rejected up front"
+        );
     }
 }

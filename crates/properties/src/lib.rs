@@ -14,7 +14,10 @@
 //!   paper (read-after-write preserved across sleep and resume), in both the
 //!   direct and the symbolically-indexed antecedent styles;
 //! * [`harness`] — the shared plumbing: a generated core plus its compiled
-//!   model and the symbolic present-state builders.
+//!   model and the symbolic present-state builders;
+//! * [`suite`] — the [`Suite`] enumeration that names the three suites as
+//!   data, so batch drivers (the `ssr-engine` campaign runner) can
+//!   enumerate, filter and shard the individual proof obligations.
 //!
 //! The suites are used three ways: as tests (this crate's own test modules),
 //! as the workload of the Criterion benches in `ssr-bench`, and from the
@@ -27,5 +30,7 @@ pub mod harness;
 pub mod ifr;
 pub mod property_one;
 pub mod property_two;
+pub mod suite;
 
 pub use harness::CoreHarness;
+pub use suite::Suite;

@@ -48,10 +48,12 @@ pub fn fetch(harness: &CoreHarness, m: &mut BddManager) -> Vec<Assertion> {
     }
 
     // F2: branch target — with a taken `beq` the PC becomes
-    // PC + 4 + (sign-extended offset << 2).
+    // PC + 4 + (sign-extended offset << 2).  The PC and offset operands
+    // feed a 32-bit adder, so their variables must be interleaved: with
+    // sequential ordering the carry chain's BDD is exponential (the
+    // ordering ablation of the `bdd_ops` bench).
     {
-        let pc = BddVec::new_input(m, "f2_pc", 32);
-        let offset = BddVec::new_input(m, "f2_off", 32);
+        let (pc, offset) = BddVec::new_interleaved_pair(m, "f2_pc", "f2_off", 32);
         let a = CoreHarness::nominal_controls(3)
             .and(clock("clock", 0, 1))
             .and(CoreHarness::pc_is(m, &pc, 0, 2))
@@ -83,13 +85,15 @@ pub fn decode(harness: &CoreHarness, m: &mut BddManager) -> Vec<Assertion> {
         let mut bank = Formula::True;
         for i in 0..reg_count {
             let hit = addr.equals_constant(m, i as u64);
-            bank = bank.and(
-                Formula::word_is(m, &format!("Registers_w{i}"), &data).when(hit),
-            );
+            bank = bank.and(Formula::word_is(m, &format!("Registers_w{i}"), &data).when(hit));
         }
         let mut field = Formula::True;
         for (bit, &b) in addr.bits().iter().enumerate() {
-            field = field.and(Formula::is_bdd(m, format!("Instruction[{}]", field_base + bit), b));
+            field = field.and(Formula::is_bdd(
+                m,
+                format!("Instruction[{}]", field_base + bit),
+                b,
+            ));
         }
         let a = CoreHarness::nominal_controls(1).and(bank).and(field);
         let c = Formula::word_is(m, read_port, &data);
@@ -117,7 +121,11 @@ pub fn decode(harness: &CoreHarness, m: &mut BddManager) -> Vec<Assertion> {
         let addr = BddVec::new_input(m, &format!("{name}_addr"), reg_bits);
         let mut field = Formula::True;
         for (bit, &b) in addr.bits().iter().enumerate() {
-            field = field.and(Formula::is_bdd(m, format!("Instruction[{}]", field_base + bit), b));
+            field = field.and(Formula::is_bdd(
+                m,
+                format!("Instruction[{}]", field_base + bit),
+                b,
+            ));
         }
         let a = CoreHarness::nominal_controls(1)
             .and(Formula::is_bool("RegDst", reg_dst))
@@ -155,6 +163,7 @@ pub fn control(harness: &CoreHarness, m: &mut BddManager) -> Vec<Assertion> {
     let mut out = Vec::new();
 
     // C1–C4: the full output row for each implemented opcode.
+    #[allow(clippy::type_complexity)]
     let rows: [(&str, u64, [(&str, bool); 8], u64); 4] = [
         (
             "control_rtype",
@@ -218,13 +227,8 @@ pub fn control(harness: &CoreHarness, m: &mut BddManager) -> Vec<Assertion> {
         ),
     ];
     for (name, opcode, outputs, alu_op) in rows {
-        let a = CoreHarness::nominal_controls(1)
-            .and(Formula::word_is_const(opcode_net, opcode, 6));
-        let mut c = Formula::all(
-            outputs
-                .iter()
-                .map(|(net, v)| Formula::is_bool(*net, *v)),
-        );
+        let a = CoreHarness::nominal_controls(1).and(Formula::word_is_const(opcode_net, opcode, 6));
+        let mut c = Formula::all(outputs.iter().map(|(net, v)| Formula::is_bool(*net, *v)));
         c = c.and(Formula::word_is_const("ALUOp", alu_op, 2));
         out.push(Assertion::named(name, a, c));
     }
@@ -249,20 +253,27 @@ pub fn control(harness: &CoreHarness, m: &mut BddManager) -> Vec<Assertion> {
     }
 
     // C6–C10: each control output as a symbolic function of the opcode.
+    #[allow(clippy::type_complexity)]
     let symbolic_outputs: [(&str, fn(&mut BddManager, &BddVec) -> ssr_bdd::Bdd); 5] = [
         ("control_reg_write_symbolic", |m, op| {
             let r = op.equals_constant(m, 0);
             let l = op.equals_constant(m, OP_LW as u64);
             m.or(r, l)
         }),
-        ("control_mem_write_symbolic", |m, op| op.equals_constant(m, OP_SW as u64)),
-        ("control_branch_symbolic", |m, op| op.equals_constant(m, OP_BEQ as u64)),
+        ("control_mem_write_symbolic", |m, op| {
+            op.equals_constant(m, OP_SW as u64)
+        }),
+        ("control_branch_symbolic", |m, op| {
+            op.equals_constant(m, OP_BEQ as u64)
+        }),
         ("control_alu_src_symbolic", |m, op| {
             let l = op.equals_constant(m, OP_LW as u64);
             let s = op.equals_constant(m, OP_SW as u64);
             m.or(l, s)
         }),
-        ("control_mem_read_symbolic", |m, op| op.equals_constant(m, OP_LW as u64)),
+        ("control_mem_read_symbolic", |m, op| {
+            op.equals_constant(m, OP_LW as u64)
+        }),
     ];
     let output_net = ["RegWrite", "MemWrite", "Branch", "ALUSrc", "MemRead"];
     for (i, (name, expected_fn)) in symbolic_outputs.iter().enumerate() {

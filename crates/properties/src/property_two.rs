@@ -161,10 +161,16 @@ pub fn equivalence_suite(harness: &CoreHarness, m: &mut BddManager) -> Vec<Asser
 
     // R-type `add r3, r1, r2`.
     {
-        let instr = Instr::Add { rd: 3, rs: 1, rt: 2 }.encode();
+        let instr = Instr::Add {
+            rd: 3,
+            rs: 1,
+            rt: 2,
+        }
+        .encode();
         let (base, pc) = present_state(harness, m, "eq_add", instr, &s);
-        let v1 = BddVec::new_input(m, "eq_add_r1", 32);
-        let v2 = BddVec::new_input(m, "eq_add_r2", 32);
+        // The register operands meet in the 32-bit ALU adder; interleave
+        // their variables or the carry chain's BDD is exponential.
+        let (v1, v2) = BddVec::new_interleaved_pair(m, "eq_add_r1", "eq_add_r2", 32);
         let a = base
             .and(CoreHarness::register_is(m, 1, &v1, 0, 1))
             .and(CoreHarness::register_is(m, 2, &v2, 0, 1));
@@ -181,7 +187,12 @@ pub fn equivalence_suite(harness: &CoreHarness, m: &mut BddManager) -> Vec<Asser
     // `sw r2, 0(r1)` — the data memory receives the stored word, the
     // register bank is untouched.
     {
-        let instr = Instr::Sw { rt: 2, rs: 1, imm: 0 }.encode();
+        let instr = Instr::Sw {
+            rt: 2,
+            rs: 1,
+            imm: 0,
+        }
+        .encode();
         let (base, pc) = present_state(harness, m, "eq_sw", instr, &s);
         let dmem_bits = harness.config().dmem_addr_bits();
         let base_word = BddVec::new_input(m, "eq_sw_addr", dmem_bits);
@@ -191,8 +202,8 @@ pub fn equivalence_suite(harness: &CoreHarness, m: &mut BddManager) -> Vec<Asser
             .and(CoreHarness::register_is(m, 1, &base_addr, 0, 1))
             .and(CoreHarness::register_is(m, 2, &stored, 0, 1));
         let pc_next = pc.add_constant(m, 4);
-        let mut c = Formula::word_is(m, "PC", &pc_next)
-            .and(Formula::word_is(m, "Registers_w2", &stored));
+        let mut c =
+            Formula::word_is(m, "PC", &pc_next).and(Formula::word_is(m, "Registers_w2", &stored));
         for i in 0..harness.config().dmem_depth {
             let hit = base_word.equals_constant(m, i as u64);
             c = c.and(Formula::word_is(m, &format!("DMem_w{i}"), &stored).when(hit));
@@ -203,10 +214,16 @@ pub fn equivalence_suite(harness: &CoreHarness, m: &mut BddManager) -> Vec<Asser
     // `beq r1, r2, +2` — taken and not-taken, decided symbolically by the
     // register contents.
     {
-        let instr = Instr::Beq { rs: 1, rt: 2, imm: 2 }.encode();
+        let instr = Instr::Beq {
+            rs: 1,
+            rt: 2,
+            imm: 2,
+        }
+        .encode();
         let (base, pc) = present_state(harness, m, "eq_beq", instr, &s);
-        let v1 = BddVec::new_input(m, "eq_beq_r1", 32);
-        let v2 = BddVec::new_input(m, "eq_beq_r2", 32);
+        // The operands meet in the ALU's equality comparator; interleaved
+        // ordering keeps it linear (sequential ordering is exponential).
+        let (v1, v2) = BddVec::new_interleaved_pair(m, "eq_beq_r1", "eq_beq_r2", 32);
         let a = base
             .and(CoreHarness::register_is(m, 1, &v1, 0, 1))
             .and(CoreHarness::register_is(m, 2, &v2, 0, 1));
@@ -224,7 +241,12 @@ pub fn equivalence_suite(harness: &CoreHarness, m: &mut BddManager) -> Vec<Asser
     // `lw r2, 0(r1)` — the loaded register receives the addressed data-memory
     // word.
     {
-        let instr = Instr::Lw { rt: 2, rs: 1, imm: 0 }.encode();
+        let instr = Instr::Lw {
+            rt: 2,
+            rs: 1,
+            imm: 0,
+        }
+        .encode();
         let (base, pc) = present_state(harness, m, "eq_lw", instr, &s);
         let dmem_bits = harness.config().dmem_addr_bits();
         let base_word = BddVec::new_input(m, "eq_lw_addr", dmem_bits);

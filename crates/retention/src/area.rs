@@ -131,7 +131,11 @@ mod tests {
 
     #[test]
     fn selective_always_cheaper_than_full() {
-        let rows = savings(&generations(), &AreaModel::default(), &LeakageModel::default());
+        let rows = savings(
+            &generations(),
+            &AreaModel::default(),
+            &LeakageModel::default(),
+        );
         assert_eq!(rows.len(), 3);
         for r in &rows {
             assert!(r.selective_retention_area < r.full_retention_area);
@@ -146,7 +150,11 @@ mod tests {
         // As the micro-architectural share grows, selective retention saves
         // a larger fraction of both area overhead and standby leakage — the
         // paper's central economic argument.
-        let rows = savings(&generations(), &AreaModel::default(), &LeakageModel::default());
+        let rows = savings(
+            &generations(),
+            &AreaModel::default(),
+            &LeakageModel::default(),
+        );
         assert!(rows[0].area_saving_fraction < rows[1].area_saving_fraction);
         assert!(rows[1].area_saving_fraction < rows[2].area_saving_fraction);
         assert!(rows[0].leakage_saving_fraction < rows[1].leakage_saving_fraction);
@@ -173,7 +181,11 @@ mod tests {
 
     #[test]
     fn table_renders_one_row_per_generation() {
-        let rows = savings(&generations(), &AreaModel::default(), &LeakageModel::default());
+        let rows = savings(
+            &generations(),
+            &AreaModel::default(),
+            &LeakageModel::default(),
+        );
         let text = render_table(&rows);
         assert_eq!(text.lines().count(), 4);
         assert!(text.contains("stages"));

@@ -86,7 +86,11 @@ pub struct ParseIntentError {
 
 impl std::fmt::Display for ParseIntentError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "retention intent parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "retention intent parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -100,11 +104,26 @@ impl RetentionIntent {
             domains: vec![PowerDomain {
                 name: "cpu_core".into(),
                 rules: vec![
-                    ElementRule { prefix: "PC[".into(), class: RetentionClass::Retain },
-                    ElementRule { prefix: "IMem_w".into(), class: RetentionClass::Retain },
-                    ElementRule { prefix: "Registers_w".into(), class: RetentionClass::Retain },
-                    ElementRule { prefix: "DMem_w".into(), class: RetentionClass::Retain },
-                    ElementRule { prefix: "IFR_Instr".into(), class: RetentionClass::Volatile },
+                    ElementRule {
+                        prefix: "PC[".into(),
+                        class: RetentionClass::Retain,
+                    },
+                    ElementRule {
+                        prefix: "IMem_w".into(),
+                        class: RetentionClass::Retain,
+                    },
+                    ElementRule {
+                        prefix: "Registers_w".into(),
+                        class: RetentionClass::Retain,
+                    },
+                    ElementRule {
+                        prefix: "DMem_w".into(),
+                        class: RetentionClass::Retain,
+                    },
+                    ElementRule {
+                        prefix: "IFR_Instr".into(),
+                        class: RetentionClass::Volatile,
+                    },
                 ],
             }],
         }
@@ -136,7 +155,10 @@ impl RetentionIntent {
                         line: lineno,
                         message: "domain needs a name".into(),
                     })?;
-                    current = Some(PowerDomain { name: name.to_owned(), rules: Vec::new() });
+                    current = Some(PowerDomain {
+                        name: name.to_owned(),
+                        rules: Vec::new(),
+                    });
                 }
                 Some(kw @ ("retain" | "volatile")) => {
                     let prefix = tokens.next().ok_or(ParseIntentError {
@@ -149,7 +171,10 @@ impl RetentionIntent {
                         RetentionClass::Volatile
                     };
                     match current.as_mut() {
-                        Some(d) => d.rules.push(ElementRule { prefix: prefix.to_owned(), class }),
+                        Some(d) => d.rules.push(ElementRule {
+                            prefix: prefix.to_owned(),
+                            class,
+                        }),
                         None => {
                             return Err(ParseIntentError {
                                 line: lineno,
@@ -281,7 +306,10 @@ mod tests {
     fn audit_matches_generated_core() {
         let netlist = build_core(&CoreConfig::small_test()).expect("generates");
         let intent = RetentionIntent::architectural_core();
-        assert!(intent.check(&netlist).is_empty(), "intent matches the default policy");
+        assert!(
+            intent.check(&netlist).is_empty(),
+            "intent matches the default policy"
+        );
 
         // A core built without retention violates every `retain` rule.
         let mut cfg = CoreConfig::small_test();
@@ -290,7 +318,9 @@ mod tests {
         let violations = intent.check(&bare);
         assert!(!violations.is_empty());
         assert!(violations.iter().any(|v| v.net.starts_with("PC[")));
-        assert!(violations.iter().all(|v| v.message.contains("must be a retention register")));
+        assert!(violations
+            .iter()
+            .all(|v| v.message.contains("must be a retention register")));
 
         // A fully retained core violates the `volatile IFR` rule.
         cfg.retention = RetentionPolicy::full();

@@ -61,7 +61,9 @@ pub fn classify(netlist: &Netlist) -> Vec<StateClass> {
     for (_, cell) in netlist.state_cells() {
         let name = &netlist.net(cell.output).name;
         let retained = matches!(cell.kind, CellKind::Reg(k) if k.is_retention());
-        let slot = groups.iter().position(|(_, prefix, _)| name.starts_with(prefix));
+        let slot = groups
+            .iter()
+            .position(|(_, prefix, _)| name.starts_with(prefix));
         let class = match slot {
             Some(i) => &mut out[i],
             None => &mut other,
@@ -117,6 +119,7 @@ where
         return (best, log);
     }
 
+    #[allow(clippy::type_complexity)]
     let groups: [(&str, fn(&mut RetentionPolicy)); 4] = [
         ("program counter", |p| p.pc = false),
         ("instruction memory", |p| p.imem = false),

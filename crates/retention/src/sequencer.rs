@@ -79,7 +79,10 @@ impl SleepResumeSchedule {
     /// # Panics
     /// Panics if `post_cycles` is zero.
     pub fn with_nets(pre_cycles: usize, post_cycles: usize, nets: ControlNets) -> Self {
-        assert!(post_cycles > 0, "at least one post-resume clock cycle is required");
+        assert!(
+            post_cycles > 0,
+            "at least one post-resume clock cycle is required"
+        );
         let sleep_start = 2 * pre_cycles;
         let nret_low_at = sleep_start + 1;
         let nrst_low_at = nret_low_at + 1;
@@ -125,7 +128,11 @@ impl SleepResumeSchedule {
             segments.push(Segment::new(true, 2 * c + 1, 2 * c + 2));
         }
         // Stopped (low) throughout the sleep hand-shake.
-        segments.push(Segment::new(false, self.sleep_start, self.resume_clock_start));
+        segments.push(Segment::new(
+            false,
+            self.sleep_start,
+            self.resume_clock_start,
+        ));
         for c in 0..self.post_cycles {
             let t = self.resume_clock_start + 2 * c;
             segments.push(Segment::new(true, t, t + 1));
@@ -186,7 +193,11 @@ impl SleepResumeSchedule {
     /// The time unit at which the commit of post-resume clock cycle `k`
     /// (0-based) becomes visible on the register outputs.
     pub fn post_commit_visible_at(&self, k: usize) -> usize {
-        assert!(k < self.post_cycles, "only {} post cycles", self.post_cycles);
+        assert!(
+            k < self.post_cycles,
+            "only {} post cycles",
+            self.post_cycles
+        );
         self.resume_clock_start + 2 * k + 1
     }
 

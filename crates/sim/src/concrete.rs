@@ -216,7 +216,10 @@ mod tests {
 
         // Now pin the register by driving its output once (modelling a known
         // power-up state), and verify it toggles afterwards.
-        let pinned = sim.initial_state(&inputs(&n, &[("clock", Zero), ("enable", One), ("q", Zero)]));
+        let pinned = sim.initial_state(&inputs(
+            &n,
+            &[("clock", Zero), ("enable", One), ("q", Zero)],
+        ));
         let s1 = sim.step(&pinned, &inputs(&n, &[("clock", One), ("enable", One)]));
         let s2 = sim.step(&s1, &inputs(&n, &[("clock", Zero), ("enable", One)]));
         assert_eq!(s2.node(q), One, "toggled 0 -> 1");

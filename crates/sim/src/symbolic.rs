@@ -59,11 +59,7 @@ impl<'m, 'n> SymSimulator<'m, 'n> {
     /// Builds the state at time 0: every node starts at `X`, the constraints
     /// in `drive` are joined on top, constants take their values and the
     /// combinational logic is closed.
-    pub fn initial_state(
-        &self,
-        m: &mut BddManager,
-        drive: &[(NetId, SymTernary)],
-    ) -> SymState {
+    pub fn initial_state(&self, m: &mut BddManager, drive: &[(NetId, SymTernary)]) -> SymState {
         let netlist = self.model.netlist();
         let mut nodes = vec![SymTernary::X; netlist.net_count()];
         let shadow_clk = vec![SymTernary::X; self.model.state_bits()];
@@ -136,11 +132,7 @@ impl<'m, 'n> SymSimulator<'m, 'n> {
 
     /// Runs a whole trajectory: `drives[t]` is the constraint list for time
     /// `t`.  Returns the state sequence (same length as `drives`).
-    pub fn run(
-        &self,
-        m: &mut BddManager,
-        drives: &[Vec<(NetId, SymTernary)>],
-    ) -> Vec<SymState> {
+    pub fn run(&self, m: &mut BddManager, drives: &[Vec<(NetId, SymTernary)>]) -> Vec<SymState> {
         let mut states = Vec::with_capacity(drives.len());
         for (t, drive) in drives.iter().enumerate() {
             let state = if t == 0 {
@@ -161,11 +153,7 @@ impl<'m, 'n> SymSimulator<'m, 'n> {
         }
     }
 
-    fn apply_drive(
-        m: &mut BddManager,
-        nodes: &mut [SymTernary],
-        drive: &[(NetId, SymTernary)],
-    ) {
+    fn apply_drive(m: &mut BddManager, nodes: &mut [SymTernary], drive: &[(NetId, SymTernary)]) {
         for &(id, value) in drive {
             let joined = nodes[id.index()].join(m, &value);
             nodes[id.index()] = joined;
@@ -337,8 +325,15 @@ mod tests {
         let lo = SymTernary::ZERO;
         let hi = SymTernary::ONE;
         // Capture a 1 first (NRST held high).
-        let s0 = sim.initial_state(&mut m, &drive(&n, &[("clock", lo), ("d", hi), ("NRST", hi)]));
-        let s1 = sim.step(&mut m, &s0, &drive(&n, &[("clock", hi), ("d", hi), ("NRST", hi)]));
+        let s0 = sim.initial_state(
+            &mut m,
+            &drive(&n, &[("clock", lo), ("d", hi), ("NRST", hi)]),
+        );
+        let s1 = sim.step(
+            &mut m,
+            &s0,
+            &drive(&n, &[("clock", hi), ("d", hi), ("NRST", hi)]),
+        );
         let s2 = sim.step(&mut m, &s1, &drive(&n, &[("clock", lo), ("NRST", hi)]));
         assert_eq!(s2.node(q).to_constant(&m), Some(Ternary::One));
         // Assert NRST low: the register resets regardless of the clock.
@@ -363,12 +358,18 @@ mod tests {
         // Capture the symbolic value v.
         let s0 = sim.initial_state(
             &mut m,
-            &drive(&n, &[("clock", lo), ("d", sym_d), ("NRST", hi), ("NRET", hi)]),
+            &drive(
+                &n,
+                &[("clock", lo), ("d", sym_d), ("NRST", hi), ("NRET", hi)],
+            ),
         );
         let s1 = sim.step(
             &mut m,
             &s0,
-            &drive(&n, &[("clock", hi), ("d", sym_d), ("NRST", hi), ("NRET", hi)]),
+            &drive(
+                &n,
+                &[("clock", hi), ("d", sym_d), ("NRST", hi), ("NRET", hi)],
+            ),
         );
         let s2 = sim.step(
             &mut m,
@@ -437,10 +438,7 @@ mod tests {
         let sim = SymSimulator::new(&model);
         let mut m = BddManager::new();
         let a_id = n.find_net("a").unwrap();
-        let s = sim.initial_state(
-            &mut m,
-            &[(a_id, SymTernary::ZERO), (a_id, SymTernary::ONE)],
-        );
+        let s = sim.initial_state(&mut m, &[(a_id, SymTernary::ZERO), (a_id, SymTernary::ONE)]);
         assert_eq!(s.node(a_id).to_constant(&m), Some(Ternary::Top));
     }
 

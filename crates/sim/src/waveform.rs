@@ -88,12 +88,7 @@ impl Waveform {
 
     /// Renders the waveform as an ASCII table, one signal per line.
     pub fn render(&self) -> String {
-        let width = self
-            .rows
-            .iter()
-            .map(|(n, _)| n.len())
-            .max()
-            .unwrap_or(0);
+        let width = self.rows.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
         let mut out = String::new();
         for (name, values) in &self.rows {
             out.push_str(&format!("{name:<width$} | "));

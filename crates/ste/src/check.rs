@@ -119,12 +119,8 @@ impl<'m, 'n> Ste<'m, 'n> {
         let netlist = self.model.netlist();
         let depth = assertion.depth();
 
-        let a_seq = assertion
-            .antecedent
-            .defining_sequence(m, netlist, depth)?;
-        let c_seq = assertion
-            .consequent
-            .defining_sequence(m, netlist, depth)?;
+        let a_seq = assertion.antecedent.defining_sequence(m, netlist, depth)?;
+        let c_seq = assertion.consequent.defining_sequence(m, netlist, depth)?;
 
         let sim = SymSimulator::new(self.model);
         let trajectory = sim.run(m, &a_seq);

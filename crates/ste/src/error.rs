@@ -25,9 +25,14 @@ impl fmt::Display for SteError {
         match self {
             SteError::UnknownNode(n) => write!(f, "formula references unknown circuit node `{n}`"),
             SteError::WidthMismatch { nodes, values } => {
-                write!(f, "word assertion width mismatch: {nodes} nodes vs {values} value bits")
+                write!(
+                    f,
+                    "word assertion width mismatch: {nodes} nodes vs {values} value bits"
+                )
             }
-            SteError::RuleViolation(msg) => write!(f, "inference rule side condition failed: {msg}"),
+            SteError::RuleViolation(msg) => {
+                write!(f, "inference rule side condition failed: {msg}")
+            }
         }
     }
 }
@@ -44,9 +49,12 @@ mod tests {
             SteError::UnknownNode("pc".into()).to_string(),
             "formula references unknown circuit node `pc`"
         );
-        assert!(SteError::WidthMismatch { nodes: 3, values: 4 }
-            .to_string()
-            .contains("3 nodes vs 4"));
+        assert!(SteError::WidthMismatch {
+            nodes: 3,
+            values: 4
+        }
+        .to_string()
+        .contains("3 nodes vs 4"));
     }
 
     #[test]

@@ -298,7 +298,9 @@ mod tests {
 
     #[test]
     fn node_collection() {
-        let f = Formula::is1("a").and(Formula::is0("b").next()).and(Formula::is1("a"));
+        let f = Formula::is1("a")
+            .and(Formula::is0("b").next())
+            .and(Formula::is1("a"));
         assert_eq!(f.nodes(), vec!["a".to_string(), "b".to_string()]);
     }
 
@@ -388,8 +390,8 @@ mod tests {
         let seq = f.defining_sequence(&mut m, &n, 0).expect("elaborates");
         assert_eq!(seq.len(), 4);
         assert!(seq[0].is_empty());
-        for t in 1..4 {
-            assert_eq!(seq[t].len(), 1, "constrained at time {t}");
+        for (t, step) in seq.iter().enumerate().skip(1) {
+            assert_eq!(step.len(), 1, "constrained at time {t}");
         }
     }
 
@@ -401,11 +403,7 @@ mod tests {
 
     #[test]
     fn assertion_depth_and_names() {
-        let a = Assertion::named(
-            "p",
-            Formula::is1("a"),
-            Formula::is1("x").delay(2),
-        );
+        let a = Assertion::named("p", Formula::is1("a"), Formula::is1("x").delay(2));
         assert_eq!(a.depth(), 3);
         assert_eq!(a.name.as_deref(), Some("p"));
         let b = Assertion::new(Formula::True, Formula::True);

@@ -82,7 +82,11 @@ mod tests {
     fn waveform_concatenates_segments() {
         let f = waveform(
             "NRET",
-            &[Segment::new(true, 0, 5), Segment::new(false, 5, 8), Segment::new(true, 8, 10)],
+            &[
+                Segment::new(true, 0, 5),
+                Segment::new(false, 5, 8),
+                Segment::new(true, 8, 10),
+            ],
         );
         assert_eq!(f.depth(), 10);
         assert_eq!(f.nodes(), vec!["NRET".to_string()]);
@@ -90,7 +94,10 @@ mod tests {
 
     #[test]
     fn held_is_from_to() {
-        assert_eq!(held("NRST", true, 0, 6), Formula::node_is_from_to("NRST", true, 0, 6));
+        assert_eq!(
+            held("NRST", true, 0, 6),
+            Formula::node_is_from_to("NRST", true, 0, 6)
+        );
     }
 
     #[test]

@@ -117,6 +117,10 @@ impl Ternary {
     }
 
     /// Monotone ternary negation: swap the rails.  `⊤` propagates.
+    ///
+    /// Deliberately named like (but distinct from) `std::ops::Not::not`:
+    /// the lattice gates form a family (`and`/`or`/`not`) called by value.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Ternary {
         let (hi, lo) = self.rails();
         Ternary::from_rails(lo, hi)

@@ -283,7 +283,12 @@ impl fmt::Display for SymTernary {
             (Bdd::TRUE, Bdd::FALSE) => write!(f, "1"),
             (Bdd::FALSE, Bdd::TRUE) => write!(f, "0"),
             (Bdd::FALSE, Bdd::FALSE) => write!(f, "T"),
-            _ => write!(f, "symbolic(hi={}, lo={})", self.hi.index(), self.lo.index()),
+            _ => write!(
+                f,
+                "symbolic(hi={}, lo={})",
+                self.hi.index(),
+                self.lo.index()
+            ),
         }
     }
 }

@@ -51,7 +51,11 @@ impl SymTernaryVec {
     /// Wraps an existing Boolean [`BddVec`] as a ternary vector.
     pub fn from_bddvec(m: &mut BddManager, v: &BddVec) -> Self {
         SymTernaryVec {
-            bits: v.bits().iter().map(|&b| SymTernary::from_bdd(m, b)).collect(),
+            bits: v
+                .bits()
+                .iter()
+                .map(|&b| SymTernary::from_bdd(m, b))
+                .collect(),
         }
     }
 

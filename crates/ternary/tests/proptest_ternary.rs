@@ -23,7 +23,10 @@ fn arb_ternary() -> impl Strategy<Value = Ternary> {
 }
 
 fn arb_operand() -> impl Strategy<Value = Operand> {
-    prop_oneof![arb_ternary().prop_map(Operand::Const), Just(Operand::Symbol)]
+    prop_oneof![
+        arb_ternary().prop_map(Operand::Const),
+        Just(Operand::Symbol)
+    ]
 }
 
 fn materialise(
@@ -41,9 +44,7 @@ fn materialise(
             let sym = SymTernary::symbol(m, name);
             (
                 sym,
-                Box::new(move |asg: &Assignment| {
-                    Ternary::from_bool(asg.get(var).unwrap_or(false))
-                }),
+                Box::new(move |asg: &Assignment| Ternary::from_bool(asg.get(var).unwrap_or(false))),
             )
         }
     }

@@ -32,12 +32,23 @@ fn memory_netlist(depth: usize, width: usize) -> Netlist {
     let re = b.input("MemRead");
     let rdata = b.memory(
         "Mem",
-        MemoryConfig { depth, width, kind: RegKind::Retention { reset_value: false } },
+        MemoryConfig {
+            depth,
+            width,
+            kind: RegKind::Retention { reset_value: false },
+        },
         clk,
         Some(nrst),
         Some(nret),
-        Some(&WritePort { addr: waddr, data: wdata, enable: we }),
-        &[ReadPort { addr: raddr, enable: Some(re) }],
+        Some(&WritePort {
+            addr: waddr,
+            data: wdata,
+            enable: we,
+        }),
+        &[ReadPort {
+            addr: raddr,
+            enable: Some(re),
+        }],
     );
     b.mark_word_output(&rdata[0]);
     b.finish().expect("memory netlist is well formed")
@@ -58,11 +69,19 @@ fn stimulus(depth_units: usize) -> Formula {
     )
     .and(waveform(
         "NRET",
-        &[Segment::new(true, 0, 3), Segment::new(false, 3, 6), Segment::new(true, 6, depth_units)],
+        &[
+            Segment::new(true, 0, 3),
+            Segment::new(false, 3, 6),
+            Segment::new(true, 6, depth_units),
+        ],
     ))
     .and(waveform(
         "NRST",
-        &[Segment::new(true, 0, 4), Segment::new(false, 4, 5), Segment::new(true, 5, depth_units)],
+        &[
+            Segment::new(true, 0, 4),
+            Segment::new(false, 4, 5),
+            Segment::new(true, 5, depth_units),
+        ],
     ))
     .and(Formula::node_is_from_to("MemRead", true, 0, depth_units))
     .and(Formula::node_is_from_to("MemWrite", true, 0, 2))
@@ -92,8 +111,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 (init, expected)
             } else {
                 let (init, words) = direct_memory_antecedent(&mut m, "Mem", depth, WIDTH, 0, 1);
-                let expected =
-                    raw_expected(&mut m, &ra, &wa, ssr::bdd::Bdd::TRUE, &wd, &words);
+                let expected = raw_expected(&mut m, &ra, &wa, ssr::bdd::Bdd::TRUE, &wd, &words);
                 (init, expected)
             };
 
@@ -110,9 +128,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
             let report = Ste::new(&model).check(
                 &mut m,
-                &Assertion::named(if indexed { "indexed" } else { "direct" }, antecedent, consequent),
+                &Assertion::named(
+                    if indexed { "indexed" } else { "direct" },
+                    antecedent,
+                    consequent,
+                ),
             )?;
-            assert!(report.holds, "read-after-write across sleep/resume must hold");
+            assert!(
+                report.holds,
+                "read-after-write across sleep/resume must hold"
+            );
             println!(
                 "{depth:>5} | {:<7} | {:>9} | {:>9} | {:?}",
                 if indexed { "indexed" } else { "direct" },

@@ -1,31 +1,36 @@
 //! Retention-set exploration and the area/leakage savings argument.
 //!
-//! This example reproduces the decision process the paper describes:
+//! This example reproduces the decision process the paper describes, with
+//! the `ssr-engine` campaign pool doing the verification work:
 //! 1. classify the core's state into architectural and micro-architectural
 //!    groups,
-//! 2. search for a minimal retention set using the Property II suite as the
+//! 2. search for a minimal retention set with the engine as the Property II
 //!    oracle (dropping retention from any architectural group breaks it;
-//!    the volatile IFR is fine),
+//!    the volatile IFR is fine) — the paper's E-series exploration,
 //! 3. demonstrate the §III-B malfunction on the mis-designed control path,
 //!    and
 //! 4. print the area / standby-leakage savings table for 3-, 5- and 7-stage
 //!    generations.
 //!
+//! The same flow runs from the command line as
+//! `cargo run -p ssr-cli -- minimise`.
+//!
 //! Run with `cargo run --release --example retention_exploration -p ssr`.
 
 use ssr::cpu::pipeline_model::generations;
-use ssr::cpu::{ControlPath, CoreConfig};
+use ssr::cpu::ControlPath;
+use ssr::engine::{minimise_with_engine, EngineOracle, NamedConfig};
 use ssr::netlist::stats::AreaModel;
-use ssr::properties::{property_two, CoreHarness};
+use ssr::properties::CoreHarness;
 use ssr::retention::area::{render_table, savings, LeakageModel};
 use ssr::retention::intent::RetentionIntent;
-use ssr::retention::selection::{classify, minimise};
+use ssr::retention::selection::classify;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let base = CoreConfig::small_test();
+    let base = NamedConfig::small();
 
     // 1. Structural classification of the generated core's state.
-    let harness = CoreHarness::new(base)?;
+    let harness = CoreHarness::new(base.config)?;
     println!("state classification of the generated core:");
     for class in classify(harness.netlist()) {
         println!(
@@ -33,7 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             class.name,
             class.flops,
             class.retained,
-            if class.architectural { "architectural" } else { "micro-architectural" }
+            if class.architectural {
+                "architectural"
+            } else {
+                "micro-architectural"
+            }
         );
     }
 
@@ -46,44 +55,63 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         intent.render()
     );
 
-    // 2. Greedy minimisation with the Property II suite as oracle: dropping
-    //    any architectural group from the retention set is rejected.
-    println!("retention-set minimisation (oracle = Property II suite):");
-    let (best, log) = minimise(|policy| {
-        let mut cfg = base;
-        cfg.retention = *policy;
-        match CoreHarness::new(cfg) {
-            Ok(h) => property_two::holds(&h),
-            Err(_) => false,
-        }
-    });
-    for step in &log {
+    // 2. Greedy minimisation with the engine as the Property II oracle:
+    //    each candidate policy becomes a parallel campaign of proof
+    //    obligations, and every verdict keeps its campaign report as
+    //    evidence.
+    println!("retention-set minimisation (oracle = Property II via the campaign engine):");
+    let oracle = EngineOracle::property_two(base.clone(), 0);
+    let outcome = minimise_with_engine(&oracle);
+    for step in &outcome.steps {
         println!(
             "  drop {:<22} -> {}",
-            step.dropped.as_deref().unwrap_or("(baseline: architectural)"),
-            if step.accepted { "still correct" } else { "REJECTED (Property II fails)" }
+            step.step
+                .dropped
+                .as_deref()
+                .unwrap_or("(baseline: architectural)"),
+            if step.step.accepted {
+                "still correct"
+            } else {
+                "REJECTED (Property II fails)"
+            }
         );
     }
+    let best = outcome.best;
     println!(
         "  minimal retention set: pc={} imem={} regfile={} dmem={} (micro-architectural IFR stays volatile)",
         best.pc, best.imem, best.regfile, best.dmem
     );
+    println!(
+        "  {} proof obligations checked across {} steps, {} ms of campaign time",
+        outcome.assertions_checked(),
+        outcome.steps.len(),
+        outcome.total_wall_ms(),
+    );
 
     // 3. The §III-B malfunction: the unsafe control-path reset is caught by
-    //    Property II.
+    //    Property II (one single-job campaign).
     let mut buggy = base;
-    buggy.control_path = ControlPath::UnsafeResetIfr;
-    let buggy_ok = property_two::holds(&CoreHarness::new(buggy)?);
+    buggy.name = "unsafe-reset".into();
+    buggy.config.control_path = ControlPath::UnsafeResetIfr;
+    let buggy_report = EngineOracle::property_two(buggy, 0).check_policy(&best);
     println!(
         "control path with unsafe reset value: Property II {}",
-        if buggy_ok { "holds (unexpected!)" } else { "fails — the malfunction the paper reports" }
+        if buggy_report.all_hold() {
+            "holds (unexpected!)".to_owned()
+        } else {
+            let failing = buggy_report.assertions_checked() - buggy_report.assertions_passed();
+            format!("fails ({failing} obligations) — the malfunction the paper reports")
+        }
     );
 
     // 4. The economics: area and standby leakage for 3/5/7-stage generations
     //    with the paper's 25–40 % retention-flop overhead.
     println!("\narea / standby-leakage savings of selective vs full retention:");
     for overhead in [0.25, 0.325, 0.40] {
-        let model = AreaModel { retention_overhead: overhead, ..AreaModel::default() };
+        let model = AreaModel {
+            retention_overhead: overhead,
+            ..AreaModel::default()
+        };
         let rows = savings(&generations(), &model, &LeakageModel::default());
         println!("retention flop overhead = {:.0}%", overhead * 100.0);
         println!("{}", render_table(&rows));

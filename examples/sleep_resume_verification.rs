@@ -1,49 +1,25 @@
-//! Reproduces the paper's headline verification run on the full RISC core:
+//! Reproduces the paper's headline verification run on the full RISC core —
 //! the Property I suite (26 assertions, `NRET` held high), the Property II
-//! suite (sleep/resume), and the §III-B instruction-memory / IFR property.
+//! suite (sleep/resume), and the §III-B instruction-memory / IFR property —
+//! as one batch campaign on the `ssr-engine` worker pool.
+//!
+//! This is the same flow the `ssr` CLI drives
+//! (`cargo run -p ssr-cli -- campaign --suite all`); the example shows the
+//! library API.
 //!
 //! Run with `cargo run --release --example sleep_resume_verification -p ssr`.
 
-use ssr::bdd::BddManager;
-use ssr::cpu::CoreConfig;
-use ssr::properties::{ifr, property_one, property_two, CoreHarness};
-use ssr::ste::CheckReport;
-
-fn summarise(label: &str, reports: &[CheckReport]) {
-    let passed = reports.iter().filter(|r| r.holds).count();
-    let total_ms: u128 = reports.iter().map(|r| r.duration.as_millis()).sum();
-    let slowest = reports
-        .iter()
-        .max_by_key(|r| r.duration)
-        .map(|r| {
-            format!(
-                "{} ({:.2?})",
-                r.name.as_deref().unwrap_or("?"),
-                r.duration
-            )
-        })
-        .unwrap_or_default();
-    println!("{label}: {passed}/{} hold, total {total_ms} ms, slowest: {slowest}", reports.len());
-    for r in reports.iter().filter(|r| !r.holds) {
-        println!("  FAILED: {}", r.name.as_deref().unwrap_or("?"));
-        if let Some(cex) = &r.counterexample {
-            for f in cex.failures.iter().take(4) {
-                println!(
-                    "    at t={} node `{}`: expected {}, trajectory carries {}",
-                    f.time, f.node, f.expected, f.actual
-                );
-            }
-        }
-    }
-}
+use ssr::engine::{CampaignSpec, Granularity, NamedConfig, Suite};
+use ssr::properties::CoreHarness;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // A moderate configuration keeps the example quick; pass `--release` for
-    // the paper-sized 256-word memory (see the benches for that run).
-    let mut config = CoreConfig::small_test();
-    config.imem_depth = 16;
-    config.dmem_depth = 16;
-    let harness = CoreHarness::new(config)?;
+    // A moderate configuration keeps the example quick; pass `--config
+    // paper` to the CLI (or use `NamedConfig::paper()`) for the paper-sized
+    // 256-word memory.
+    let mut core = NamedConfig::sized(16);
+    core.name = "example".into();
+
+    let harness = CoreHarness::new(core.config)?;
     println!(
         "core `{}`: {} cells, {} state bits, {} retention registers",
         harness.netlist().name(),
@@ -52,33 +28,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         harness.netlist().retention_cells().len()
     );
 
-    // Property I: the 26 functional assertions with NRET held high.
-    let mut m = BddManager::new();
-    let suite1 = property_one::suite(&harness, &mut m);
-    let reports1 = harness.check_all(&mut m, &suite1)?;
-    summarise("Property I (NRET held high)", &reports1);
-
-    // Property II: retention survival + architectural equivalence across the
-    // sleep/resume hand-shake.
-    let mut m = BddManager::new();
-    let suite2 = property_two::suite(&harness, &mut m);
-    let reports2 = harness.check_all(&mut m, &suite2)?;
-    summarise("Property II (sleep/resume)", &reports2);
-
-    // The paper's quoted instruction-memory / IFR property, in the
-    // symbolically indexed style.
-    let mut m = BddManager::new();
-    let a = ifr::assertion(&harness, &mut m, ifr::AntecedentStyle::Indexed);
-    let report = harness.check(&mut m, &a)?;
+    // One campaign covers the whole paper flow: every suite against the
+    // recommended policy, one job per proof obligation so the pool can
+    // parallelise inside the suites.
+    let spec = CampaignSpec {
+        configs: vec![core],
+        policies: vec![ssr::engine::policy_by_name("architectural").expect("named policy")],
+        suites: Suite::ALL.to_vec(),
+        granularity: Granularity::Assertion,
+        threads: 0, // one worker per CPU
+        verbose: false,
+    };
     println!(
-        "IFR read-after-write property: holds = {} ({:.2?}, {} constraints)",
-        report.holds, report.duration, report.constraints_checked
+        "running {} proof obligations on {} worker thread(s)...",
+        spec.jobs().len(),
+        spec.effective_threads(spec.jobs().len()),
     );
+    let report = spec.run();
+    print!("{}", report.render_table());
 
-    let all_hold = reports1.iter().chain(&reports2).all(|r| r.holds) && report.holds;
     println!(
         "\nconclusion: selective retention of the architectural state {} the full suite",
-        if all_hold { "satisfies" } else { "VIOLATES" }
+        if report.all_hold() {
+            "satisfies"
+        } else {
+            "VIOLATES"
+        }
     );
     Ok(())
 }

@@ -5,7 +5,6 @@
 use ssr::bdd::BddManager;
 use ssr::cpu::{build_core, CoreConfig};
 use ssr::netlist::blif;
-use ssr::properties::CoreHarness;
 use ssr::sim::CompiledModel;
 use ssr::ste::{Assertion, Formula, Ste};
 
@@ -48,7 +47,10 @@ fn reimported_combinational_logic_still_satisfies_ste_properties() {
         .and(Formula::is0("MemWrite"))
         .and(Formula::is1("ALUSrc"));
     let report = ste
-        .check(&mut m, &Assertion::named("lw_controls_after_roundtrip", a, c))
+        .check(
+            &mut m,
+            &Assertion::named("lw_controls_after_roundtrip", a, c),
+        )
         .expect("checks");
     assert!(report.holds);
 }

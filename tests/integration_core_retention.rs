@@ -23,7 +23,10 @@ fn intent_audit_and_area_model_agree_with_the_generator() {
     let mut full_cfg = CoreConfig::small_test();
     full_cfg.retention = RetentionPolicy::full();
     let full = build_core(&full_cfg).expect("core");
-    assert!(!intent.check(&full).is_empty(), "full retention violates the `volatile IFR` rule");
+    assert!(
+        !intent.check(&full).is_empty(),
+        "full retention violates the `volatile IFR` rule"
+    );
 
     // The generated netlists reproduce the area ordering of the analytical
     // model: none < selective < full.
@@ -41,7 +44,9 @@ fn intent_audit_and_area_model_agree_with_the_generator() {
         &model,
         &LeakageModel::default(),
     );
-    assert!(rows.windows(2).all(|w| w[0].area_saving_fraction < w[1].area_saving_fraction));
+    assert!(rows
+        .windows(2)
+        .all(|w| w[0].area_saving_fraction < w[1].area_saving_fraction));
 }
 
 #[test]
@@ -121,9 +126,17 @@ fn concrete_simulation_confirms_the_symbolic_sleep_resume_result() {
         v
     };
     let after_reset = schedule.nrst_low_at + 1;
-    assert_eq!(ifr_at(after_reset), 0b111111, "IFR carries its (inert) reset value during sleep");
+    assert_eq!(
+        ifr_at(after_reset),
+        0b111111,
+        "IFR carries its (inert) reset value during sleep"
+    );
     let after_resume = schedule.post_commit_visible_at(0);
-    assert_eq!(ifr_at(after_resume), 0b111111, "IFR re-captured the opcode from the retained memory");
+    assert_eq!(
+        ifr_at(after_resume),
+        0b111111,
+        "IFR re-captured the opcode from the retained memory"
+    );
 }
 
 #[test]
@@ -137,7 +150,12 @@ fn sequencer_formula_matches_the_schedule_in_an_ste_check() {
     let a = s.formula().and(CoreHarness::imem_port_idle(s.depth));
     let c = Formula::node_is_from_to("NRET", false, lo, hi)
         .and(Formula::node_is_from_to("NRET", true, 0, lo))
-        .and(Formula::node_is_from_to("NRST", false, s.nrst_low_at, s.nrst_high_at));
+        .and(Formula::node_is_from_to(
+            "NRST",
+            false,
+            s.nrst_low_at,
+            s.nrst_high_at,
+        ));
     let report = harness
         .check(&mut m, &Assertion::named("schedule_shape", a, c))
         .expect("checks");
