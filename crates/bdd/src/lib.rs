@@ -37,7 +37,14 @@
 //!   [`Bdd`] is a plain index into that arena and is `Copy`.  Nodes are never
 //!   freed during a run (the workloads in this workspace are bounded); the
 //!   manager exposes [`BddManager::node_count`] so callers can monitor
-//!   growth and [`BddManager::clear_caches`] to drop operation caches.
+//!   growth, [`BddManager::clear_caches`] to drop operation caches, and
+//!   [`BddManager::reset`] to recycle the whole manager — capacity kept,
+//!   contents cleared — for arena reuse across batch jobs.
+//! * The hot tables (unique table, ITE computed table, quantification and
+//!   scratch caches) use the hand-rolled [`hash::FxHasher`]; ITE triples are
+//!   normalised into a standard form before the cache probe, and the
+//!   quantification cache is direct-mapped and bounded.  [`BddStats`]
+//!   surfaces hit/miss/normalisation counters for all of them.
 //! * Variable order is the order of [`BddManager::new_var`] calls.  Static
 //!   ordering helpers for interleaving vectors live in [`vec`]; dynamic
 //!   reordering (sifting) is intentionally out of scope and benchmarked as a
@@ -48,11 +55,13 @@
 
 pub mod dot;
 mod error;
+pub mod hash;
 mod manager;
 mod node;
 pub mod vec;
 
 pub use error::BddError;
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use manager::{Assignment, BddManager, BddStats};
 pub use node::Bdd;
 pub use vec::BddVec;

@@ -1,9 +1,10 @@
 //! The [`BddManager`]: node arena, unique table and all BDD algorithms.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 use crate::error::BddError;
+use crate::hash::{mix2, FxHashMap, FxHashSet};
 use crate::node::{Bdd, Node};
 
 /// A (partial) assignment of Boolean values to BDD variables.
@@ -57,6 +58,15 @@ impl Assignment {
     pub fn iter(&self) -> impl Iterator<Item = (u32, bool)> + '_ {
         self.values.iter().map(|(&v, &b)| (v, b))
     }
+
+    /// Removes the binding for `var`, returning the removed value if any.
+    ///
+    /// This is the O(log n) inverse of [`Assignment::set`], used by
+    /// enumeration code that unwinds a binding on frame exit without
+    /// rebuilding the whole assignment.
+    pub fn unset(&mut self, var: u32) -> Option<bool> {
+        self.values.remove(&var)
+    }
 }
 
 impl FromIterator<(u32, bool)> for Assignment {
@@ -95,25 +105,87 @@ pub struct BddStats {
     pub ite_cache_hits: u64,
     /// Misses recorded on the ITE computed table.
     pub ite_cache_misses: u64,
+    /// Standard-triple rewrites applied (equal-argument absorption and
+    /// commutative operand reordering), counted per rewrite — including
+    /// rewrites that short-circuit to a terminal result without probing
+    /// the cache.  Commutatively-equivalent calls thereby share one slot.
+    pub ite_normalised: u64,
+    /// Hits recorded on the bounded quantification cache.
+    pub quant_cache_hits: u64,
+    /// Misses recorded on the bounded quantification cache.
+    pub quant_cache_misses: u64,
+    /// Times this manager was recycled via [`BddManager::reset`].
+    pub resets: u64,
 }
+
+impl BddStats {
+    /// Fraction of ITE computed-table probes that hit, in `[0, 1]`; `0.0`
+    /// when no probe has happened yet.
+    pub fn ite_hit_rate(&self) -> f64 {
+        let total = self.ite_cache_hits + self.ite_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.ite_cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// One slot of the direct-mapped quantification cache: the operand, a tag
+/// packing `(generation, existential)`, and the result.  Tag `0` marks an
+/// empty slot (generations start at 1).
+#[derive(Debug, Clone, Copy)]
+struct QuantSlot {
+    f: Bdd,
+    tag: u64,
+    result: Bdd,
+}
+
+impl QuantSlot {
+    const EMPTY: QuantSlot = QuantSlot {
+        f: Bdd::FALSE,
+        tag: 0,
+        result: Bdd::FALSE,
+    };
+}
+
+/// Number of slots in the direct-mapped quantification cache.  Collisions
+/// are lossy (last writer wins), which bounds the cache at ~256 KiB per
+/// manager no matter how many generations of `exists`/`forall` run.
+const QUANT_CACHE_SLOTS: usize = 1 << 14;
 
 /// The BDD manager: owns the node arena, the unique table and all caches.
 ///
 /// See the crate-level documentation for an overview and an example.
 pub struct BddManager {
     nodes: Vec<Node>,
-    unique: HashMap<Node, Bdd>,
-    ite_cache: HashMap<(Bdd, Bdd, Bdd), Bdd>,
-    quant_cache: HashMap<(Bdd, u64, bool), Bdd>,
-    /// Generation counter for the quantification cube cache key.
+    unique: FxHashMap<Node, Bdd>,
+    ite_cache: FxHashMap<(Bdd, Bdd, Bdd), Bdd>,
+    /// Direct-mapped, generation-tagged quantification cache (bounded; see
+    /// [`QUANT_CACHE_SLOTS`]).  Allocated lazily on the first `exists` /
+    /// `forall` call so tiny managers stay cheap.
+    quant_cache: Vec<QuantSlot>,
+    /// Generation counter for the quantification cache tag.
     quant_generation: u64,
     var_names: Vec<String>,
+    /// Name → variable index, maintained by `new_var` (first declaration
+    /// wins for duplicate names, matching the old linear-scan semantics).
+    name_to_var: FxHashMap<String, u32>,
     /// `var_to_level[v]` gives the position of variable `v` in the order.
     var_to_level: Vec<u32>,
     /// `level_to_var[l]` gives the variable at order position `l`.
     level_to_var: Vec<u32>,
+    /// Reusable per-call memo table for `restrict`/`compose`/`rename`.  The
+    /// recursions take it out of the manager (`mem::take`), clear it (which
+    /// keeps capacity) and put it back, so repeated calls stop paying a
+    /// fresh allocation each time.
+    scratch: FxHashMap<Bdd, Bdd>,
     ite_hits: u64,
     ite_misses: u64,
+    ite_normalised: u64,
+    quant_hits: u64,
+    quant_misses: u64,
+    resets: u64,
 }
 
 impl fmt::Debug for BddManager {
@@ -145,16 +217,52 @@ impl BddManager {
         nodes.push(Node::terminal());
         BddManager {
             nodes,
-            unique: HashMap::with_capacity(capacity),
-            ite_cache: HashMap::with_capacity(capacity),
-            quant_cache: HashMap::new(),
+            unique: FxHashMap::with_capacity_and_hasher(capacity, Default::default()),
+            ite_cache: FxHashMap::with_capacity_and_hasher(capacity, Default::default()),
+            quant_cache: Vec::new(),
             quant_generation: 0,
             var_names: Vec::new(),
+            name_to_var: FxHashMap::default(),
             var_to_level: Vec::new(),
             level_to_var: Vec::new(),
+            scratch: FxHashMap::default(),
             ite_hits: 0,
             ite_misses: 0,
+            ite_normalised: 0,
+            quant_hits: 0,
+            quant_misses: 0,
+            resets: 0,
         }
+    }
+
+    /// Clears the manager back to its freshly-constructed state — no
+    /// variables, only the two terminal nodes — while keeping every
+    /// allocation (arena, unique table, computed tables, scratch caches) at
+    /// its current capacity.
+    ///
+    /// A reset manager is observationally identical to a new one: the same
+    /// sequence of operations produces the same handles, node counts and
+    /// statistics (except the [`BddStats::resets`] telemetry counter, which
+    /// survives).  This is what lets a campaign engine pool managers across
+    /// jobs without paying cold-allocation cost per job and without
+    /// perturbing deterministic reports.
+    pub fn reset(&mut self) {
+        self.nodes.truncate(2);
+        self.unique.clear();
+        self.ite_cache.clear();
+        self.quant_cache.clear(); // keeps capacity; re-filled lazily
+        self.quant_generation = 0;
+        self.var_names.clear();
+        self.name_to_var.clear();
+        self.var_to_level.clear();
+        self.level_to_var.clear();
+        self.scratch.clear();
+        self.ite_hits = 0;
+        self.ite_misses = 0;
+        self.ite_normalised = 0;
+        self.quant_hits = 0;
+        self.quant_misses = 0;
+        self.resets += 1;
     }
 
     // ------------------------------------------------------------------
@@ -165,7 +273,9 @@ impl BddManager {
     /// and returns its positive literal.
     pub fn new_var(&mut self, name: impl Into<String>) -> Bdd {
         let var = self.var_names.len() as u32;
-        self.var_names.push(name.into());
+        let name = name.into();
+        self.name_to_var.entry(name.clone()).or_insert(var);
+        self.var_names.push(name);
         self.var_to_level.push(var);
         self.level_to_var.push(var);
         self.mk_node(var, Bdd::FALSE, Bdd::TRUE)
@@ -210,13 +320,11 @@ impl BddManager {
         self.var_names.get(var as usize).map(|s| s.as_str())
     }
 
-    /// Looks up a variable index by name (linear scan; intended for tests
-    /// and diagnostics, not hot paths).
+    /// Looks up a variable index by name via the map `new_var` maintains
+    /// (O(1); for duplicate names the first declaration wins, as with the
+    /// linear scan this replaced).
     pub fn var_by_name(&self, name: &str) -> Option<u32> {
-        self.var_names
-            .iter()
-            .position(|n| n == name)
-            .map(|i| i as u32)
+        self.name_to_var.get(name).copied()
     }
 
     /// The order position ("level") of variable `var`; lower levels are
@@ -289,7 +397,7 @@ impl BddManager {
     /// Number of nodes reachable from `f` (the "size" of the BDD), counting
     /// terminals.
     pub fn size(&self, f: Bdd) -> usize {
-        let mut seen = HashSet::new();
+        let mut seen = FxHashSet::default();
         let mut stack = vec![f];
         while let Some(n) = stack.pop() {
             if seen.insert(n) && !n.is_terminal() {
@@ -305,6 +413,7 @@ impl BddManager {
     pub fn clear_caches(&mut self) {
         self.ite_cache.clear();
         self.quant_cache.clear();
+        self.scratch.clear();
     }
 
     /// Returns aggregate statistics about the manager.
@@ -315,6 +424,10 @@ impl BddManager {
             ite_cache_entries: self.ite_cache.len(),
             ite_cache_hits: self.ite_hits,
             ite_cache_misses: self.ite_misses,
+            ite_normalised: self.ite_normalised,
+            quant_cache_hits: self.quant_hits,
+            quant_cache_misses: self.quant_misses,
+            resets: self.resets,
         }
     }
 
@@ -325,6 +438,13 @@ impl BddManager {
     /// If-then-else: computes `(f ∧ g) ∨ (¬f ∧ h)`.
     ///
     /// All binary connectives are implemented in terms of this operation.
+    ///
+    /// Before probing the computed table the triple is rewritten into a
+    /// *standard form* so commutatively-equivalent calls share one cache
+    /// slot: `ite(f, f, h) → ite(f, 1, h)`, `ite(f, g, f) → ite(f, g, 0)`,
+    /// and for the commutative AND/OR shapes (`h = 0` / `g = 1`) the
+    /// condition is the operand that comes first in the variable order.
+    /// Rewrites are counted in [`BddStats::ite_normalised`].
     pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
         // Terminal cases.
         if f.is_true() {
@@ -333,11 +453,37 @@ impl BddManager {
         if f.is_false() {
             return h;
         }
+        // Standard-triple normalisation.  `f` is non-terminal here.  Each
+        // rewrite is counted as it fires, including those that then
+        // short-circuit into a terminal return below.
+        let mut f = f;
+        let mut g = g;
+        let mut h = h;
+        // Equal-argument absorption: f∧f ∨ ¬f∧h == f ∨ ¬f∧h, and
+        // f∧g ∨ ¬f∧f == f∧g.
+        if g == f {
+            g = Bdd::TRUE;
+            self.ite_normalised += 1;
+        }
+        if h == f {
+            h = Bdd::FALSE;
+            self.ite_normalised += 1;
+        }
         if g == h {
             return g;
         }
         if g.is_true() && h.is_false() {
             return f;
+        }
+        // Commutative canonical ordering: and(f, g) == and(g, f) and
+        // or(f, h) == or(h, f); pick the order-first operand as the
+        // condition so both spellings probe the same cache slot.
+        if h.is_false() && !g.is_terminal() && self.precedes(g, f) {
+            std::mem::swap(&mut f, &mut g);
+            self.ite_normalised += 1;
+        } else if g.is_true() && !h.is_terminal() && self.precedes(h, f) {
+            std::mem::swap(&mut f, &mut h);
+            self.ite_normalised += 1;
         }
 
         let key = (f, g, h);
@@ -363,6 +509,17 @@ impl BddManager {
         let result = self.mk_node(top_var, lo, hi);
         self.ite_cache.insert(key, result);
         result
+    }
+
+    /// `true` if `a` comes strictly before `b` in the canonical operand
+    /// order used by ITE normalisation: by level of the root variable, ties
+    /// broken by arena index (deterministic and order-aware, so the chosen
+    /// condition also tends to be the topmost variable).
+    #[inline]
+    fn precedes(&self, a: Bdd, b: Bdd) -> bool {
+        let la = self.level(a);
+        let lb = self.level(b);
+        la < lb || (la == lb && a.0 < b.0)
     }
 
     #[inline]
@@ -398,13 +555,20 @@ impl BddManager {
     }
 
     /// Exclusive or.
+    ///
+    /// Commutative-canonical: both operand orders build the same ITE triple
+    /// (xor cannot be reordered inside `ite` itself, because its else-branch
+    /// is a computed complement, so the wrapper orders the operands).
     pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let (f, g) = if self.precedes(g, f) { (g, f) } else { (f, g) };
         let ng = self.not(g);
         self.ite(f, ng, g)
     }
 
-    /// Exclusive nor (equivalence).
+    /// Exclusive nor (equivalence).  Commutative-canonical like
+    /// [`BddManager::xor`].
     pub fn xnor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let (f, g) = if self.precedes(g, f) { (g, f) } else { (f, g) };
         let ng = self.not(g);
         self.ite(f, g, ng)
     }
@@ -485,13 +649,24 @@ impl BddManager {
         }
     }
 
+    /// Takes the reusable scratch memo table out of the manager, cleared
+    /// and with its previous capacity intact.  Callers must hand it back
+    /// via `self.scratch = cache` when the recursion finishes.
+    fn take_scratch(&mut self) -> FxHashMap<Bdd, Bdd> {
+        let mut cache = std::mem::take(&mut self.scratch);
+        cache.clear();
+        cache
+    }
+
     /// Restricts variable `var` to `value` in `f` (Shannon cofactor).
     pub fn restrict(&mut self, f: Bdd, var: u32, value: bool) -> Bdd {
         if f.is_terminal() {
             return f;
         }
-        let mut cache: HashMap<Bdd, Bdd> = HashMap::new();
-        self.restrict_inner(f, var, value, &mut cache)
+        let mut cache = self.take_scratch();
+        let r = self.restrict_inner(f, var, value, &mut cache);
+        self.scratch = cache;
+        r
     }
 
     fn restrict_inner(
@@ -499,7 +674,7 @@ impl BddManager {
         f: Bdd,
         var: u32,
         value: bool,
-        cache: &mut HashMap<Bdd, Bdd>,
+        cache: &mut FxHashMap<Bdd, Bdd>,
     ) -> Bdd {
         if f.is_terminal() {
             return f;
@@ -530,37 +705,53 @@ impl BddManager {
 
     /// Existentially quantifies all variables in `vars` out of `f`.
     pub fn exists(&mut self, f: Bdd, vars: &[u32]) -> Bdd {
-        let var_set: HashSet<u32> = vars.iter().copied().collect();
-        self.quant_generation += 1;
-        let generation = self.quant_generation;
-        self.quantify_rec(f, &var_set, true, generation)
+        let tag = self.next_quant_tag(true);
+        let var_set: FxHashSet<u32> = vars.iter().copied().collect();
+        self.quantify_rec(f, &var_set, true, tag)
     }
 
     /// Universally quantifies all variables in `vars` out of `f`.
     pub fn forall(&mut self, f: Bdd, vars: &[u32]) -> Bdd {
-        let var_set: HashSet<u32> = vars.iter().copied().collect();
-        self.quant_generation += 1;
-        let generation = self.quant_generation;
-        self.quantify_rec(f, &var_set, false, generation)
+        let tag = self.next_quant_tag(false);
+        let var_set: FxHashSet<u32> = vars.iter().copied().collect();
+        self.quantify_rec(f, &var_set, false, tag)
     }
 
-    fn quantify_rec(
-        &mut self,
-        f: Bdd,
-        vars: &HashSet<u32>,
-        existential: bool,
-        generation: u64,
-    ) -> Bdd {
+    /// Advances the quantification generation and returns the cache tag for
+    /// this call, ensuring the direct-mapped cache is allocated.  Old
+    /// generations are invalidated by the tag mismatch, so the cache never
+    /// grows beyond its fixed slot count.
+    fn next_quant_tag(&mut self, existential: bool) -> u64 {
+        self.quant_generation += 1;
+        if self.quant_cache.len() != QUANT_CACHE_SLOTS {
+            // `resize` on a cleared Vec reuses its buffer after `reset()`.
+            self.quant_cache.clear();
+            self.quant_cache.resize(QUANT_CACHE_SLOTS, QuantSlot::EMPTY);
+        }
+        (self.quant_generation << 1) | existential as u64
+    }
+
+    #[inline]
+    fn quant_slot(f: Bdd, tag: u64) -> usize {
+        mix2(f.0 as u64, tag) as usize & (QUANT_CACHE_SLOTS - 1)
+    }
+
+    fn quantify_rec(&mut self, f: Bdd, vars: &FxHashSet<u32>, existential: bool, tag: u64) -> Bdd {
         if f.is_terminal() {
             return f;
         }
-        let key = (f, generation, existential);
-        if let Some(&r) = self.quant_cache.get(&key) {
-            return r;
+        let slot = Self::quant_slot(f, tag);
+        {
+            let entry = &self.quant_cache[slot];
+            if entry.tag == tag && entry.f == f {
+                self.quant_hits += 1;
+                return entry.result;
+            }
         }
+        self.quant_misses += 1;
         let n = self.nodes[f.index()];
-        let lo = self.quantify_rec(n.lo, vars, existential, generation);
-        let hi = self.quantify_rec(n.hi, vars, existential, generation);
+        let lo = self.quantify_rec(n.lo, vars, existential, tag);
+        let hi = self.quantify_rec(n.hi, vars, existential, tag);
         let result = if vars.contains(&n.var) {
             if existential {
                 self.or(lo, hi)
@@ -570,17 +761,19 @@ impl BddManager {
         } else {
             self.mk_node(n.var, lo, hi)
         };
-        self.quant_cache.insert(key, result);
+        self.quant_cache[slot] = QuantSlot { f, tag, result };
         result
     }
 
     /// Functional composition: substitutes `g` for variable `var` in `f`.
     pub fn compose(&mut self, f: Bdd, var: u32, g: Bdd) -> Bdd {
-        let mut cache = HashMap::new();
-        self.compose_rec(f, var, g, &mut cache)
+        let mut cache = self.take_scratch();
+        let r = self.compose_rec(f, var, g, &mut cache);
+        self.scratch = cache;
+        r
     }
 
-    fn compose_rec(&mut self, f: Bdd, var: u32, g: Bdd, cache: &mut HashMap<Bdd, Bdd>) -> Bdd {
+    fn compose_rec(&mut self, f: Bdd, var: u32, g: Bdd, cache: &mut FxHashMap<Bdd, Bdd>) -> Bdd {
         if f.is_terminal() {
             return f;
         }
@@ -612,16 +805,18 @@ impl BddManager {
                 return Err(BddError::InvalidVariable(to));
             }
         }
-        let mapping: HashMap<u32, u32> = map.iter().copied().collect();
-        let mut cache = HashMap::new();
-        Ok(self.rename_rec(f, &mapping, &mut cache))
+        let mapping: FxHashMap<u32, u32> = map.iter().copied().collect();
+        let mut cache = self.take_scratch();
+        let r = self.rename_rec(f, &mapping, &mut cache);
+        self.scratch = cache;
+        Ok(r)
     }
 
     fn rename_rec(
         &mut self,
         f: Bdd,
-        mapping: &HashMap<u32, u32>,
-        cache: &mut HashMap<Bdd, Bdd>,
+        mapping: &FxHashMap<u32, u32>,
+        cache: &mut FxHashMap<Bdd, Bdd>,
     ) -> Bdd {
         if f.is_terminal() {
             return f;
@@ -645,8 +840,8 @@ impl BddManager {
 
     /// Set of variables `f` depends on, in ascending index order.
     pub fn support(&self, f: Bdd) -> Vec<u32> {
-        let mut vars = HashSet::new();
-        let mut seen = HashSet::new();
+        let mut vars = FxHashSet::default();
+        let mut seen = FxHashSet::default();
         let mut stack = vec![f];
         while let Some(n) = stack.pop() {
             if n.is_terminal() || !seen.insert(n) {
@@ -755,28 +950,36 @@ impl BddManager {
             return;
         }
         let v = vars[idx];
+        // Remember any outer binding of the same variable so the frame exit
+        // can restore it instead of clobbering it (and instead of rebuilding
+        // the whole assignment, which made the enumeration O(n²)).
+        let saved = current.get(v);
         for value in [false, true] {
             let restricted = self.restrict(f, v, value);
             current.set(v, value);
             self.all_sat_rec(restricted, vars, idx + 1, current, out);
         }
-        // Remove the variable before returning to the caller's frame.
-        let mut cleaned = Assignment::new();
-        for (var, val) in current.iter() {
-            if var != v {
-                cleaned.set(var, val);
+        match saved {
+            Some(outer) => {
+                current.set(v, outer);
+            }
+            None => {
+                current.unset(v);
             }
         }
-        *current = cleaned;
     }
 
     /// Builds the conjunction of literals described by `assignment` (a
     /// "cube").
     pub fn cube(&mut self, assignment: &Assignment) -> Bdd {
-        let pairs: Vec<(u32, bool)> = assignment.iter().collect();
+        // Build bottom-up — deepest *level* first — so each conjunction adds
+        // exactly one node.  Sorting by level (not variable index) keeps the
+        // construction linear under any variable order, including the
+        // interleaved presets where index order ≠ level order.
+        let mut pairs: Vec<(u32, bool)> = assignment.iter().collect();
+        pairs.sort_by_key(|&(var, _)| std::cmp::Reverse(self.var_to_level[var as usize]));
         let mut acc = Bdd::TRUE;
-        // Build bottom-up (highest level first) for linear node creation.
-        for &(var, val) in pairs.iter().rev() {
+        for &(var, val) in &pairs {
             let lit = if val {
                 self.literal(var)
             } else {
@@ -1010,5 +1213,322 @@ mod tests {
         assert!(s.nodes_allocated >= 5);
         m.clear_caches();
         assert_eq!(m.stats().ite_cache_entries, 0);
+    }
+
+    /// Deterministic xorshift64* generator (the workspace builds offline,
+    /// so there is no `rand`); used by the randomized kernel tests.
+    struct XorShift64(u64);
+
+    impl XorShift64 {
+        fn new(seed: u64) -> Self {
+            XorShift64(seed | 1)
+        }
+
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+    }
+
+    /// Builds a random formula over `vars` by folding random connectives;
+    /// returns the same function in any manager fed the same seed.
+    fn random_formula(m: &mut BddManager, vars: &[Bdd], rng: &mut XorShift64, ops: usize) -> Bdd {
+        let mut pool: Vec<Bdd> = vars.to_vec();
+        pool.push(Bdd::TRUE);
+        pool.push(Bdd::FALSE);
+        for _ in 0..ops {
+            let a = pool[rng.below(pool.len() as u64) as usize];
+            let b = pool[rng.below(pool.len() as u64) as usize];
+            let c = pool[rng.below(pool.len() as u64) as usize];
+            let next = match rng.below(6) {
+                0 => m.and(a, b),
+                1 => m.or(a, b),
+                2 => m.xor(a, b),
+                3 => m.not(a),
+                4 => m.ite(a, b, c),
+                _ => m.implies(a, b),
+            };
+            pool.push(next);
+        }
+        *pool.last().expect("non-empty pool")
+    }
+
+    /// ITE standard-triple normalisation must not change any result: the
+    /// normalised kernel has to agree with a naive 32-row truth-table
+    /// evaluation on randomized formula batches (5 variables, so every
+    /// function is a `u32` bitmask; row `i` assigns bit `v` of `i` to
+    /// variable `v`).
+    #[test]
+    fn ite_normalisation_preserves_semantics_on_random_formulas() {
+        const VARS: u32 = 5;
+        let var_mask = |v: u32| -> u32 {
+            let mut mask = 0u32;
+            for row in 0..(1u32 << VARS) {
+                if row >> v & 1 == 1 {
+                    mask |= 1 << row;
+                }
+            }
+            mask
+        };
+        let mut rng = XorShift64::new(0x5EED_2009);
+        for round in 0..16u64 {
+            let mut m = BddManager::new();
+            let vars: Vec<Bdd> = (0..VARS).map(|i| m.new_var(format!("x{i}"))).collect();
+            // Build the BDD and the truth-table reference in lock step with
+            // the same random choices.
+            let mut pool: Vec<(Bdd, u32)> = vars
+                .iter()
+                .enumerate()
+                .map(|(v, &bdd)| (bdd, var_mask(v as u32)))
+                .collect();
+            pool.push((Bdd::TRUE, u32::MAX));
+            pool.push((Bdd::FALSE, 0));
+            for _ in 0..(40 + round) {
+                let (a, ma) = pool[rng.below(pool.len() as u64) as usize];
+                let (b, mb) = pool[rng.below(pool.len() as u64) as usize];
+                let (c, mc) = pool[rng.below(pool.len() as u64) as usize];
+                let next = match rng.below(6) {
+                    0 => (m.and(a, b), ma & mb),
+                    1 => (m.or(a, b), ma | mb),
+                    2 => (m.xor(a, b), ma ^ mb),
+                    3 => (m.not(a), !ma),
+                    4 => (m.ite(a, b, c), (ma & mb) | (!ma & mc)),
+                    _ => (m.implies(a, b), !ma | mb),
+                };
+                pool.push(next);
+            }
+            for &(f, mask) in &pool {
+                for row in 0..(1u32 << VARS) {
+                    let asg: Assignment = (0..VARS).map(|v| (v, row >> v & 1 == 1)).collect();
+                    let expected = Some(mask >> row & 1 == 1);
+                    assert_eq!(
+                        m.eval(f, &asg),
+                        expected,
+                        "normalised kernel disagrees with the naive truth table"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Commutatively-equivalent ITE calls must share one cache slot: after
+    /// `and(a, b)`, the spelling `and(b, a)` is a cache *hit*, not a miss.
+    #[test]
+    fn normalised_triples_share_cache_slots() {
+        let (mut m, a, b, _) = setup();
+        let before = m.stats();
+        let f1 = m.and(a, b);
+        let after_first = m.stats();
+        let f2 = m.and(b, a);
+        let after_second = m.stats();
+        assert_eq!(f1, f2);
+        assert!(after_first.ite_cache_misses > before.ite_cache_misses);
+        assert_eq!(
+            after_second.ite_cache_misses, after_first.ite_cache_misses,
+            "swapped operands must not miss again"
+        );
+        assert!(after_second.ite_cache_hits > after_first.ite_cache_hits);
+        assert!(after_second.ite_normalised > 0, "the rewrite was counted");
+
+        // Same for or().
+        let g1 = m.or(a, b);
+        let miss_after_or = m.stats().ite_cache_misses;
+        let g2 = m.or(b, a);
+        assert_eq!(g1, g2);
+        assert_eq!(m.stats().ite_cache_misses, miss_after_or);
+    }
+
+    /// Equal-argument triples collapse to their standard form.
+    #[test]
+    fn equal_argument_triples_are_absorbed() {
+        let (mut m, a, b, _) = setup();
+        // ite(f, f, h) == f ∨ h and ite(f, g, f) == f ∧ g.
+        let or_ab = m.or(a, b);
+        let and_ab = m.and(a, b);
+        assert_eq!(m.ite(a, a, b), or_ab);
+        assert_eq!(m.ite(a, b, a), and_ab);
+    }
+
+    /// Hit + miss counters are monotonically non-decreasing and hit rate
+    /// grows as a repeated workload warms the computed table.
+    #[test]
+    fn hit_rate_is_monotone_over_repeated_work() {
+        let mut m = BddManager::new();
+        let vars: Vec<Bdd> = (0..8).map(|i| m.new_var(format!("v{i}"))).collect();
+        let mut last = m.stats();
+        let mut last_rate = 0.0;
+        for round in 0..3 {
+            // The same conjunction/xor ladder every round: the second and
+            // third rounds replay cached triples.
+            let mut acc = Bdd::TRUE;
+            for w in vars.windows(2) {
+                let x = m.xor(w[0], w[1]);
+                acc = m.and(acc, x);
+            }
+            let s = m.stats();
+            assert!(s.ite_cache_hits >= last.ite_cache_hits);
+            assert!(s.ite_cache_misses >= last.ite_cache_misses);
+            let rate = s.ite_hit_rate();
+            if round > 0 {
+                assert!(
+                    rate >= last_rate,
+                    "hit rate must not degrade when replaying a warmed workload"
+                );
+                // The replay round itself must be almost all hits (round 1
+                // pays the recursive construction misses; replays probe the
+                // warmed table at the top level only).
+                let round_hits = s.ite_cache_hits - last.ite_cache_hits;
+                let round_misses = s.ite_cache_misses - last.ite_cache_misses;
+                assert!(
+                    round_hits > 9 * round_misses,
+                    "replay round was not cached: {round_hits} hits / {round_misses} misses"
+                );
+            }
+            last = s;
+            last_rate = rate;
+        }
+        assert!(last_rate > 0.0);
+    }
+
+    /// `reset()` must make the manager observationally identical to a fresh
+    /// one: same handles, same node counts, same stats (modulo `resets`).
+    #[test]
+    fn reset_reproduces_a_fresh_manager() {
+        let mut rng = XorShift64::new(0xBEEF);
+        let build = |m: &mut BddManager, rng: &mut XorShift64| -> (Bdd, BddStats) {
+            let vars: Vec<Bdd> = (0..6).map(|i| m.new_var(format!("r{i}"))).collect();
+            let f = random_formula(m, &vars, rng, 60);
+            let ex = m.exists(f, &[0, 2]);
+            let fa = m.forall(f, &[1]);
+            let composed = m.compose(f, 3, ex);
+            let renamed = m.rename(composed, &[(4, 5)]).expect("rename");
+            let g = m.and(renamed, fa);
+            (g, m.stats())
+        };
+        let mut fresh = BddManager::new();
+        let mut rng_a = XorShift64::new(0xBEEF);
+        let (f_fresh, s_fresh) = build(&mut fresh, &mut rng_a);
+
+        let mut pooled = BddManager::new();
+        // Dirty the manager with unrelated work, then recycle it.
+        let d0 = pooled.new_var("dirty0");
+        let d1 = pooled.new_var("dirty1");
+        let _ = pooled.xor(d0, d1);
+        let _ = pooled.exists(d0, &[0]);
+        pooled.reset();
+        let (f_pooled, s_pooled) = build(&mut pooled, &mut rng);
+
+        assert_eq!(f_fresh, f_pooled, "handles are reproduced exactly");
+        assert_eq!(s_pooled.resets, 1);
+        let normalised = BddStats {
+            resets: 0,
+            ..s_pooled
+        };
+        assert_eq!(normalised, s_fresh, "stats are reproduced exactly");
+        assert_eq!(fresh.node_count(), pooled.node_count());
+        assert_eq!(fresh.var_count(), pooled.var_count());
+        assert_eq!(pooled.var_by_name("r3"), Some(3));
+        assert_eq!(pooled.var_by_name("dirty0"), None);
+    }
+
+    /// The bounded quantification cache records hits on shared subgraphs
+    /// and stays bounded across generations.
+    #[test]
+    fn quantification_cache_is_bounded_and_hits() {
+        let mut m = BddManager::new();
+        let vars: Vec<Bdd> = (0..10).map(|i| m.new_var(format!("q{i}"))).collect();
+        let mut f = Bdd::TRUE;
+        for w in vars.chunks(2) {
+            let x = m.xor(w[0], w[1]);
+            f = m.and(f, x);
+        }
+        for _ in 0..50 {
+            let _ = m.exists(f, &[0, 2, 4]);
+            let _ = m.forall(f, &[1, 3]);
+        }
+        let s = m.stats();
+        assert!(s.quant_cache_hits > 0, "shared subgraphs hit the cache");
+        // The cache is a fixed-size array; nothing to assert about growth
+        // beyond the type, but the counters must be consistent.
+        assert!(s.quant_cache_misses > 0);
+    }
+
+    /// The `unset`-based frame unwinding must leave `all_sat` results
+    /// identical to the specification on wider variable sets (every
+    /// emitted assignment satisfies `f`, and the count matches the
+    /// satisfying-assignment count over those variables).
+    #[test]
+    fn all_sat_unwinding_is_exact_on_wider_sets() {
+        let mut m = BddManager::new();
+        let vars: Vec<Bdd> = (0..6).map(|i| m.new_var(format!("s{i}"))).collect();
+        // f = (s0 ∨ s1) ∧ (s2 xor s3) ∧ ¬s4  (s5 unconstrained).
+        let or01 = m.or(vars[0], vars[1]);
+        let x23 = m.xor(vars[2], vars[3]);
+        let n4 = m.not(vars[4]);
+        let f = {
+            let t = m.and(or01, x23);
+            m.and(t, n4)
+        };
+        let idx: Vec<u32> = (0..6).collect();
+        let sols = m.all_sat(f, &idx);
+        assert_eq!(sols.len() as f64, m.sat_count(f, 6));
+        for s in &sols {
+            assert_eq!(m.eval(f, s), Some(true));
+            assert_eq!(s.len(), 6, "every enumerated variable is bound");
+        }
+    }
+
+    /// Cube construction must stay linear (and correct) when the variable
+    /// order differs from index order.
+    #[test]
+    fn cube_follows_level_order_not_index_order() {
+        let mut m = BddManager::new();
+        // Declare interleaved: a[0] b[0] a[1] b[1] — index order ≠ the
+        // grouping a cube over only-a or only-b would iterate.
+        let a0 = m.new_var("a0");
+        let _b0 = m.new_var("b0");
+        let a1 = m.new_var("a1");
+        let _b1 = m.new_var("b1");
+        let asg: Assignment = [(0, true), (2, false)].into_iter().collect();
+        let cube = m.cube(&asg);
+        let na1 = m.not(a1);
+        let expect = m.and(a0, na1);
+        assert_eq!(cube, expect);
+        // Node growth is linear: the cube over n literals allocates at most
+        // n new nodes beyond the literals themselves.
+        let before = m.node_count();
+        let wide: Assignment = (0..4).map(|v| (v, v % 2 == 0)).collect();
+        let _ = m.cube(&wide);
+        assert!(m.node_count() - before <= 4 + 4);
+    }
+
+    #[test]
+    fn var_by_name_uses_the_index_map() {
+        let mut m = BddManager::new();
+        let _ = m.new_var("alpha");
+        let _ = m.new_var("beta");
+        let _ = m.new_var("alpha"); // duplicate: first declaration wins
+        assert_eq!(m.var_by_name("alpha"), Some(0));
+        assert_eq!(m.var_by_name("beta"), Some(1));
+        assert_eq!(m.var_by_name("gamma"), None);
+    }
+
+    #[test]
+    fn assignment_unset_removes_and_returns() {
+        let mut asg = Assignment::new();
+        assert_eq!(asg.unset(3), None);
+        asg.set(3, true);
+        asg.set(5, false);
+        assert_eq!(asg.unset(3), Some(true));
+        assert_eq!(asg.get(3), None);
+        assert_eq!(asg.len(), 1);
     }
 }

@@ -1,8 +1,16 @@
-//! # ssr-bench — the Criterion benchmark suite (experiments E1–E10)
+//! # ssr-bench — benchmarks: the criterion-free harness and the E-series
 //!
-//! This crate carries no library code; it exists to host the `benches/`
-//! directory, where each file reproduces one experiment of the paper's
-//! evaluation narrative:
+//! Two halves:
+//!
+//! * [`harness`] — the **zero-dependency wall-clock harness** behind the
+//!   `ssr bench` CLI subcommand: named BDD-kernel microbenchmarks and
+//!   end-to-end campaign workloads, warmup/median/min over N iterations,
+//!   machine-readable JSON (`ssr-bench-report/v1`) and a report differ for
+//!   regression gating.  This is what the committed `BENCH_*.json`
+//!   trajectory at the repository root is produced with, and it runs in the
+//!   fully offline build — no Criterion required.
+//! * `benches/` — the Criterion suite, where each file reproduces one
+//!   experiment of the paper's evaluation narrative:
 //!
 //! | bench                | experiment | what it measures |
 //! |----------------------|------------|------------------|
@@ -18,18 +26,25 @@
 //!
 //! ## Running
 //!
-//! The benches depend on the external `criterion` (and `rand`) crates,
-//! which the offline build environment does not vendor, so the bench
-//! targets sit behind the crate's `criterion` cargo feature and are skipped
-//! by `cargo build` / `cargo test`.  In an online environment add the
-//! dev-dependencies and run:
+//! The criterion-free harness always works, offline included:
+//!
+//! ```text
+//! cargo run --release -p ssr-cli -- bench --iterations 5 --json BENCH.json
+//! cargo run --release -p ssr-cli -- bench --diff BENCH_02.json BENCH.json
+//! ```
+//!
+//! The Criterion benches depend on the external `criterion` (and `rand`)
+//! crates, which the offline build environment does not vendor, so those
+//! bench targets sit behind the crate's `criterion` cargo feature and are
+//! skipped by `cargo build` / `cargo test`.  In an online environment add
+//! the dev-dependencies and run:
 //!
 //! ```text
 //! cargo bench -p ssr-bench --features criterion
 //! ```
 //!
-//! For a quick paper-flow timing without Criterion, the campaign engine
-//! reports per-obligation wall times instead:
+//! For a quick paper-flow timing, the campaign engine also reports
+//! per-obligation wall times:
 //!
 //! ```text
 //! cargo run --release -p ssr-cli -- campaign --suite all --granularity assertion
@@ -37,3 +52,5 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod harness;

@@ -19,6 +19,9 @@ COMMANDS:
                engine as the verification oracle
     stats      Print the generated core's state classification, netlist
                census, retention-intent audit and area/leakage savings
+    bench      Run the zero-dependency wall-clock benchmark suite (BDD
+               kernel microbenchmarks + campaign workloads) and emit an
+               `ssr-bench-report/v1` JSON; or diff two reports
     help       Show this text
 
 OPTIONS:
@@ -40,13 +43,24 @@ OPTIONS:
     --control-path <ifr|combinational|unsafe>
                                   Control-path variant of the generated
                                   core.                      [default: ifr]
-    --json <PATH|->               Also write the campaign report as JSON to
-                                  PATH (or stdout for `-`)
+    --json <PATH|->               Also write the campaign (or bench) report
+                                  as JSON to PATH (or stdout for `-`)
     --quiet                       Suppress the result table
     --verbose                     Stream per-job progress to stderr
 
+BENCH OPTIONS:
+    --iterations <N>              Timed iterations per workload [default: 5]
+    --warmup <N>                  Untimed warmup iterations     [default: 1]
+    --workload <NAME|kernel|campaign>
+                                  Select workloads; repeatable or
+                                  comma-separated.       [default: all]
+    --diff <OLD.json> <NEW.json>  Compare two bench reports (per-workload
+                                  median deltas) instead of running
+
 EXIT CODE:
     campaign/check: 0 if every checked assertion holds, 1 otherwise.
+    bench: 0 on success (including --diff), 2 on unknown workloads or
+           unreadable reports.
     minimise: 0 if the baseline (all-architectural) policy verifies;
               rejected exploration candidates are expected to fail and do
               not affect the exit code.
@@ -64,6 +78,8 @@ pub enum Action {
     Minimise,
     /// Core statistics, no checking.
     Stats,
+    /// The wall-clock benchmark suite (or a report diff).
+    Bench,
     /// Print usage.
     Help,
 }
@@ -92,6 +108,14 @@ pub struct Command {
     pub quiet: bool,
     /// Stream per-job progress to stderr.
     pub verbose: bool,
+    /// `bench`: timed iterations per workload.
+    pub iterations: u32,
+    /// `bench`: untimed warmup iterations per workload.
+    pub warmup: u32,
+    /// `bench`: workload filter (names or `kernel`/`campaign`); empty = all.
+    pub workloads: Vec<String>,
+    /// `bench --diff OLD NEW`: compare two reports instead of running.
+    pub diff: Option<(String, String)>,
 }
 
 fn parse_config(text: &str, control_path: ControlPath) -> Result<NamedConfig, String> {
@@ -147,6 +171,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         Some("check") => Action::Check,
         Some("minimise" | "minimize") => Action::Minimise,
         Some("stats") => Action::Stats,
+        Some("bench") => Action::Bench,
         Some("help" | "--help" | "-h") | None => Action::Help,
         Some(other) => return Err(format!("unknown command `{other}`")),
     };
@@ -160,6 +185,10 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     let mut json = None;
     let mut quiet = false;
     let mut verbose = false;
+    let mut iterations = 5u32;
+    let mut warmup = 1u32;
+    let mut workloads: Vec<String> = Vec::new();
+    let mut diff = None;
 
     let mut it = argv.iter().skip(1);
     while let Some(arg) = it.next() {
@@ -196,6 +225,29 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             "--json" => json = Some(value("--json")?),
             "--quiet" => quiet = true,
             "--verbose" => verbose = true,
+            "--iterations" => {
+                let v = value("--iterations")?;
+                iterations = v
+                    .parse()
+                    .map_err(|_| format!("--iterations needs a number, got `{v}`"))?;
+            }
+            "--warmup" => {
+                let v = value("--warmup")?;
+                warmup = v
+                    .parse()
+                    .map_err(|_| format!("--warmup needs a number, got `{v}`"))?;
+            }
+            "--workload" => {
+                workloads.extend(value("--workload")?.split(',').map(|w| w.trim().to_owned()));
+            }
+            "--diff" => {
+                let old = value("--diff")?;
+                let new = it
+                    .next()
+                    .cloned()
+                    .ok_or("--diff needs two report paths: OLD.json NEW.json")?;
+                diff = Some((old, new));
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -230,6 +282,10 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         json,
         quiet,
         verbose,
+        iterations,
+        warmup,
+        workloads,
+        diff,
     })
 }
 
@@ -310,6 +366,47 @@ mod tests {
         assert!(parse(&argv(&["explode"])).is_err());
         assert!(parse(&argv(&["campaign", "--frobnicate"])).is_err());
         assert!(parse(&argv(&["campaign", "--policy"])).is_err());
+    }
+
+    #[test]
+    fn bench_options_parse_with_defaults() {
+        let cmd = parse(&argv(&["bench"])).expect("parses");
+        assert_eq!(cmd.action, Action::Bench);
+        assert_eq!(cmd.iterations, 5);
+        assert_eq!(cmd.warmup, 1);
+        assert!(cmd.workloads.is_empty());
+        assert!(cmd.diff.is_none());
+
+        let cmd = parse(&argv(&[
+            "bench",
+            "--iterations",
+            "3",
+            "--warmup",
+            "0",
+            "--workload",
+            "kernel,campaign/default-assertion",
+            "--json",
+            "-",
+        ]))
+        .expect("parses");
+        assert_eq!(cmd.iterations, 3);
+        assert_eq!(cmd.warmup, 0);
+        assert_eq!(
+            cmd.workloads,
+            vec!["kernel".to_owned(), "campaign/default-assertion".to_owned()]
+        );
+        assert_eq!(cmd.json.as_deref(), Some("-"));
+    }
+
+    #[test]
+    fn bench_diff_needs_two_paths() {
+        let cmd = parse(&argv(&["bench", "--diff", "old.json", "new.json"])).expect("parses");
+        assert_eq!(
+            cmd.diff,
+            Some(("old.json".to_owned(), "new.json".to_owned()))
+        );
+        assert!(parse(&argv(&["bench", "--diff", "old.json"])).is_err());
+        assert!(parse(&argv(&["bench", "--iterations", "many"])).is_err());
     }
 
     #[test]

@@ -21,6 +21,53 @@ pub fn run(cmd: Command) -> ExitCode {
         Action::Campaign | Action::Check => campaign(&cmd),
         Action::Minimise => minimise(&cmd),
         Action::Stats => core_stats(&cmd),
+        Action::Bench => bench(&cmd),
+    }
+}
+
+fn bench(cmd: &Command) -> ExitCode {
+    use ssr_bench::harness::{run_workloads, BenchReport};
+
+    // Diff mode: compare two committed reports, no workloads run.
+    if let Some((old_path, new_path)) = &cmd.diff {
+        let load = |path: &str| -> Result<BenchReport, String> {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            BenchReport::from_json(&text).map_err(|e| format!("{path}: {e}"))
+        };
+        match (load(old_path), load(new_path)) {
+            (Ok(old), Ok(new)) => {
+                print!("{}", BenchReport::diff_table(&old, &new));
+                ExitCode::SUCCESS
+            }
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        }
+    } else {
+        let report = match run_workloads(&cmd.workloads, cmd.iterations, cmd.warmup) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if !cmd.quiet {
+            print!("{}", report.render_table());
+        }
+        if let Some(target) = &cmd.json {
+            let text = report.to_json();
+            if target == "-" {
+                print!("{text}");
+            } else if let Err(e) = std::fs::write(target, &text) {
+                eprintln!("error: cannot write {target}: {e}");
+                return ExitCode::from(2);
+            } else if !cmd.quiet {
+                println!("JSON bench report written to {target}");
+            }
+        }
+        ExitCode::SUCCESS
     }
 }
 

@@ -1,14 +1,26 @@
 //! The campaign executor: a scoped worker pool that drains the job queue.
 //!
-//! Each worker owns its own [`BddManager`] and [`CompiledModel`] per job —
-//! BDD arenas are single-threaded by construction and never cross a thread
-//! boundary.  Workers pull jobs from a shared atomic cursor (work stealing
-//! degenerates to a single fetch-add because jobs are independent), write
-//! results into their job's slot, and the report therefore comes out in
-//! enumeration order no matter how the pool interleaved the work.
+//! Two layers of reuse keep per-job overhead off the hot path:
+//!
+//! * **Shared compilation.**  Jobs with the same (config × policy) share one
+//!   [`Arc`]ed [`CoreHarness`] — the netlist is generated and the model
+//!   compiled once per combination, not once per assertion job (the
+//!   "cross-job caching" ROADMAP item).  Contexts are built up front on the
+//!   calling thread, in enumeration order, so reports stay deterministic.
+//! * **Recycled arenas.**  Each worker leases one [`BddManager`] from the
+//!   process-wide [`ManagerPool`] and `reset()`s it between jobs: arenas are
+//!   single-threaded by construction, never cross a thread boundary, and
+//!   never pay cold allocation twice.  A reset manager reproduces a fresh
+//!   manager's handles and statistics exactly, so pooling cannot perturb
+//!   results.
+//!
+//! Workers pull jobs from a shared atomic cursor (work stealing degenerates
+//! to a single fetch-add because jobs are independent), write results into
+//! their job's slot, and the report therefore comes out in enumeration order
+//! no matter how the pool interleaved the work.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use ssr_bdd::BddManager;
@@ -16,7 +28,75 @@ use ssr_properties::{CoreHarness, Suite};
 use ssr_ste::CheckReport;
 
 use crate::job::{enumerate_jobs, Granularity, JobPart, JobSpec, NamedConfig, NamedPolicy};
+use crate::pool::ManagerPool;
 use crate::report::{AssertionOutcome, CampaignReport, JobResult};
+
+/// The immutable compilation shared by every job of one (config × policy)
+/// combination: the generated-and-compiled harness, or the error/panic that
+/// prevented it (each referencing job reports the same error record).
+///
+/// Compilation is lazy (`OnceLock`): the first worker that needs a
+/// combination builds it, workers needing *different* combinations compile
+/// in parallel, and workers needing the same one block on the single build.
+/// `SharedHarness::build` is deterministic per configuration, so build
+/// order cannot perturb results.
+#[derive(Debug)]
+pub struct SharedHarness {
+    config: ssr_cpu::CoreConfig,
+    cell: std::sync::OnceLock<Result<CoreHarness, String>>,
+}
+
+impl SharedHarness {
+    /// Creates an uncompiled context for `config` (cheap; nothing is
+    /// generated until [`SharedHarness::get`]).
+    pub fn new(config: ssr_cpu::CoreConfig) -> Self {
+        SharedHarness {
+            config,
+            cell: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// Eagerly builds the harness for `config`, capturing generation errors
+    /// and panics as the error record every referencing job will carry.
+    pub fn build(config: ssr_cpu::CoreConfig) -> Self {
+        let ctx = Self::new(config);
+        let _ = ctx.get();
+        ctx
+    }
+
+    /// The compiled harness — built on first call — or the error message to
+    /// report.
+    pub fn get(&self) -> Result<&CoreHarness, &str> {
+        self.cell
+            .get_or_init(|| {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    CoreHarness::new(self.config)
+                }))
+                .map_err(|payload| format!("job panicked: {}", panic_message(&payload)))
+                .and_then(|r| r.map_err(|e| format!("netlist generation failed: {e:?}")))
+            })
+            .as_ref()
+            .map_err(String::as_str)
+    }
+}
+
+/// One shared context per job, deduplicated by the full configuration (the
+/// retention policy is already folded in by the enumeration): jobs of the
+/// same combination get clones of one `Arc`.  Contexts are created
+/// uncompiled; workers trigger the (per-combination, once-only) build.
+fn shared_harnesses(jobs: &[JobSpec]) -> Vec<Arc<SharedHarness>> {
+    let mut built: Vec<(ssr_cpu::CoreConfig, Arc<SharedHarness>)> = Vec::new();
+    jobs.iter()
+        .map(|job| {
+            if let Some((_, ctx)) = built.iter().find(|(config, _)| *config == job.config) {
+                return Arc::clone(ctx);
+            }
+            let ctx = Arc::new(SharedHarness::new(job.config));
+            built.push((job.config, Arc::clone(&ctx)));
+            ctx
+        })
+        .collect()
+}
 
 /// A campaign specification: the (configs × policies × suites) product plus
 /// execution parameters.
@@ -97,43 +177,66 @@ impl CampaignSpec {
         let threads = self.effective_threads(jobs.len());
         let started = Instant::now();
 
+        // One lazily-compiled context per (config × policy), shared across
+        // all of that combination's jobs: the first worker to need a
+        // combination builds it once, and workers on distinct combinations
+        // compile in parallel.
+        let contexts = shared_harnesses(&jobs);
+        let pool = ManagerPool::global();
+
         let cursor = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<JobResult>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
 
         std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let index = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(spec) = jobs.get(index) else { break };
-                    if self.verbose {
-                        eprintln!(
-                            "[job {}/{}] start {} {} {} {}",
-                            spec.id + 1,
-                            jobs.len(),
-                            spec.config_name,
-                            spec.policy_name,
-                            spec.suite.name(),
-                            spec.part.render(),
-                        );
+                scope.spawn(|| {
+                    // One leased arena per worker, reset between jobs.
+                    let mut manager = pool.acquire();
+                    loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(spec) = jobs.get(index) else { break };
+                        if self.verbose {
+                            eprintln!(
+                                "[job {}/{}] start {} {} {} {}",
+                                spec.id + 1,
+                                jobs.len(),
+                                spec.config_name,
+                                spec.policy_name,
+                                spec.suite.name(),
+                                spec.part.render(),
+                            );
+                        }
+                        manager.reset();
+                        // A panicking job (e.g. an assertion builder hitting
+                        // an internal assert) must not abort the campaign
+                        // and lose every completed result: capture it as the
+                        // job's error record instead.
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                run_job_with(spec, contexts[index].get(), &mut manager)
+                            }));
+                        let result = match outcome {
+                            Ok(result) => result,
+                            Err(payload) => {
+                                // The manager may be mid-operation: discard
+                                // it rather than recycle inconsistent state.
+                                manager = BddManager::new();
+                                panicked_job(spec, &payload)
+                            }
+                        };
+                        if self.verbose {
+                            eprintln!(
+                                "[job {}/{}] {} in {} ms ({} nodes)",
+                                spec.id + 1,
+                                jobs.len(),
+                                if result.holds { "holds" } else { "FAILS" },
+                                result.wall_ms,
+                                result.bdd_nodes,
+                            );
+                        }
+                        *slots[index].lock().expect("result slot poisoned") = Some(result);
                     }
-                    // A panicking job (e.g. a config that fails the core
-                    // generator's validation asserts) must not abort the
-                    // campaign and lose every completed result: capture it
-                    // as the job's error record instead.
-                    let result =
-                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_job(spec)))
-                            .unwrap_or_else(|payload| panicked_job(spec, &payload));
-                    if self.verbose {
-                        eprintln!(
-                            "[job {}/{}] {} in {} ms ({} nodes)",
-                            spec.id + 1,
-                            jobs.len(),
-                            if result.holds { "holds" } else { "FAILS" },
-                            result.wall_ms,
-                            result.bdd_nodes,
-                        );
-                    }
-                    *slots[index].lock().expect("result slot poisoned") = Some(result);
+                    pool.release(manager);
                 });
             }
         });
@@ -154,13 +257,24 @@ impl CampaignSpec {
     }
 }
 
-/// The error record for a job whose execution panicked.
-fn panicked_job(spec: &JobSpec, payload: &(dyn std::any::Any + Send)) -> JobResult {
-    let message = payload
+/// Extracts the human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
         .downcast_ref::<&str>()
         .map(|s| (*s).to_owned())
         .or_else(|| payload.downcast_ref::<String>().cloned())
-        .unwrap_or_else(|| "non-string panic payload".to_owned());
+        .unwrap_or_else(|| "non-string panic payload".to_owned())
+}
+
+/// The error record for a job whose execution panicked.
+fn panicked_job(spec: &JobSpec, payload: &(dyn std::any::Any + Send)) -> JobResult {
+    let mut result = empty_result(spec);
+    result.error = Some(format!("job panicked: {}", panic_message(payload)));
+    result
+}
+
+/// A result skeleton for `spec` with no assertions checked yet.
+fn empty_result(spec: &JobSpec) -> JobResult {
     let (config_name, policy_name, suite, part) = crate::report::job_identity(spec);
     JobResult {
         job_id: spec.id as u64,
@@ -172,45 +286,50 @@ fn panicked_job(spec: &JobSpec, payload: &(dyn std::any::Any + Send)) -> JobResu
         holds: false,
         bdd_nodes: 0,
         bdd_vars: 0,
+        ite_hits: 0,
+        ite_misses: 0,
         wall_ms: 0,
-        error: Some(format!("job panicked: {message}")),
+        error: None,
     }
 }
 
-/// Runs one job to completion on the calling thread, with a fresh BDD arena.
+/// Runs one job to completion on the calling thread, with a fresh BDD arena
+/// and a private harness build.  Convenience wrapper around
+/// [`run_job_with`] for one-off checks; campaigns share harnesses and
+/// recycle managers instead.
 pub fn run_job(spec: &JobSpec) -> JobResult {
-    let started = Instant::now();
-    let (config_name, policy_name, suite, part) = crate::report::job_identity(spec);
-    let mut result = JobResult {
-        job_id: spec.id as u64,
-        config_name,
-        policy_name,
-        suite,
-        part,
-        assertions: Vec::new(),
-        holds: false,
-        bdd_nodes: 0,
-        bdd_vars: 0,
-        wall_ms: 0,
-        error: None,
-    };
+    let context = SharedHarness::build(spec.config);
+    let mut m = BddManager::new();
+    run_job_with(spec, context.get(), &mut m)
+}
 
-    let harness = match CoreHarness::new(spec.config) {
+/// Runs one job on the calling thread against an already-compiled (or
+/// already-failed) shared harness, using the caller's manager.  The manager
+/// must be fresh or [`ssr_bdd::BddManager::reset`]; results are identical
+/// either way.
+pub fn run_job_with(
+    spec: &JobSpec,
+    harness: Result<&CoreHarness, &str>,
+    m: &mut BddManager,
+) -> JobResult {
+    let started = Instant::now();
+    let mut result = empty_result(spec);
+
+    let harness = match harness {
         Ok(h) => h,
-        Err(e) => {
-            result.error = Some(format!("netlist generation failed: {e:?}"));
+        Err(message) => {
+            result.error = Some(message.to_owned());
             result.wall_ms = started.elapsed().as_millis() as u64;
             return result;
         }
     };
 
-    let mut m = BddManager::new();
     let assertions = match spec.part {
-        JobPart::WholeSuite => spec.suite.assertions(&harness, &mut m),
-        JobPart::Assertion(index) => vec![spec.suite.assertion(&harness, &mut m, index)],
+        JobPart::WholeSuite => spec.suite.assertions(harness, m),
+        JobPart::Assertion(index) => vec![spec.suite.assertion(harness, m, index)],
     };
 
-    match harness.check_all(&mut m, &assertions) {
+    match harness.check_all(m, &assertions) {
         Ok(reports) => {
             result.assertions = reports.iter().map(summarise_check).collect();
             result.holds = reports.iter().all(|r| r.holds);
@@ -219,8 +338,11 @@ pub fn run_job(spec: &JobSpec) -> JobResult {
             result.error = Some(format!("STE elaboration failed: {e:?}"));
         }
     }
-    result.bdd_nodes = m.node_count() as u64;
-    result.bdd_vars = m.var_count() as u64;
+    let stats = m.stats();
+    result.bdd_nodes = stats.nodes_allocated as u64;
+    result.bdd_vars = stats.variables as u64;
+    result.ite_hits = stats.ite_cache_hits;
+    result.ite_misses = stats.ite_cache_misses;
     result.wall_ms = started.elapsed().as_millis() as u64;
     result
 }
@@ -362,6 +484,57 @@ mod tests {
         assert_eq!(spec.skipped_combinations(), 1);
         spec.granularity = Granularity::Assertion;
         assert_eq!(spec.skipped_combinations(), 1);
+    }
+
+    /// With manager-pool reuse and shared harnesses, rerunning the same
+    /// campaign must reproduce the report byte-for-byte (modulo wall-clock
+    /// fields, which `canonical_json` zeroes) — at either granularity.
+    #[test]
+    fn reports_are_byte_identical_across_reruns_with_pool_reuse() {
+        for granularity in [Granularity::Suite, Granularity::Assertion] {
+            let first = tiny_spec(1, granularity).run();
+            // The second run leases recycled managers from the global pool
+            // and must not be perturbed by it.
+            let second = tiny_spec(1, granularity).run();
+            assert_eq!(
+                first.canonical_json(),
+                second.canonical_json(),
+                "{} granularity rerun diverged",
+                granularity.name()
+            );
+            // The kernel telemetry itself is deterministic too.
+            for (a, b) in first.jobs.iter().zip(&second.jobs) {
+                assert_eq!(a.bdd_nodes, b.bdd_nodes);
+                assert_eq!(a.ite_hits, b.ite_hits);
+                assert_eq!(a.ite_misses, b.ite_misses);
+            }
+        }
+    }
+
+    /// Jobs of one (config × policy) share a single compiled harness.
+    #[test]
+    fn shared_harnesses_deduplicate_per_config_policy() {
+        let spec = tiny_spec(1, Granularity::Assertion);
+        let jobs = spec.jobs();
+        let contexts = shared_harnesses(&jobs);
+        assert_eq!(contexts.len(), jobs.len());
+        // Two policies × one suite at assertion granularity: every job of a
+        // policy points at the same context.
+        let distinct: std::collections::BTreeSet<usize> =
+            contexts.iter().map(|c| Arc::as_ptr(c) as usize).collect();
+        assert_eq!(distinct.len(), 2, "one harness per (config × policy)");
+    }
+
+    /// The campaign reports a positive ITE hit rate on the real workload
+    /// (triple normalisation + computed table measurably working).
+    #[test]
+    fn campaign_reports_ite_cache_telemetry() {
+        let report = tiny_spec(1, Granularity::Suite).run();
+        assert!(report.ite_hits() > 0);
+        assert!(report.ite_misses() > 0);
+        let rate = report.ite_hit_rate();
+        assert!(rate > 0.0 && rate < 1.0);
+        assert!(report.render_table().contains("ITE cache:"));
     }
 
     #[test]

@@ -11,9 +11,11 @@
 //!   whole-suite or per-obligation ([`Granularity::Assertion`])
 //!   granularity;
 //! * [`campaign`] — [`CampaignSpec::run`] executes the jobs on a scoped
-//!   worker pool.  Every job gets its own [`ssr_bdd::BddManager`] and
-//!   compiled model, so BDD arenas never cross threads and results are
-//!   bit-identical to a sequential run;
+//!   worker pool.  Jobs of one (config × policy) share a single
+//!   [`Arc`](std::sync::Arc)-compiled model ([`SharedHarness`]), each worker
+//!   leases a recycled arena from the process-wide [`ManagerPool`] and
+//!   `reset()`s it between jobs, so BDD arenas never cross threads and
+//!   results are bit-identical to a sequential run;
 //! * [`report`] — per-job results (verdicts, counterexample summaries, BDD
 //!   node counts, wall times) aggregate into a [`CampaignReport`] that
 //!   serialises to JSON (schema `ssr-campaign-report/v1`) and renders as a
@@ -51,14 +53,16 @@ pub mod campaign;
 pub mod job;
 pub mod json;
 pub mod oracle;
+pub mod pool;
 pub mod report;
 
-pub use campaign::{run_job, CampaignSpec};
+pub use campaign::{run_job, run_job_with, CampaignSpec, SharedHarness};
 pub use job::{
     enumerate_jobs, named_policies, policy_by_name, policy_name, Granularity, JobPart, JobSpec,
     NamedConfig, NamedPolicy,
 };
 pub use oracle::{minimise_with_engine, EngineOracle, MinimisationOutcome, MinimisationStep};
+pub use pool::ManagerPool;
 pub use report::{AssertionOutcome, CampaignReport, JobResult};
 
 // Re-exported so engine users can name suites without depending on

@@ -1,0 +1,123 @@
+//! A process-wide pool of recycled [`BddManager`] arenas.
+//!
+//! Per-assertion-granularity campaigns schedule many short jobs, and every
+//! job needs its own single-threaded BDD manager.  Allocating the arena,
+//! unique table and computed tables from cold for each job is pure
+//! overhead: [`BddManager::reset`] restores a manager to the
+//! freshly-constructed state while keeping every allocation at capacity.
+//! The pool keeps a small free list of reset managers so workers — and
+//! repeated campaigns, such as the minimisation oracle's per-step queries —
+//! reuse warm arenas instead of paying the cold-allocation cost again.
+//!
+//! Reset managers are observationally identical to new ones (same handles,
+//! node counts and statistics for the same operation sequence), so pooling
+//! never perturbs the deterministic campaign reports.
+
+use std::sync::{Mutex, OnceLock};
+
+use ssr_bdd::BddManager;
+
+/// A bounded free list of reset BDD managers.
+#[derive(Debug, Default)]
+pub struct ManagerPool {
+    free: Mutex<Vec<BddManager>>,
+    max_idle: usize,
+}
+
+impl ManagerPool {
+    /// Idle managers kept by the process-wide pool.  Small on purpose: one
+    /// warm arena per plausible worker on a workstation-class box.
+    pub const DEFAULT_MAX_IDLE: usize = 8;
+
+    /// Creates a pool that keeps at most `max_idle` managers on the free
+    /// list; releases beyond that simply drop the manager.
+    pub fn new(max_idle: usize) -> Self {
+        ManagerPool {
+            free: Mutex::new(Vec::new()),
+            max_idle,
+        }
+    }
+
+    /// The process-wide pool shared by every campaign in this process.
+    pub fn global() -> &'static ManagerPool {
+        static POOL: OnceLock<ManagerPool> = OnceLock::new();
+        POOL.get_or_init(|| ManagerPool::new(Self::DEFAULT_MAX_IDLE))
+    }
+
+    /// Takes a reset manager from the free list, or allocates a new one.
+    pub fn acquire(&self) -> BddManager {
+        self.free
+            .lock()
+            .expect("manager pool poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Resets `manager` and returns it to the free list (dropped instead if
+    /// the list is full).
+    pub fn release(&self, mut manager: BddManager) {
+        manager.reset();
+        let mut free = self.free.lock().expect("manager pool poisoned");
+        if free.len() < self.max_idle {
+            free.push(manager);
+        }
+    }
+
+    /// Number of managers currently idle in the pool.
+    pub fn idle(&self) -> usize {
+        self.free.lock().expect("manager pool poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_release_recycles_capacity() {
+        let pool = ManagerPool::new(2);
+        let mut m = pool.acquire();
+        let a = m.new_var("a");
+        let b = m.new_var("b");
+        let _ = m.xor(a, b);
+        let grown = m.node_count();
+        assert!(grown > 2);
+        pool.release(m);
+        assert_eq!(pool.idle(), 1);
+
+        let m2 = pool.acquire();
+        assert_eq!(pool.idle(), 0);
+        // Reset: contents gone, arena back to the two terminals.
+        assert_eq!(m2.node_count(), 2);
+        assert_eq!(m2.var_count(), 0);
+        assert_eq!(m2.stats().resets, 1);
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let pool = ManagerPool::new(1);
+        pool.release(BddManager::new());
+        pool.release(BddManager::new());
+        assert_eq!(pool.idle(), 1, "releases beyond max_idle are dropped");
+    }
+
+    #[test]
+    fn reset_manager_reproduces_fresh_results() {
+        let pool = ManagerPool::new(4);
+        let mut dirty = pool.acquire();
+        let x = dirty.new_var("x");
+        let y = dirty.new_var("y");
+        let _ = dirty.and(x, y);
+        pool.release(dirty);
+
+        let build = |m: &mut BddManager| {
+            let p = m.new_var("p");
+            let q = m.new_var("q");
+            let f = m.xor(p, q);
+            (f, m.node_count(), m.stats().ite_cache_misses)
+        };
+        let mut recycled = pool.acquire();
+        let mut fresh = BddManager::new();
+        assert_eq!(build(&mut recycled), build(&mut fresh));
+    }
+}

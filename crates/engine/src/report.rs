@@ -44,6 +44,10 @@ pub struct JobResult {
     pub bdd_nodes: u64,
     /// BDD variables allocated by the job's manager.
     pub bdd_vars: u64,
+    /// ITE computed-table hits recorded by the job's manager.
+    pub ite_hits: u64,
+    /// ITE computed-table misses recorded by the job's manager.
+    pub ite_misses: u64,
     /// Total job wall time (model compile + all checks) in milliseconds.
     pub wall_ms: u64,
     /// Set when the job could not run at all (e.g. netlist generation
@@ -88,6 +92,8 @@ impl JobResult {
             ("holds", Json::Bool(self.holds)),
             ("bdd_nodes", Json::Num(self.bdd_nodes as f64)),
             ("bdd_vars", Json::Num(self.bdd_vars as f64)),
+            ("ite_hits", Json::Num(self.ite_hits as f64)),
+            ("ite_misses", Json::Num(self.ite_misses as f64)),
             ("wall_ms", Json::Num(self.wall_ms as f64)),
             (
                 "error",
@@ -166,6 +172,10 @@ impl JobResult {
                 .ok_or("job missing `holds`")?,
             bdd_nodes: num_field("bdd_nodes")?,
             bdd_vars: num_field("bdd_vars")?,
+            // Kernel-cache telemetry: absent in pre-kernel-rework reports,
+            // parsed leniently so old v1 files still load.
+            ite_hits: v.get("ite_hits").and_then(Json::as_u64).unwrap_or(0),
+            ite_misses: v.get("ite_misses").and_then(Json::as_u64).unwrap_or(0),
             wall_ms: num_field("wall_ms")?,
             error: match v.get("error") {
                 Some(Json::Str(e)) => Some(e.clone()),
@@ -210,6 +220,51 @@ impl CampaignReport {
     /// Sum of per-job wall times — the sequential cost the pool amortised.
     pub fn cpu_ms(&self) -> u64 {
         self.jobs.iter().map(|j| j.wall_ms).sum()
+    }
+
+    /// Aggregate ITE computed-table hits across every job.
+    pub fn ite_hits(&self) -> u64 {
+        self.jobs.iter().map(|j| j.ite_hits).sum()
+    }
+
+    /// Aggregate ITE computed-table misses across every job.
+    pub fn ite_misses(&self) -> u64 {
+        self.jobs.iter().map(|j| j.ite_misses).sum()
+    }
+
+    /// Campaign-wide ITE computed-table hit rate in `[0, 1]` (`0.0` before
+    /// any probe).  Kernel-cache health for the whole workload; per-job
+    /// numbers live on [`JobResult`].
+    pub fn ite_hit_rate(&self) -> f64 {
+        let hits = self.ite_hits();
+        let total = hits + self.ite_misses();
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// A copy of the report with every wall-clock field zeroed: the
+    /// scheduling- and timing-independent content.  Two runs of the same
+    /// campaign — at any thread count, with or without manager-pool reuse —
+    /// must serialise this to byte-identical JSON.
+    pub fn canonical(&self) -> CampaignReport {
+        let mut report = self.clone();
+        report.total_wall_ms = 0;
+        for job in &mut report.jobs {
+            job.wall_ms = 0;
+            for assertion in &mut job.assertions {
+                assertion.wall_ms = 0;
+            }
+        }
+        report
+    }
+
+    /// [`CampaignReport::canonical`] serialised to JSON — the byte-stable
+    /// form used for determinism checks and report diffing.
+    pub fn canonical_json(&self) -> String {
+        self.canonical().to_json()
     }
 
     /// The scheduling-independent content of the report (everything except
@@ -351,6 +406,15 @@ impl CampaignReport {
             self.total_wall_ms,
             self.cpu_ms(),
         ));
+        let probes = self.ite_hits() + self.ite_misses();
+        if probes > 0 {
+            out.push_str(&format!(
+                "ITE cache: {:.1}% hit rate ({} hits / {} misses)\n",
+                100.0 * self.ite_hit_rate(),
+                self.ite_hits(),
+                self.ite_misses(),
+            ));
+        }
         for j in self.jobs.iter().filter(|j| !j.holds || j.error.is_some()) {
             if let Some(e) = &j.error {
                 out.push_str(&format!("job {}: ERROR: {e}\n", j.job_id));
@@ -419,6 +483,8 @@ mod tests {
                     holds: false,
                     bdd_nodes: 880,
                     bdd_vars: 70,
+                    ite_hits: 5400,
+                    ite_misses: 600,
                     wall_ms: 52,
                     error: None,
                 },
@@ -432,6 +498,8 @@ mod tests {
                     holds: false,
                     bdd_nodes: 0,
                     bdd_vars: 0,
+                    ite_hits: 0,
+                    ite_misses: 0,
                     wall_ms: 0,
                     error: Some("netlist generation failed".into()),
                 },

@@ -1,6 +1,8 @@
 //! Shared plumbing for the property suites: the generated core, its compiled
 //! model and the symbolic present-state helpers.
 
+use std::sync::Arc;
+
 use ssr_bdd::{BddManager, BddVec};
 use ssr_cpu::{build_core, CoreConfig};
 use ssr_netlist::{Netlist, NetlistError};
@@ -9,20 +11,32 @@ use ssr_ste::{Assertion, CheckReport, Formula, Ste, SteError};
 
 /// A generated core together with everything needed to check STE assertions
 /// against it.
+///
+/// The netlist is generated and the model compiled (validated + topo-sorted)
+/// exactly once, at construction; both are immutable afterwards, so a
+/// harness wrapped in an [`Arc`] can be shared across campaign jobs and
+/// worker threads without recompiling anything per assertion.
 #[derive(Debug)]
 pub struct CoreHarness {
     config: CoreConfig,
-    netlist: Netlist,
+    netlist: Arc<Netlist>,
+    model: CompiledModel,
 }
 
 impl CoreHarness {
-    /// Generates the core for `config`.
+    /// Generates the core for `config` and compiles its model.
     ///
     /// # Errors
     /// Returns a [`NetlistError`] if generation fails (a generator bug).
     pub fn new(config: CoreConfig) -> Result<Self, NetlistError> {
-        let netlist = build_core(&config)?;
-        Ok(CoreHarness { config, netlist })
+        let netlist = Arc::new(build_core(&config)?);
+        let model =
+            CompiledModel::from_arc(Arc::clone(&netlist)).expect("generated cores always compile");
+        Ok(CoreHarness {
+            config,
+            netlist,
+            model,
+        })
     }
 
     /// The configuration the core was generated from.
@@ -35,7 +49,17 @@ impl CoreHarness {
         &self.netlist
     }
 
-    /// Checks one assertion, compiling the model on the fly.
+    /// The shared handle to the generated netlist.
+    pub fn netlist_arc(&self) -> &Arc<Netlist> {
+        &self.netlist
+    }
+
+    /// The compiled model (built once at construction).
+    pub fn model(&self) -> &CompiledModel {
+        &self.model
+    }
+
+    /// Checks one assertion against the pre-compiled model.
     ///
     /// # Errors
     /// Propagates elaboration errors from the STE engine.
@@ -44,11 +68,10 @@ impl CoreHarness {
         m: &mut BddManager,
         assertion: &Assertion,
     ) -> Result<CheckReport, SteError> {
-        let model = CompiledModel::new(&self.netlist).expect("generated cores always compile");
-        Ste::new(&model).check(m, assertion)
+        Ste::new(&self.model).check(m, assertion)
     }
 
-    /// Checks a whole suite of assertions with a single compiled model.
+    /// Checks a whole suite of assertions against the pre-compiled model.
     ///
     /// # Errors
     /// Propagates elaboration errors from the STE engine.
@@ -57,8 +80,7 @@ impl CoreHarness {
         m: &mut BddManager,
         assertions: &[Assertion],
     ) -> Result<Vec<CheckReport>, SteError> {
-        let model = CompiledModel::new(&self.netlist).expect("generated cores always compile");
-        Ste::new(&model).check_all(m, assertions)
+        Ste::new(&self.model).check_all(m, assertions)
     }
 
     // ------------------------------------------------------------------

@@ -36,18 +36,18 @@ impl ConcreteState {
 
 /// Concrete (scalar ternary) simulator over a [`CompiledModel`].
 #[derive(Debug, Clone)]
-pub struct ConcreteSimulator<'m, 'n> {
-    model: &'m CompiledModel<'n>,
+pub struct ConcreteSimulator<'m> {
+    model: &'m CompiledModel,
 }
 
-impl<'m, 'n> ConcreteSimulator<'m, 'n> {
+impl<'m> ConcreteSimulator<'m> {
     /// Creates a simulator for the given model.
-    pub fn new(model: &'m CompiledModel<'n>) -> Self {
+    pub fn new(model: &'m CompiledModel) -> Self {
         ConcreteSimulator { model }
     }
 
     /// The model being simulated.
-    pub fn model(&self) -> &'m CompiledModel<'n> {
+    pub fn model(&self) -> &'m CompiledModel {
         self.model
     }
 

@@ -1,5 +1,7 @@
 //! Compilation of a netlist into an executable model.
 
+use std::sync::Arc;
+
 use ssr_netlist::topo::{eval_order, EvalOrder};
 use ssr_netlist::{CellId, Netlist, NetlistError};
 
@@ -7,24 +9,40 @@ use ssr_netlist::{CellId, Netlist, NetlistError};
 /// a topological evaluation order for the combinational cells and the list
 /// of state cells.
 ///
+/// The model *owns* its netlist behind an [`Arc`], so one compiled model —
+/// validation and topological sort included — can be shared immutably
+/// across every check (and, via `Arc` cloning, across campaign jobs and
+/// worker threads) instead of being recompiled per assertion.
+///
 /// This is the workspace's counterpart of the paper's "FSM compiled from the
 /// BLIF model with `exlif2exe`".
 #[derive(Debug, Clone)]
-pub struct CompiledModel<'a> {
-    netlist: &'a Netlist,
+pub struct CompiledModel {
+    netlist: Arc<Netlist>,
     order: EvalOrder,
     state_cells: Vec<CellId>,
 }
 
-impl<'a> CompiledModel<'a> {
+impl CompiledModel {
     /// Compiles `netlist`, validating it and computing the evaluation order.
+    /// The netlist is cloned into the model; use [`CompiledModel::from_arc`]
+    /// to share an already-`Arc`ed netlist without the copy.
     ///
     /// # Errors
     /// Returns a validation error or [`NetlistError::CombinationalLoop`] if
     /// the combinational logic is cyclic.
-    pub fn new(netlist: &'a Netlist) -> Result<Self, NetlistError> {
+    pub fn new(netlist: &Netlist) -> Result<Self, NetlistError> {
+        Self::from_arc(Arc::new(netlist.clone()))
+    }
+
+    /// Compiles a shared netlist without copying it.
+    ///
+    /// # Errors
+    /// Returns a validation error or [`NetlistError::CombinationalLoop`] if
+    /// the combinational logic is cyclic.
+    pub fn from_arc(netlist: Arc<Netlist>) -> Result<Self, NetlistError> {
         netlist.validate()?;
-        let order = eval_order(netlist)?;
+        let order = eval_order(&netlist)?;
         let state_cells = netlist.state_cells().map(|(id, _)| id).collect();
         Ok(CompiledModel {
             netlist,
@@ -34,8 +52,13 @@ impl<'a> CompiledModel<'a> {
     }
 
     /// The underlying netlist.
-    pub fn netlist(&self) -> &'a Netlist {
-        self.netlist
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The shared handle to the underlying netlist.
+    pub fn netlist_arc(&self) -> &Arc<Netlist> {
+        &self.netlist
     }
 
     /// Combinational cells in evaluation order.

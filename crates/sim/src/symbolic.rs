@@ -41,18 +41,18 @@ impl SymState {
 ///
 /// See the crate-level documentation for the timing model and an example.
 #[derive(Debug, Clone)]
-pub struct SymSimulator<'m, 'n> {
-    model: &'m CompiledModel<'n>,
+pub struct SymSimulator<'m> {
+    model: &'m CompiledModel,
 }
 
-impl<'m, 'n> SymSimulator<'m, 'n> {
+impl<'m> SymSimulator<'m> {
     /// Creates a simulator for the given model.
-    pub fn new(model: &'m CompiledModel<'n>) -> Self {
+    pub fn new(model: &'m CompiledModel) -> Self {
         SymSimulator { model }
     }
 
     /// The model being simulated.
-    pub fn model(&self) -> &'m CompiledModel<'n> {
+    pub fn model(&self) -> &'m CompiledModel {
         self.model
     }
 

@@ -73,18 +73,18 @@ impl CheckReport {
 
 /// The STE model checker bound to a compiled circuit model.
 #[derive(Debug, Clone)]
-pub struct Ste<'m, 'n> {
-    model: &'m CompiledModel<'n>,
+pub struct Ste<'m> {
+    model: &'m CompiledModel,
 }
 
-impl<'m, 'n> Ste<'m, 'n> {
+impl<'m> Ste<'m> {
     /// Creates a checker for the given model.
-    pub fn new(model: &'m CompiledModel<'n>) -> Self {
+    pub fn new(model: &'m CompiledModel) -> Self {
         Ste { model }
     }
 
     /// The model being checked.
-    pub fn model(&self) -> &'m CompiledModel<'n> {
+    pub fn model(&self) -> &'m CompiledModel {
         self.model
     }
 
