@@ -558,7 +558,7 @@ pub fn run_workloads(
                 samples.push(started.elapsed().as_nanos() as u64);
             }
             samples.sort_unstable();
-            let median_ns = samples[samples.len() / 2];
+            let median_ns = median_of_sorted(&samples);
             let mean_ns = samples.iter().sum::<u64>() / samples.len() as u64;
             WorkloadResult {
                 name: w.name.to_owned(),
@@ -580,9 +580,34 @@ pub fn run_workloads(
     })
 }
 
+/// Median of an ascending sample list: the middle element for an odd count,
+/// the average of the two middle elements for an even count (taking the
+/// upper-middle alone would bias every even-iteration headline upward).
+fn median_of_sorted(samples: &[u64]) -> u64 {
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        ((samples[n / 2 - 1] as u128 + samples[n / 2] as u128) / 2) as u64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn median_averages_the_middle_pair_for_even_counts() {
+        // Odd: the middle element.
+        assert_eq!(median_of_sorted(&[7]), 7);
+        assert_eq!(median_of_sorted(&[1, 3, 500]), 3);
+        // Even: the average of the two middle elements, not the upper one —
+        // an outlier-heavy tail must not drag the headline up.
+        assert_eq!(median_of_sorted(&[2, 4]), 3);
+        assert_eq!(median_of_sorted(&[1, 3, 5, 1000]), 4);
+        // Large nanosecond samples must not overflow the averaging.
+        assert_eq!(median_of_sorted(&[u64::MAX - 1, u64::MAX]), u64::MAX - 1);
+    }
 
     #[test]
     fn kernel_workloads_run_and_report() {

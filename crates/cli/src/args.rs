@@ -22,6 +22,11 @@ COMMANDS:
     bench      Run the zero-dependency wall-clock benchmark suite (BDD
                kernel microbenchmarks + campaign workloads) and emit an
                `ssr-bench-report/v1` JSON; or diff two reports
+    diff       Compare two campaign artifacts (reports or checkpoint
+               journals): verdict transitions per job, added/removed jobs,
+               wall-time and ITE-hit-rate deltas.  Exits 1 iff a verdict
+               regressed — the CI regression gate.
+               Usage: ssr diff OLD.json NEW.json
     help       Show this text
 
 OPTIONS:
@@ -42,11 +47,32 @@ OPTIONS:
                                   campaign/check, assertion for minimise]
     --control-path <ifr|combinational|unsafe>
                                   Control-path variant of the generated
-                                  core.                      [default: ifr]
+                                  core.  Non-default variants tag the
+                                  config name (e.g. small+unsafe-reset-ifr)
+                                  so resume/diff job identities stay
+                                  per-design.                [default: ifr]
     --json <PATH|->               Also write the campaign (or bench) report
                                   as JSON to PATH (or stdout for `-`)
     --quiet                       Suppress the result table
     --verbose                     Stream per-job progress to stderr
+
+CAMPAIGN PERSISTENCE:
+    --resume <REPORT|JOURNAL>     Skip every job whose verdict the file
+                                  already records (the job's identity —
+                                  config/policy/suite/part — is validated
+                                  against the enumeration, never just its
+                                  index) and run only the remainder; the
+                                  merged report is byte-identical (canonical
+                                  form) to an uninterrupted run
+    --checkpoint <PATH>           Append each finished job to this journal
+                                  (schema ssr-campaign-journal/v1) so an
+                                  interrupted run stays resumable.  Default:
+                                  with `--json FILE`, FILE.partial is
+                                  journalled automatically and removed once
+                                  the complete report is written
+    --limit <N>                   Stop after N job completions, leaving a
+                                  partial report/journal (interruption
+                                  simulation for tests and CI smoke)
 
 BENCH OPTIONS:
     --iterations <N>              Timed iterations per workload [default: 5]
@@ -58,7 +84,10 @@ BENCH OPTIONS:
                                   median deltas) instead of running
 
 EXIT CODE:
-    campaign/check: 0 if every checked assertion holds, 1 otherwise.
+    campaign/check: 0 if every checked assertion holds, 1 otherwise (a
+           --limit run is judged on the jobs it completed).
+    diff: 0 if no verdict regressed, 1 on regression, 2 on unreadable
+          artifacts.
     bench: 0 on success (including --diff), 2 on unknown workloads or
            unreadable reports.
     minimise: 0 if the baseline (all-architectural) policy verifies;
@@ -80,6 +109,8 @@ pub enum Action {
     Stats,
     /// The wall-clock benchmark suite (or a report diff).
     Bench,
+    /// Campaign-report regression diffing.
+    Diff,
     /// Print usage.
     Help,
 }
@@ -114,8 +145,14 @@ pub struct Command {
     pub warmup: u32,
     /// `bench`: workload filter (names or `kernel`/`campaign`); empty = all.
     pub workloads: Vec<String>,
-    /// `bench --diff OLD NEW`: compare two reports instead of running.
+    /// `bench --diff OLD NEW` / `ssr diff OLD NEW`: the two report paths.
     pub diff: Option<(String, String)>,
+    /// `campaign --resume`: path of the report/journal to resume from.
+    pub resume: Option<String>,
+    /// `campaign --checkpoint`: explicit journal path.
+    pub checkpoint: Option<String>,
+    /// `campaign --limit`: stop after this many job completions.
+    pub limit: Option<usize>,
 }
 
 fn parse_config(text: &str, control_path: ControlPath) -> Result<NamedConfig, String> {
@@ -134,6 +171,20 @@ fn parse_config(text: &str, control_path: ControlPath) -> Result<NamedConfig, St
         }
     };
     named.config.control_path = control_path;
+    // A non-default control path is a different hardware design: tag the
+    // config *name* so it is visible in reports and — crucially — part of
+    // the (config, policy, suite, part) identity that `--resume` and
+    // `ssr diff` match jobs on.  Without the tag, a journal checkpointed
+    // under `--control-path unsafe` would resume under the default path
+    // and silently reuse verdicts from the wrong design.
+    let tag = match control_path {
+        ControlPath::RefreshingIfr => None,
+        ControlPath::Combinational => Some("combinational"),
+        ControlPath::UnsafeResetIfr => Some("unsafe-reset-ifr"),
+    };
+    if let Some(tag) = tag {
+        named.name = format!("{}+{tag}", named.name);
+    }
     Ok(named)
 }
 
@@ -172,6 +223,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         Some("minimise" | "minimize") => Action::Minimise,
         Some("stats") => Action::Stats,
         Some("bench") => Action::Bench,
+        Some("diff") => Action::Diff,
         Some("help" | "--help" | "-h") | None => Action::Help,
         Some(other) => return Err(format!("unknown command `{other}`")),
     };
@@ -189,6 +241,10 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     let mut warmup = 1u32;
     let mut workloads: Vec<String> = Vec::new();
     let mut diff = None;
+    let mut resume = None;
+    let mut checkpoint = None;
+    let mut limit = None;
+    let mut positional: Vec<String> = Vec::new();
 
     let mut it = argv.iter().skip(1);
     while let Some(arg) = it.next() {
@@ -248,7 +304,26 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     .ok_or("--diff needs two report paths: OLD.json NEW.json")?;
                 diff = Some((old, new));
             }
+            "--resume" => resume = Some(value("--resume")?),
+            "--checkpoint" => checkpoint = Some(value("--checkpoint")?),
+            "--limit" => {
+                let v = value("--limit")?;
+                limit = Some(
+                    v.parse()
+                        .map_err(|_| format!("--limit needs a number, got `{v}`"))?,
+                );
+            }
+            other if action == Action::Diff && !other.starts_with('-') => {
+                positional.push(other.to_owned());
+            }
             other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+
+    if action == Action::Diff {
+        match <[String; 2]>::try_from(positional) {
+            Ok([old, new]) => diff = Some((old, new)),
+            Err(_) => return Err("diff needs exactly two paths: OLD.json NEW.json".into()),
         }
     }
 
@@ -286,6 +361,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         warmup,
         workloads,
         diff,
+        resume,
+        checkpoint,
+        limit,
     })
 }
 
@@ -410,6 +488,43 @@ mod tests {
     }
 
     #[test]
+    fn diff_takes_exactly_two_positional_paths() {
+        let cmd = parse(&argv(&["diff", "old.json", "new.json"])).expect("parses");
+        assert_eq!(cmd.action, Action::Diff);
+        assert_eq!(
+            cmd.diff,
+            Some(("old.json".to_owned(), "new.json".to_owned()))
+        );
+        assert!(parse(&argv(&["diff", "old.json"])).is_err());
+        assert!(parse(&argv(&["diff", "a.json", "b.json", "c.json"])).is_err());
+        assert!(parse(&argv(&["diff", "--frobnicate", "a", "b"])).is_err());
+    }
+
+    #[test]
+    fn persistence_flags_parse() {
+        let cmd = parse(&argv(&[
+            "campaign",
+            "--resume",
+            "partial.journal",
+            "--checkpoint",
+            "run.journal",
+            "--limit",
+            "3",
+        ]))
+        .expect("parses");
+        assert_eq!(cmd.resume.as_deref(), Some("partial.journal"));
+        assert_eq!(cmd.checkpoint.as_deref(), Some("run.journal"));
+        assert_eq!(cmd.limit, Some(3));
+        assert!(parse(&argv(&["campaign", "--limit", "soon"])).is_err());
+        assert!(parse(&argv(&["campaign", "--resume"])).is_err());
+
+        let cmd = parse(&argv(&["campaign"])).expect("parses");
+        assert_eq!(cmd.resume, None);
+        assert_eq!(cmd.checkpoint, None);
+        assert_eq!(cmd.limit, None);
+    }
+
+    #[test]
     fn control_path_applies_to_every_config() {
         let cmd = parse(&argv(&[
             "check",
@@ -425,5 +540,9 @@ mod tests {
             cmd.configs[0].config.control_path,
             ControlPath::UnsafeResetIfr
         );
+        // The tag keeps resume/diff job identities distinct per design.
+        assert_eq!(cmd.configs[0].name, "small+unsafe-reset-ifr");
+        let default = parse(&argv(&["check", "--suite", "two"])).expect("parses");
+        assert_eq!(default.configs[0].name, "small");
     }
 }

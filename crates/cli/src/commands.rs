@@ -2,7 +2,11 @@
 
 use std::process::ExitCode;
 
-use ssr_engine::{minimise_with_engine, CampaignReport, CampaignSpec, EngineOracle, Granularity};
+use ssr_engine::persist::{load_partial, plan_resume, Checkpoint, PartialCampaign};
+use ssr_engine::{
+    minimise_with_engine, CampaignReport, CampaignSpec, EngineOracle, Granularity, JobResult,
+    ReportDiff,
+};
 use ssr_netlist::stats::{stats, AreaModel};
 use ssr_properties::CoreHarness;
 use ssr_retention::area::{render_table as render_savings, savings, LeakageModel};
@@ -22,6 +26,29 @@ pub fn run(cmd: Command) -> ExitCode {
         Action::Minimise => minimise(&cmd),
         Action::Stats => core_stats(&cmd),
         Action::Bench => bench(&cmd),
+        Action::Diff => diff(&cmd),
+    }
+}
+
+/// `ssr diff OLD NEW`: verdict-regression gating between two campaign
+/// artifacts (full reports or checkpoint journals).
+fn diff(cmd: &Command) -> ExitCode {
+    let (old_path, new_path) = cmd.diff.as_ref().expect("parser enforced two paths");
+    let load = |path: &str| load_campaign_artifact(path).map(PartialCampaign::into_report);
+    match (load(old_path), load(new_path)) {
+        (Ok(old), Ok(new)) => {
+            let diff = ReportDiff::between(&old, &new);
+            print!("{}", diff.render());
+            if diff.has_regressions() {
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
     }
 }
 
@@ -124,16 +151,92 @@ fn campaign(cmd: &Command) -> ExitCode {
             );
         }
     }
-    let report = spec.run();
+    // Resume: load recorded results and report how they map onto this
+    // enumeration before running the remainder.
+    let prior: Vec<JobResult> = match &cmd.resume {
+        Some(path) => match load_campaign_artifact(path) {
+            Ok(partial) => {
+                if !cmd.quiet {
+                    let plan = plan_resume(&jobs, &partial.jobs);
+                    println!(
+                        "resume: {} recorded result(s), {} reused, {} stale \
+                         (identity mismatch, re-run), {} job(s) left to run",
+                        partial.jobs.len(),
+                        plan.reused.len(),
+                        plan.stale,
+                        plan.pending.len(),
+                    );
+                }
+                partial.jobs
+            }
+            Err(message) => {
+                eprintln!("error: {message}");
+                return ExitCode::from(2);
+            }
+        },
+        None => Vec::new(),
+    };
+
+    // Checkpoint: an explicit --checkpoint journal is kept; otherwise a
+    // `--json FILE` campaign journals to FILE.partial and removes it once
+    // the complete report lands.
+    let auto_partial = match (&cmd.checkpoint, &cmd.json) {
+        (Some(_), _) => None,
+        (None, Some(path)) if path != "-" => Some(format!("{path}.partial")),
+        _ => None,
+    };
+    let checkpoint = match cmd.checkpoint.as_ref().or(auto_partial.as_ref()) {
+        Some(path) => {
+            match Checkpoint::create(std::path::Path::new(path), granularity.name(), jobs.len()) {
+                Ok(cp) => Some(cp),
+                Err(e) => {
+                    eprintln!("error: cannot create checkpoint {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None => None,
+    };
+
+    let report = spec.run_with(&prior, checkpoint.as_ref(), cmd.limit);
+    if report.jobs.len() < jobs.len() && !cmd.quiet {
+        println!(
+            "note: partial run — {} of {} job(s) completed{}",
+            report.jobs.len(),
+            jobs.len(),
+            match checkpoint.as_ref() {
+                Some(cp) => format!("; resume with --resume {}", cp.path().display()),
+                None => String::new(),
+            },
+        );
+    }
     if let Err(message) = emit_report(cmd, &report) {
         eprintln!("error: {message}");
         return ExitCode::from(2);
+    }
+    // The complete report is durably written: the auto journal has served
+    // its purpose.  Explicit --checkpoint journals are the user's to keep.
+    if let (Some(path), true) = (&auto_partial, report.jobs.len() == jobs.len()) {
+        if cmd.json.is_some() {
+            let _ = std::fs::remove_file(path);
+        }
     }
     if report.all_hold() {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)
     }
+}
+
+/// Reads and parses a campaign artifact (full report or checkpoint
+/// journal), noting a dropped torn trailing journal line on stderr.
+fn load_campaign_artifact(path: &str) -> Result<PartialCampaign, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let partial = load_partial(&text).map_err(|e| format!("{path}: {e}"))?;
+    if partial.truncated_tail {
+        eprintln!("note: {path}: dropped a torn trailing journal line (the interrupted write)");
+    }
+    Ok(partial)
 }
 
 fn minimise(cmd: &Command) -> ExitCode {

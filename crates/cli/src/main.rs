@@ -7,6 +7,9 @@
 //!
 //! ```text
 //! ssr campaign --policy all --suite all --jobs 8
+//! ssr campaign --policy all --suite all --json report.json   # journals to report.json.partial
+//! ssr campaign --policy all --suite all --resume report.json.partial
+//! ssr diff     last-good.json report.json                    # exit 1 iff a verdict regressed
 //! ssr check    --policy no-imem --suite two
 //! ssr minimise --jobs 8
 //! ssr stats    --config small --policy architectural

@@ -28,6 +28,7 @@ use ssr_properties::{CoreHarness, Suite};
 use ssr_ste::CheckReport;
 
 use crate::job::{enumerate_jobs, Granularity, JobPart, JobSpec, NamedConfig, NamedPolicy};
+use crate::persist::{plan_resume, Checkpoint};
 use crate::pool::ManagerPool;
 use crate::report::{AssertionOutcome, CampaignReport, JobResult};
 
@@ -173,9 +174,42 @@ impl CampaignSpec {
 
     /// Runs the campaign and collects the report.
     pub fn run(&self) -> CampaignReport {
+        self.run_with(&[], None, None)
+    }
+
+    /// Runs the campaign, resuming from `prior` results, optionally
+    /// checkpointing to `checkpoint` and stopping after `limit` fresh job
+    /// completions.
+    ///
+    /// * `prior` — recorded results from an earlier (partial) run of the
+    ///   same campaign.  Each is reused — not re-run — iff the job at its
+    ///   recorded id carries the same (config, policy, suite, part)
+    ///   identity; mismatches are ignored and re-run.  Because job
+    ///   execution is deterministic, the merged report's
+    ///   [`CampaignReport::canonical_json`] is byte-identical to an
+    ///   uninterrupted run's.
+    /// * `checkpoint` — a journal that receives every result (reused ones
+    ///   up front, fresh ones as workers finish), so the run is resumable
+    ///   from the instant it dies.  Journal I/O errors are reported to
+    ///   stderr but never abort the campaign.
+    /// * `limit` — run at most this many *pending* jobs, leaving the rest
+    ///   unvisited (interruption simulation for tests and smoke runs); the
+    ///   report then contains only the completed jobs.
+    pub fn run_with(
+        &self,
+        prior: &[JobResult],
+        checkpoint: Option<&Checkpoint>,
+        limit: Option<usize>,
+    ) -> CampaignReport {
         let jobs = self.jobs();
-        let threads = self.effective_threads(jobs.len());
         let started = Instant::now();
+
+        let plan = plan_resume(&jobs, prior);
+        let mut pending = plan.pending;
+        if let Some(limit) = limit {
+            pending.truncate(limit);
+        }
+        let threads = self.effective_threads(pending.len());
 
         // One lazily-compiled context per (config × policy), shared across
         // all of that combination's jobs: the first worker to need a
@@ -186,6 +220,10 @@ impl CampaignSpec {
 
         let cursor = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<JobResult>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+        for (index, result) in plan.reused {
+            record_checkpoint(checkpoint, &result);
+            *slots[index].lock().expect("result slot poisoned") = Some(result);
+        }
 
         std::thread::scope(|scope| {
             for _ in 0..threads {
@@ -193,8 +231,9 @@ impl CampaignSpec {
                     // One leased arena per worker, reset between jobs.
                     let mut manager = pool.acquire();
                     loop {
-                        let index = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(spec) = jobs.get(index) else { break };
+                        let at = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&index) = pending.get(at) else { break };
+                        let spec = &jobs[index];
                         if self.verbose {
                             eprintln!(
                                 "[job {}/{}] start {} {} {} {}",
@@ -234,6 +273,7 @@ impl CampaignSpec {
                                 result.bdd_nodes,
                             );
                         }
+                        record_checkpoint(checkpoint, &result);
                         *slots[index].lock().expect("result slot poisoned") = Some(result);
                     }
                     pool.release(manager);
@@ -244,15 +284,27 @@ impl CampaignSpec {
         CampaignReport {
             threads: threads as u64,
             granularity: self.granularity.name().to_owned(),
+            // With a `limit`, unvisited slots stay empty and the report is
+            // partial (job ids keep their enumeration values, so a later
+            // resume still validates identities).
             jobs: slots
                 .into_iter()
-                .map(|slot| {
-                    slot.into_inner()
-                        .expect("result slot poisoned")
-                        .expect("every job slot is filled once the scope joins")
-                })
+                .filter_map(|slot| slot.into_inner().expect("result slot poisoned"))
                 .collect(),
             total_wall_ms: started.elapsed().as_millis() as u64,
+        }
+    }
+}
+
+/// Best-effort journal append: persistence failures warn, never abort.
+fn record_checkpoint(checkpoint: Option<&Checkpoint>, result: &JobResult) {
+    if let Some(cp) = checkpoint {
+        if let Err(e) = cp.record(result) {
+            eprintln!(
+                "warning: cannot checkpoint job {} to {}: {e}",
+                result.job_id,
+                cp.path().display()
+            );
         }
     }
 }
@@ -397,6 +449,9 @@ mod tests {
         let sequential = tiny_spec(1, Granularity::Suite).run();
         let parallel = tiny_spec(4, Granularity::Suite).run();
         assert_eq!(sequential.fingerprint(), parallel.fingerprint());
+        // The canonical artifact zeroes scheduling metadata, so it is
+        // byte-identical across thread counts too.
+        assert_eq!(sequential.canonical_json(), parallel.canonical_json());
         // The architectural policy holds, the none policy does not.
         assert!(sequential.jobs[0].holds);
         assert!(!sequential.jobs[1].holds);
@@ -535,6 +590,58 @@ mod tests {
         let rate = report.ite_hit_rate();
         assert!(rate > 0.0 && rate < 1.0);
         assert!(report.render_table().contains("ITE cache:"));
+    }
+
+    /// The acceptance criterion of the persistence work: interrupt a
+    /// campaign (job-limit simulation), resume from its partial results,
+    /// and the merged report's canonical JSON is byte-identical to an
+    /// uninterrupted run — at either granularity and across thread counts.
+    #[test]
+    fn resumed_campaigns_are_byte_identical_to_fresh_runs() {
+        for granularity in [Granularity::Suite, Granularity::Assertion] {
+            let fresh = tiny_spec(1, granularity).run();
+            let partial = tiny_spec(1, granularity).run_with(&[], None, Some(1));
+            assert_eq!(partial.jobs.len(), 1, "the limit interrupted the run");
+            assert!(
+                partial.jobs.len() < fresh.jobs.len(),
+                "something must be left to resume"
+            );
+            // Resume on a different worker count: scheduling must not leak
+            // into the canonical artifact.
+            let resumed = tiny_spec(2, granularity).run_with(&partial.jobs, None, None);
+            assert_eq!(resumed.jobs.len(), fresh.jobs.len());
+            assert_eq!(
+                resumed.canonical_json(),
+                fresh.canonical_json(),
+                "{} granularity resume diverged",
+                granularity.name()
+            );
+        }
+    }
+
+    /// Reused results must be identity-checked: a record whose identity
+    /// does not match the enumerated job at its id is re-run, not trusted.
+    #[test]
+    fn resume_reruns_tampered_records() {
+        let fresh = tiny_spec(1, Granularity::Suite).run();
+        let mut tampered = fresh.jobs.clone();
+        // Swap the two jobs' ids: both records now claim the other's slot.
+        tampered[0].job_id = 1;
+        tampered[1].job_id = 0;
+        let resumed = tiny_spec(1, Granularity::Suite).run_with(&tampered, None, None);
+        assert_eq!(resumed.canonical_json(), fresh.canonical_json());
+    }
+
+    /// A fully-recorded resume runs nothing and reproduces the report.
+    #[test]
+    fn resume_of_a_complete_report_runs_no_jobs() {
+        let fresh = tiny_spec(1, Granularity::Suite).run();
+        let resumed = tiny_spec(1, Granularity::Suite).run_with(&fresh.jobs, None, None);
+        assert_eq!(resumed.canonical_json(), fresh.canonical_json());
+        // The reused results keep their recorded wall times (nothing ran).
+        for (a, b) in resumed.jobs.iter().zip(&fresh.jobs) {
+            assert_eq!(a.wall_ms, b.wall_ms);
+        }
     }
 
     #[test]

@@ -17,7 +17,9 @@ pub enum Json {
     Null,
     /// `true` / `false`.
     Bool(bool),
-    /// A number (stored as `f64`; exact for integers below 2⁵³).
+    /// A number (stored as `f64`; exact for integers below 2⁵³).  JSON has
+    /// no non-finite literals: the writer renders NaN/±infinity as `null`,
+    /// and the parser rejects literals that overflow `f64`.
     Num(f64),
     /// A string.
     Str(String),
@@ -106,7 +108,17 @@ impl Json {
             Json::Bool(true) => out.push_str("true"),
             Json::Bool(false) => out.push_str("false"),
             Json::Num(n) => {
-                if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                if !n.is_finite() {
+                    // JSON has no NaN/Infinity literals; emitting them would
+                    // produce a document no parser (including ours) accepts.
+                    // Degrade to `null`, the same lossy-but-valid choice
+                    // serde_json makes for out-of-domain floats.
+                    out.push_str("null");
+                } else if *n == 0.0 && n.is_sign_negative() {
+                    // `-0.0` is a valid JSON number; keep the sign so the
+                    // round trip is exact rather than silently writing `0`.
+                    out.push_str("-0.0");
+                } else if n.fract() == 0.0 && n.abs() < 9.0e15 {
                     let _ = write!(out, "{}", *n as i64);
                 } else {
                     let _ = write!(out, "{n}");
@@ -165,6 +177,7 @@ impl Json {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let value = p.value()?;
@@ -211,9 +224,16 @@ impl std::fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
+/// Maximum container nesting the parser accepts.  The recursive-descent
+/// parser uses one stack frame per `[`/`{` level, so an adversarial or
+/// corrupted resume file like `"[[[[…"` must be bounded before it overflows
+/// the thread stack; every document this workspace writes is < 10 deep.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -360,17 +380,31 @@ impl<'a> Parser<'a> {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| self.err(format!("invalid number `{text}`")))
+        match text.parse::<f64>() {
+            // `1e999` parses to infinity: reject it rather than admit a
+            // value the writer cannot represent again.
+            Ok(n) if n.is_finite() => Ok(Json::Num(n)),
+            Ok(_) => Err(self.err(format!("number `{text}` overflows f64"))),
+            Err(_) => Err(self.err(format!("invalid number `{text}`"))),
+        }
+    }
+
+    fn descend(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        Ok(())
     }
 
     fn array(&mut self) -> Result<Json, JsonError> {
         self.expect(b'[')?;
+        self.descend()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -381,6 +415,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(self.err("expected `,` or `]`")),
@@ -390,10 +425,12 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self) -> Result<Json, JsonError> {
         self.expect(b'{')?;
+        self.descend()?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(map));
         }
         loop {
@@ -409,6 +446,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(map));
                 }
                 _ => return Err(self.err("expected `,` or `}`")),
@@ -463,5 +501,72 @@ mod tests {
     fn integers_survive_the_round_trip_exactly() {
         let doc = Json::Arr(vec![Json::Num(0.0), Json::Num(9007199254740991.0)]);
         assert_eq!(Json::parse(&doc.render()).expect("parses"), doc);
+    }
+
+    #[test]
+    fn non_finite_numbers_serialise_as_null_not_invalid_json() {
+        for n in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let doc = Json::Arr(vec![Json::Num(n), Json::Num(1.5)]);
+            let text = doc.render();
+            assert!(!text.contains("NaN") && !text.contains("inf"), "{text}");
+            // The document stays valid JSON: it parses, with the
+            // out-of-domain value degraded to null.
+            assert_eq!(
+                Json::parse(&text).expect("valid JSON"),
+                Json::Arr(vec![Json::Null, Json::Num(1.5)])
+            );
+        }
+    }
+
+    #[test]
+    fn negative_zero_keeps_its_sign_through_the_round_trip() {
+        let text = Json::Num(-0.0).render();
+        assert_eq!(text, "-0.0");
+        match Json::parse(&text).expect("parses") {
+            Json::Num(n) => {
+                assert_eq!(n, 0.0);
+                assert!(n.is_sign_negative(), "sign must survive");
+            }
+            other => panic!("expected a number, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn finite_float_round_trip_is_exact() {
+        for n in [0.4817, -2.5, 1.0e-300, 123456789.125] {
+            let doc = Json::Num(n);
+            assert_eq!(Json::parse(&doc.render()).expect("parses"), doc);
+        }
+    }
+
+    #[test]
+    fn overflowing_number_literals_are_rejected() {
+        for bad in ["1e999", "-1e999"] {
+            assert!(Json::parse(bad).is_err(), "`{bad}` should be rejected");
+        }
+        // Underflow collapses to (signed) zero, which is representable.
+        assert!(Json::parse("1e-999").is_ok());
+    }
+
+    #[test]
+    fn hostile_nesting_errors_cleanly_instead_of_overflowing_the_stack() {
+        let deep_array = "[".repeat(100_000);
+        let err = Json::parse(&deep_array).expect_err("must be rejected");
+        assert!(err.message.contains("nesting"), "{err}");
+        let deep_object = "{\"k\":".repeat(100_000);
+        let err = Json::parse(&deep_object).expect_err("must be rejected");
+        assert!(err.message.contains("nesting"), "{err}");
+    }
+
+    #[test]
+    fn realistic_nesting_is_well_within_the_depth_limit() {
+        let text = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(Json::parse(&text).is_ok(), "{MAX_DEPTH} levels must parse");
+        let text = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        assert!(Json::parse(&text).is_err());
     }
 }

@@ -20,6 +20,13 @@
 //!   node counts, wall times) aggregate into a [`CampaignReport`] that
 //!   serialises to JSON (schema `ssr-campaign-report/v1`) and renders as a
 //!   human-readable table;
+//! * [`persist`] — campaign persistence: an incremental [`Checkpoint`]
+//!   journal (schema `ssr-campaign-journal/v1`) written as workers finish,
+//!   a loader for interrupted artifacts ([`load_partial`]) and the
+//!   identity-validated [`plan_resume`] behind `ssr campaign --resume`;
+//! * [`diff`] — [`ReportDiff`] compares two reports job-by-job (verdict
+//!   transitions, added/removed jobs, wall/ITE deltas) and flags verdict
+//!   regressions for CI gating (`ssr diff`);
 //! * [`oracle`] — the engine doubles as the verification oracle of the
 //!   paper's retention-set exploration: [`minimise_with_engine`] drives
 //!   `ssr_retention::selection::minimise` with a parallel campaign per
@@ -50,18 +57,22 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod diff;
 pub mod job;
 pub mod json;
 pub mod oracle;
+pub mod persist;
 pub mod pool;
 pub mod report;
 
 pub use campaign::{run_job, run_job_with, CampaignSpec, SharedHarness};
+pub use diff::{JobKey, ReportDiff, Verdict, VerdictChange};
 pub use job::{
     enumerate_jobs, named_policies, policy_by_name, policy_name, Granularity, JobPart, JobSpec,
     NamedConfig, NamedPolicy,
 };
 pub use oracle::{minimise_with_engine, EngineOracle, MinimisationOutcome, MinimisationStep};
+pub use persist::{load_partial, plan_resume, Checkpoint, PartialCampaign, ResumePlan};
 pub use pool::ManagerPool;
 pub use report::{AssertionOutcome, CampaignReport, JobResult};
 

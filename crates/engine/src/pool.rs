@@ -13,7 +13,7 @@
 //! node counts and statistics for the same operation sequence), so pooling
 //! never perturbs the deterministic campaign reports.
 
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, MutexGuard, OnceLock};
 
 use ssr_bdd::BddManager;
 
@@ -44,20 +44,34 @@ impl ManagerPool {
         POOL.get_or_init(|| ManagerPool::new(Self::DEFAULT_MAX_IDLE))
     }
 
+    /// Locks the free list, recovering from poisoning.  A worker that
+    /// panics while holding the lock would otherwise cascade: the global
+    /// pool stays poisoned forever and every later `acquire` — in this
+    /// campaign and every subsequent one in the process — panics too.  The
+    /// list is only a cache of reset arenas, so discarding it on poison is
+    /// always safe; callers then repopulate it with fresh managers.
+    fn free_list(&self) -> MutexGuard<'_, Vec<BddManager>> {
+        match self.free.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.free.clear_poison();
+                let mut guard = poisoned.into_inner();
+                guard.clear();
+                guard
+            }
+        }
+    }
+
     /// Takes a reset manager from the free list, or allocates a new one.
     pub fn acquire(&self) -> BddManager {
-        self.free
-            .lock()
-            .expect("manager pool poisoned")
-            .pop()
-            .unwrap_or_default()
+        self.free_list().pop().unwrap_or_default()
     }
 
     /// Resets `manager` and returns it to the free list (dropped instead if
     /// the list is full).
     pub fn release(&self, mut manager: BddManager) {
         manager.reset();
-        let mut free = self.free.lock().expect("manager pool poisoned");
+        let mut free = self.free_list();
         if free.len() < self.max_idle {
             free.push(manager);
         }
@@ -65,7 +79,7 @@ impl ManagerPool {
 
     /// Number of managers currently idle in the pool.
     pub fn idle(&self) -> usize {
-        self.free.lock().expect("manager pool poisoned").len()
+        self.free_list().len()
     }
 }
 
@@ -99,6 +113,29 @@ mod tests {
         pool.release(BddManager::new());
         pool.release(BddManager::new());
         assert_eq!(pool.idle(), 1, "releases beyond max_idle are dropped");
+    }
+
+    #[test]
+    fn a_poisoned_pool_recovers_instead_of_cascading() {
+        let pool = ManagerPool::new(2);
+        pool.release(BddManager::new());
+        assert_eq!(pool.idle(), 1);
+        // Poison the lock the way a crashing worker would: panic while
+        // holding it.
+        let result = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let _guard = pool.free.lock().expect("not yet poisoned");
+                    panic!("worker dies while holding the pool lock");
+                })
+                .join()
+        });
+        assert!(result.is_err(), "the worker did panic");
+        // Every pool operation still works; the idle cache was discarded.
+        assert_eq!(pool.idle(), 0);
+        let manager = pool.acquire();
+        pool.release(manager);
+        assert_eq!(pool.idle(), 1, "the pool caches managers again");
     }
 
     #[test]

@@ -61,7 +61,7 @@ impl JobResult {
         self.assertions.iter().filter(|a| a.holds).count()
     }
 
-    fn to_json(&self) -> Json {
+    pub(crate) fn to_json(&self) -> Json {
         Json::obj([
             ("job_id", Json::Num(self.job_id as f64)),
             ("config", Json::Str(self.config_name.clone())),
@@ -105,7 +105,7 @@ impl JobResult {
         ])
     }
 
-    fn from_json(v: &Json) -> Result<JobResult, String> {
+    pub(crate) fn from_json(v: &Json) -> Result<JobResult, String> {
         let str_field = |key: &str| -> Result<String, String> {
             v.get(key)
                 .and_then(Json::as_str)
@@ -245,13 +245,15 @@ impl CampaignReport {
         }
     }
 
-    /// A copy of the report with every wall-clock field zeroed: the
-    /// scheduling- and timing-independent content.  Two runs of the same
-    /// campaign — at any thread count, with or without manager-pool reuse —
-    /// must serialise this to byte-identical JSON.
+    /// A copy of the report with every wall-clock field and the worker
+    /// count zeroed: the scheduling- and timing-independent content.  Two
+    /// runs of the same campaign — at any thread count, with or without
+    /// manager-pool reuse, fresh or resumed from a checkpoint — must
+    /// serialise this to byte-identical JSON.
     pub fn canonical(&self) -> CampaignReport {
         let mut report = self.clone();
         report.total_wall_ms = 0;
+        report.threads = 0;
         for job in &mut report.jobs {
             job.wall_ms = 0;
             for assertion in &mut job.assertions {

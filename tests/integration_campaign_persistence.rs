@@ -1,0 +1,98 @@
+//! Campaign persistence end to end: a campaign is "killed" mid-run (the
+//! engine's job-limit interruption simulation) while checkpointing to a
+//! real on-disk journal; a second process-life loads that journal back,
+//! resumes, and must produce a report whose canonical JSON is
+//! byte-identical to an uninterrupted run.  The diff layer then gates the
+//! pair: fresh vs resumed shows no verdict regression, while a doctored
+//! report does.
+
+use std::path::PathBuf;
+
+use ssr::engine::persist::{load_partial, plan_resume, Checkpoint};
+use ssr::engine::{CampaignReport, CampaignSpec, Granularity, NamedConfig, ReportDiff, Suite};
+
+fn spec(threads: usize) -> CampaignSpec {
+    CampaignSpec {
+        configs: vec![NamedConfig::small()],
+        policies: vec![
+            ssr::engine::policy_by_name("architectural").expect("named"),
+            ssr::engine::policy_by_name("none").expect("named"),
+        ],
+        suites: Suite::ALL.to_vec(),
+        granularity: Granularity::Suite,
+        threads,
+        verbose: false,
+    }
+}
+
+fn journal_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "ssr-integration-{}-{tag}.journal",
+        std::process::id()
+    ))
+}
+
+#[test]
+fn killed_campaign_resumes_to_a_byte_identical_report() {
+    let fresh = spec(2).run();
+    assert_eq!(fresh.jobs.len(), 6, "2 policies x 3 suites");
+
+    // First life: checkpoint to disk, die after three jobs.
+    let path = journal_path("kill-resume");
+    let checkpoint = Checkpoint::create(&path, "suite", 6).expect("journal creates");
+    let partial_report = spec(1).run_with(&[], Some(&checkpoint), Some(3));
+    assert_eq!(partial_report.jobs.len(), 3, "the run was interrupted");
+    drop(checkpoint);
+
+    // Second life: everything known about the first run comes from disk.
+    let text = std::fs::read_to_string(&path).expect("journal readable");
+    let recovered = load_partial(&text).expect("journal loads");
+    assert!(!recovered.complete_report);
+    assert!(!recovered.truncated_tail);
+    assert_eq!(recovered.jobs.len(), 3);
+
+    // Only the missing jobs run; the merge is indistinguishable from an
+    // uninterrupted campaign.
+    let plan = plan_resume(&spec(1).jobs(), &recovered.jobs);
+    assert_eq!(plan.reused.len(), 3);
+    assert_eq!(plan.pending.len(), 3);
+    let resumed = spec(1).run_with(&recovered.jobs, None, None);
+    assert_eq!(resumed.canonical_json(), fresh.canonical_json());
+
+    // Regression gating over the pair: nothing regressed.
+    let diff = ReportDiff::between(&fresh, &resumed);
+    assert!(!diff.has_regressions());
+    assert_eq!(diff.matched, 6);
+    assert!(diff.added.is_empty() && diff.removed.is_empty());
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn report_json_parse_report_round_trip_is_equal() {
+    let report = spec(2).run();
+    let reparsed = CampaignReport::from_json(&report.to_json()).expect("parses");
+    assert_eq!(reparsed, report, "report -> JSON -> parse -> report");
+    // And the persistence loader accepts the same document.
+    let via_loader = load_partial(&report.to_json()).expect("loads");
+    assert!(via_loader.complete_report);
+    assert_eq!(via_loader.into_report(), report);
+}
+
+#[test]
+fn diff_gates_a_doctored_verdict() {
+    let fresh = spec(2).run();
+    let mut doctored = fresh.clone();
+    let good = doctored
+        .jobs
+        .iter_mut()
+        .find(|j| j.holds)
+        .expect("some job holds");
+    good.holds = false;
+    for a in &mut good.assertions {
+        a.holds = false;
+    }
+    let diff = ReportDiff::between(&fresh, &doctored);
+    assert!(diff.has_regressions(), "holds -> FAILS must gate");
+    assert!(!ReportDiff::between(&doctored, &fresh).has_regressions());
+}
