@@ -1,6 +1,6 @@
 //! Graphviz dot export for debugging BDDs.
 
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 use std::fmt::Write as _;
 
 use crate::{Bdd, BddManager};
@@ -8,7 +8,11 @@ use crate::{Bdd, BddManager};
 /// Renders the BDD rooted at `f` as a Graphviz `digraph` string.
 ///
 /// Solid edges are the high (`var = 1`) cofactors, dashed edges the low
-/// cofactors; terminals are drawn as boxes.
+/// cofactors; terminals are drawn as boxes.  Nodes are ranked by their
+/// variable's *current level* (one `rank=same` group per level, the level
+/// shown in the label), so a diagram exported after dynamic reordering
+/// draws the order the manager actually uses — not the declaration-order
+/// artifact of the variable indices.
 ///
 /// ```
 /// use ssr_bdd::{dot, BddManager};
@@ -18,7 +22,7 @@ use crate::{Bdd, BddManager};
 /// let f = m.and(a, b);
 /// let text = dot::to_dot(&m, f, "f");
 /// assert!(text.contains("digraph"));
-/// assert!(text.contains("a"));
+/// assert!(text.contains("rank=same"));
 /// ```
 pub fn to_dot(manager: &BddManager, f: Bdd, name: &str) -> String {
     let mut out = String::new();
@@ -28,6 +32,7 @@ pub fn to_dot(manager: &BddManager, f: Bdd, name: &str) -> String {
     let _ = writeln!(out, "  n1 [label=\"1\", shape=box];");
 
     let mut seen: HashSet<Bdd> = HashSet::new();
+    let mut ranks: BTreeMap<u32, Vec<Bdd>> = BTreeMap::new();
     let mut stack = vec![f];
     while let Some(node) = stack.pop() {
         if node.is_terminal() || !seen.insert(node) {
@@ -36,15 +41,18 @@ pub fn to_dot(manager: &BddManager, f: Bdd, name: &str) -> String {
         let var = manager
             .var_of(node)
             .expect("non-terminal nodes have a variable");
+        let level = manager.level_of_var(var);
+        ranks.entry(level).or_default().push(node);
         let label = manager
             .var_name(var)
             .map(str::to_owned)
             .unwrap_or_else(|| format!("x{var}"));
         let _ = writeln!(
             out,
-            "  n{} [label=\"{}\", shape=circle];",
+            "  n{} [label=\"{} (L{})\", shape=circle];",
             node.index(),
-            label
+            label,
+            level
         );
         let lo = manager.lo(node);
         let hi = manager.hi(node);
@@ -57,6 +65,13 @@ pub fn to_dot(manager: &BddManager, f: Bdd, name: &str) -> String {
         let _ = writeln!(out, "  n{} -> n{};", node.index(), hi.index());
         stack.push(lo);
         stack.push(hi);
+    }
+    // One rank group per level, emitted top level first so the file reads
+    // in order even before Graphviz lays it out.
+    for (_, mut nodes) in ranks {
+        nodes.sort();
+        let ids: Vec<String> = nodes.iter().map(|n| format!("n{}", n.index())).collect();
+        let _ = writeln!(out, "  {{ rank=same; {}; }}", ids.join("; "));
     }
     let _ = writeln!(out, "}}");
     out
@@ -75,11 +90,26 @@ mod tests {
         let f = m.ite(a, b, c);
         let text = to_dot(&m, f, "mux");
         assert!(text.starts_with("digraph"));
-        assert!(text.contains("sel"));
+        assert!(text.contains("sel (L0)"));
         assert!(text.contains("d0"));
         assert!(text.contains("d1"));
         assert!(text.contains("style=dashed"));
+        assert!(text.contains("rank=same"));
         assert!(text.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_ranks_follow_the_current_order_after_a_swap() {
+        let mut m = BddManager::new();
+        let a = m.new_var("a");
+        let b = m.new_var("b");
+        let f = m.xor(a, b);
+        m.swap_adjacent_levels(0);
+        let text = to_dot(&m, f, "swapped");
+        // After the swap `b` sits at level 0 and `a` at level 1 — the
+        // labels must show the *current* levels, not declaration order.
+        assert!(text.contains("b (L0)"), "{text}");
+        assert!(text.contains("a (L1)"), "{text}");
     }
 
     #[test]

@@ -33,22 +33,31 @@
 //!
 //! ## Design notes
 //!
-//! * Nodes are stored in an append-only arena owned by [`BddManager`]; a
-//!   [`Bdd`] is a plain index into that arena and is `Copy`.  Nodes are never
-//!   freed during a run (the workloads in this workspace are bounded); the
-//!   manager exposes [`BddManager::node_count`] so callers can monitor
-//!   growth, [`BddManager::clear_caches`] to drop operation caches, and
-//!   [`BddManager::reset`] to recycle the whole manager — capacity kept,
-//!   contents cleared — for arena reuse across batch jobs.
+//! * Nodes are stored in an arena owned by [`BddManager`]; a [`Bdd`] is a
+//!   plain index into that arena and is `Copy`.  By default nodes are never
+//!   freed during a run; callers that opt in can register external roots
+//!   ([`BddManager::protect`] / scoped [`BddManager::push_root_frame`]
+//!   sets) and run mark-and-sweep [`BddManager::gc`], which rebuilds the
+//!   unique table, invalidates the operation caches and recycles slots
+//!   deterministically.  [`BddManager::reset`] still recycles the whole
+//!   manager — capacity kept, contents cleared — for arena reuse across
+//!   batch jobs.
 //! * The hot tables (unique table, ITE computed table, quantification and
 //!   scratch caches) use the hand-rolled [`hash::FxHasher`]; ITE triples are
 //!   normalised into a standard form before the cache probe, and the
 //!   quantification cache is direct-mapped and bounded.  [`BddStats`]
-//!   surfaces hit/miss/normalisation counters for all of them.
-//! * Variable order is the order of [`BddManager::new_var`] calls.  Static
-//!   ordering helpers for interleaving vectors live in [`vec`]; dynamic
-//!   reordering (sifting) is intentionally out of scope and benchmarked as a
-//!   static-order ablation instead (see `DESIGN.md`, experiment E10).
+//!   surfaces hit/miss/normalisation counters for all of them, plus the
+//!   live/peak node counts and GC/reorder counters.
+//! * Variable order: declaration order by default, with the static presets
+//!   in [`order::OrderPolicy`] (interleaved | sequential | reverse |
+//!   explicit) naming how word-level operands are declared.  The order is
+//!   *dynamic* underneath: [`BddManager::swap_adjacent_levels`] exchanges
+//!   two adjacent levels in place (every handle keeps its function), and
+//!   [`BddManager::sift`] runs Rudell-style sifting with a growth cap on
+//!   top of it (DESIGN.md experiment E10, now in-kernel).  Automatic
+//!   GC+sift maintenance at caller-declared safe points is configured with
+//!   [`BddManager::set_maintenance`] and driven by
+//!   [`BddManager::maintain`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -58,10 +67,14 @@ mod error;
 pub mod hash;
 mod manager;
 mod node;
+pub mod order;
+pub mod reorder;
 pub mod vec;
 
 pub use error::BddError;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use manager::{Assignment, BddManager, BddStats};
 pub use node::Bdd;
+pub use order::OrderPolicy;
+pub use reorder::{MaintainSettings, SiftOutcome};
 pub use vec::BddVec;

@@ -6,6 +6,7 @@ use std::fmt;
 use crate::error::BddError;
 use crate::hash::{mix2, FxHashMap, FxHashSet};
 use crate::node::{Bdd, Node};
+use crate::reorder::MaintainSettings;
 
 /// A (partial) assignment of Boolean values to BDD variables.
 ///
@@ -95,8 +96,25 @@ impl fmt::Display for Assignment {
 /// variable-ordering ablation experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct BddStats {
-    /// Total nodes allocated in the arena (including both terminals).
+    /// Total arena slots (including both terminals and free slots awaiting
+    /// reuse).  This is the high-water mark of the arena's memory footprint.
     pub nodes_allocated: usize,
+    /// Nodes currently allocated and not reclaimed (terminals included).
+    /// Between garbage-collection passes this counts dead-but-unswept nodes
+    /// too; immediately after [`BddManager::gc`] it is the true live count.
+    pub live_nodes: usize,
+    /// Highest value [`BddStats::live_nodes`] ever reached — the kernel's
+    /// peak working set, the number the ordering/GC work exists to shrink.
+    pub peak_live_nodes: usize,
+    /// Mark-and-sweep passes run ([`BddManager::gc`]).
+    pub gc_passes: u64,
+    /// Total nodes reclaimed across all GC passes (including nodes freed by
+    /// reordering's reference-count sweeps).
+    pub gc_reclaimed: u64,
+    /// Completed sifting passes ([`BddManager::sift`]).
+    pub reorder_passes: u64,
+    /// Adjacent-level swaps performed (each sift pass runs many).
+    pub level_swaps: u64,
     /// Number of declared variables.
     pub variables: usize,
     /// Entries currently held in the ITE computed table.
@@ -158,9 +176,11 @@ const QUANT_CACHE_SLOTS: usize = 1 << 14;
 ///
 /// See the crate-level documentation for an overview and an example.
 pub struct BddManager {
-    nodes: Vec<Node>,
-    unique: FxHashMap<Node, Bdd>,
-    ite_cache: FxHashMap<(Bdd, Bdd, Bdd), Bdd>,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) unique: FxHashMap<Node, Bdd>,
+    /// Arena slots reclaimed by GC/reordering, reused LIFO by `mk_node`.
+    pub(crate) free: Vec<u32>,
+    pub(crate) ite_cache: FxHashMap<(Bdd, Bdd, Bdd), Bdd>,
     /// Direct-mapped, generation-tagged quantification cache (bounded; see
     /// [`QUANT_CACHE_SLOTS`]).  Allocated lazily on the first `exists` /
     /// `forall` call so tiny managers stay cheap.
@@ -172,9 +192,34 @@ pub struct BddManager {
     /// wins for duplicate names, matching the old linear-scan semantics).
     name_to_var: FxHashMap<String, u32>,
     /// `var_to_level[v]` gives the position of variable `v` in the order.
-    var_to_level: Vec<u32>,
+    pub(crate) var_to_level: Vec<u32>,
     /// `level_to_var[l]` gives the variable at order position `l`.
-    level_to_var: Vec<u32>,
+    pub(crate) level_to_var: Vec<u32>,
+    /// Persistent external roots: handle → protect count.  Everything
+    /// reachable from a root survives [`BddManager::gc`].
+    pub(crate) roots: FxHashMap<Bdd, u32>,
+    /// Scoped root sets: each frame is a batch of handles rooted together
+    /// and released together ([`BddManager::push_root_frame`]).
+    pub(crate) root_frames: Vec<Vec<Bdd>>,
+    /// Allocated-minus-reclaimed node count (terminals included).
+    pub(crate) live: usize,
+    /// High-water mark of `live`.
+    pub(crate) peak_live: usize,
+    pub(crate) gc_passes: u64,
+    pub(crate) gc_reclaimed: u64,
+    pub(crate) reorder_passes: u64,
+    pub(crate) level_swaps: u64,
+    /// Wall time spent inside sifting, for per-job reporting (kept out of
+    /// [`BddStats`] so statistics stay deterministic).
+    pub(crate) sift_nanos: u64,
+    /// Automatic GC/reorder policy for [`BddManager::maintain`]; `None`
+    /// (the default) keeps the kernel on the historical never-free path.
+    pub(crate) maintenance: Option<MaintainSettings>,
+    /// Live-node level at which the next automatic GC fires (backs off
+    /// after each pass so maintenance amortises).
+    pub(crate) next_gc_at: usize,
+    /// Live-node level at which the next automatic sift fires.
+    pub(crate) next_sift_at: usize,
     /// Reusable per-call memo table for `restrict`/`compose`/`rename`.  The
     /// recursions take it out of the manager (`mem::take`), clear it (which
     /// keeps capacity) and put it back, so repeated calls stop paying a
@@ -218,6 +263,7 @@ impl BddManager {
         BddManager {
             nodes,
             unique: FxHashMap::with_capacity_and_hasher(capacity, Default::default()),
+            free: Vec::new(),
             ite_cache: FxHashMap::with_capacity_and_hasher(capacity, Default::default()),
             quant_cache: Vec::new(),
             quant_generation: 0,
@@ -225,6 +271,18 @@ impl BddManager {
             name_to_var: FxHashMap::default(),
             var_to_level: Vec::new(),
             level_to_var: Vec::new(),
+            roots: FxHashMap::default(),
+            root_frames: Vec::new(),
+            live: 2,
+            peak_live: 2,
+            gc_passes: 0,
+            gc_reclaimed: 0,
+            reorder_passes: 0,
+            level_swaps: 0,
+            sift_nanos: 0,
+            maintenance: None,
+            next_gc_at: 0,
+            next_sift_at: 0,
             scratch: FxHashMap::default(),
             ite_hits: 0,
             ite_misses: 0,
@@ -249,6 +307,7 @@ impl BddManager {
     pub fn reset(&mut self) {
         self.nodes.truncate(2);
         self.unique.clear();
+        self.free.clear();
         self.ite_cache.clear();
         self.quant_cache.clear(); // keeps capacity; re-filled lazily
         self.quant_generation = 0;
@@ -256,6 +315,18 @@ impl BddManager {
         self.name_to_var.clear();
         self.var_to_level.clear();
         self.level_to_var.clear();
+        self.roots.clear();
+        self.root_frames.clear();
+        self.live = 2;
+        self.peak_live = 2;
+        self.gc_passes = 0;
+        self.gc_reclaimed = 0;
+        self.reorder_passes = 0;
+        self.level_swaps = 0;
+        self.sift_nanos = 0;
+        self.maintenance = None;
+        self.next_gc_at = 0;
+        self.next_sift_at = 0;
         self.scratch.clear();
         self.ite_hits = 0;
         self.ite_misses = 0;
@@ -375,7 +446,8 @@ impl BddManager {
         }
     }
 
-    fn mk_node(&mut self, var: u32, lo: Bdd, hi: Bdd) -> Bdd {
+    #[inline]
+    pub(crate) fn mk_node(&mut self, var: u32, lo: Bdd, hi: Bdd) -> Bdd {
         if lo == hi {
             return lo;
         }
@@ -383,14 +455,45 @@ impl BddManager {
         if let Some(&existing) = self.unique.get(&node) {
             return existing;
         }
-        let id = Bdd(self.nodes.len() as u32);
-        self.nodes.push(node);
+        let id = match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot as usize] = node;
+                Bdd(slot)
+            }
+            None => {
+                let id = Bdd(self.nodes.len() as u32);
+                self.nodes.push(node);
+                id
+            }
+        };
+        // `live` is monotone between reclamations, so the peak is sampled
+        // where it can drop (GC, swap dereferencing, `stats`) instead of
+        // being tracked here on the allocation hot path.
+        self.live += 1;
         self.unique.insert(node, id);
         id
     }
 
-    /// Total number of nodes currently allocated in the arena.
+    /// Folds the current live count into the peak watermark.  Called at
+    /// every point where `live` is about to decrease and from `stats()`.
+    #[inline]
+    pub(crate) fn note_peak(&mut self) {
+        if self.live > self.peak_live {
+            self.peak_live = self.live;
+        }
+    }
+
+    /// Total number of nodes currently allocated in the arena (terminals
+    /// included; reclaimed-and-unreused slots excluded).  Without GC this is
+    /// the arena length; with GC it is the live count as of the last sweep
+    /// plus everything allocated since.
     pub fn node_count(&self) -> usize {
+        self.live
+    }
+
+    /// Number of arena slots ever allocated (the arena's memory footprint),
+    /// regardless of reclamation.
+    pub fn arena_len(&self) -> usize {
         self.nodes.len()
     }
 
@@ -416,10 +519,225 @@ impl BddManager {
         self.scratch.clear();
     }
 
+    // ------------------------------------------------------------------
+    // External roots and garbage collection
+    // ------------------------------------------------------------------
+
+    /// Registers `f` as a persistent external root: `f` and everything
+    /// reachable from it survive [`BddManager::gc`] until a matching
+    /// [`BddManager::release`].  Protecting the same handle repeatedly
+    /// nests (a protect count, not a flag).
+    pub fn protect(&mut self, f: Bdd) {
+        if !f.is_terminal() {
+            *self.roots.entry(f).or_insert(0) += 1;
+        }
+    }
+
+    /// Undoes one [`BddManager::protect`] of `f`.
+    pub fn release(&mut self, f: Bdd) {
+        if let Some(count) = self.roots.get_mut(&f) {
+            if *count <= 1 {
+                self.roots.remove(&f);
+            } else {
+                *count -= 1;
+            }
+        }
+    }
+
+    /// Opens a scoped root set.  Handles passed to [`BddManager::root`] are
+    /// registered in the innermost open frame and all dropped together by
+    /// [`BddManager::pop_root_frame`] — the cheap way for a checker to keep
+    /// a whole trajectory alive across GC without per-handle bookkeeping.
+    pub fn push_root_frame(&mut self) {
+        self.root_frames.push(Vec::new());
+    }
+
+    /// Roots `f` in the innermost open frame.
+    ///
+    /// # Panics
+    /// Panics if no frame is open.
+    pub fn root(&mut self, f: Bdd) {
+        if !f.is_terminal() {
+            self.root_frames
+                .last_mut()
+                .expect("no root frame open (call push_root_frame first)")
+                .push(f);
+        }
+    }
+
+    /// Closes the innermost scoped root set.
+    pub fn pop_root_frame(&mut self) {
+        self.root_frames.pop();
+    }
+
+    /// Number of root registrations currently outstanding: the sum of
+    /// nested protect counts plus every scoped frame entry (so duplicate
+    /// registrations count in both cases).
+    pub fn root_count(&self) -> usize {
+        self.roots.values().map(|&c| c as usize).sum::<usize>()
+            + self.root_frames.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Mark-and-sweep garbage collection: every node unreachable from the
+    /// registered roots (persistent and scoped) is reclaimed, the unique
+    /// table is rebuilt from the survivors, and the operation caches are
+    /// invalidated (reclaimed slots are reused, so stale cache entries
+    /// would otherwise alias new nodes).  Returns the number of nodes
+    /// reclaimed.
+    ///
+    /// Handles not reachable from a root are dangling afterwards; callers
+    /// must [`BddManager::protect`]/[`BddManager::root`] everything they
+    /// intend to keep.  Declared variables survive (their literal nodes are
+    /// rebuilt on demand), and reclaimed slots are reused in a
+    /// deterministic (descending-index) order, so a given operation
+    /// sequence still reproduces identical handles and statistics.
+    pub fn gc(&mut self) -> usize {
+        self.note_peak();
+        let mut marked = vec![false; self.nodes.len()];
+        marked[0] = true;
+        marked[1] = true;
+        let mut stack: Vec<Bdd> = Vec::with_capacity(self.root_count());
+        stack.extend(self.roots.keys().copied());
+        for frame in &self.root_frames {
+            stack.extend(frame.iter().copied());
+        }
+        while let Some(f) = stack.pop() {
+            let index = f.index();
+            if marked[index] {
+                continue;
+            }
+            marked[index] = true;
+            let node = self.nodes[index];
+            if !marked[node.lo.index()] {
+                stack.push(node.lo);
+            }
+            if !marked[node.hi.index()] {
+                stack.push(node.hi);
+            }
+        }
+
+        self.unique.clear();
+        self.free.clear();
+        for (index, &live) in marked.iter().enumerate().skip(2) {
+            if live {
+                self.unique.insert(self.nodes[index], Bdd(index as u32));
+            } else {
+                self.free.push(index as u32);
+            }
+        }
+        let live_before = self.live;
+        self.live = self.nodes.len() - self.free.len();
+        let reclaimed = live_before - self.live;
+        // Reclaimed slots will be reused: any cache entry naming them would
+        // silently alias a future node.  The quantification cache is immune
+        // (its generation tags can never match again) and the scratch memo
+        // is cleared per call anyway; the ITE computed table keeps exactly
+        // the entries whose operands and result all survived — throwing the
+        // warm cache away wholesale makes the steps after a collection
+        // recompute (and re-allocate) everything the cache was suppressing,
+        // which costs more peak memory than the collection just saved.
+        self.ite_cache.retain(|&(f, g, h), r| {
+            marked[f.index()] && marked[g.index()] && marked[h.index()] && marked[r.index()]
+        });
+        self.scratch.clear();
+        self.gc_passes += 1;
+        self.gc_reclaimed += reclaimed as u64;
+        reclaimed
+    }
+
+    /// Installs (or removes) the automatic GC/reordering policy consulted
+    /// by [`BddManager::maintain`].  [`BddManager::reset`] clears it — a
+    /// recycled manager starts, like a fresh one, on the never-free path.
+    pub fn set_maintenance(&mut self, settings: Option<MaintainSettings>) {
+        self.maintenance = settings;
+        self.next_gc_at = 0;
+        self.next_sift_at = 0;
+    }
+
+    /// `true` when an automatic maintenance policy is installed.  Checkers
+    /// use this to decide whether rooting their live state is worth the
+    /// bookkeeping.
+    pub fn maintenance_enabled(&self) -> bool {
+        self.maintenance.is_some()
+    }
+
+    /// The installed maintenance policy, if any (for callers that need to
+    /// suspend and restore it around a region they cannot root).
+    pub fn maintenance(&self) -> Option<MaintainSettings> {
+        self.maintenance
+    }
+
+    /// `true` when a [`BddManager::maintain`] call would actually run a
+    /// pass right now.  Two integer compares — cheap enough for inner
+    /// loops (e.g. the symbolic simulator checks per gate), so the cost of
+    /// building a root set is only paid when a collection is imminent.
+    pub fn maintenance_due(&self) -> bool {
+        match self.maintenance {
+            Some(settings) => self.live >= self.next_gc_at.max(settings.gc_threshold),
+            None => false,
+        }
+    }
+
+    /// Runs the installed maintenance policy, if any: a GC pass once enough
+    /// nodes have accumulated, followed by a sifting pass when the *live*
+    /// set itself has outgrown its threshold.  Both back off (the next
+    /// trigger is twice the post-pass live count) so maintenance cost stays
+    /// amortised.
+    ///
+    /// Callers must only invoke this at a safe point: every handle that
+    /// will be used again must be reachable from the root registry.
+    pub fn maintain(&mut self) {
+        let Some(settings) = self.maintenance else {
+            return;
+        };
+        if self.live < self.next_gc_at.max(settings.gc_threshold) {
+            return;
+        }
+        self.gc();
+        if settings.sift && self.live >= self.next_sift_at.max(settings.sift_threshold) {
+            // The arena was collected two lines up; skip sift's own GC.
+            let outcome = self.sift_collected(settings.max_growth);
+            // Adaptive backoff: a pass that shaved ≥ 5% earned another try
+            // once the diagram doubles; a pass that found nothing waits
+            // eight times as long — sifting a shape it cannot improve is
+            // the most expensive no-op in the kernel.
+            let gained = outcome.nodes_before.saturating_sub(outcome.nodes_after);
+            let factor = if gained * 20 >= outcome.nodes_before.max(1) {
+                2
+            } else {
+                8
+            };
+            self.next_sift_at = self.live * factor;
+        }
+        // Collect again once an eighth of the (post-GC) live set's worth of
+        // new nodes has accumulated: a mark-and-sweep is O(live + arena),
+        // so this amortises to a constant factor while keeping the peak
+        // within ~1.125× of the true working set — the whole point of the
+        // peak-memory work.  (The ITE computed table survives collection
+        // filtered to live entries, so frequent passes cost sweep time,
+        // not recomputation.)
+        self.next_gc_at = self.live + (self.live / 8).max(settings.gc_threshold);
+    }
+
+    /// Wall-clock nanoseconds spent inside sifting passes since the last
+    /// [`BddManager::reset`].  Kept out of [`BddStats`] so statistics stay
+    /// exactly reproducible across runs.
+    pub fn sift_nanos(&self) -> u64 {
+        self.sift_nanos
+    }
+
     /// Returns aggregate statistics about the manager.
     pub fn stats(&self) -> BddStats {
         BddStats {
             nodes_allocated: self.nodes.len(),
+            live_nodes: self.live,
+            // `peak_live` is only folded in where `live` can drop, so the
+            // current count may exceed the recorded watermark.
+            peak_live_nodes: self.peak_live.max(self.live),
+            gc_passes: self.gc_passes,
+            gc_reclaimed: self.gc_reclaimed,
+            reorder_passes: self.reorder_passes,
+            level_swaps: self.level_swaps,
             variables: self.var_names.len(),
             ite_cache_entries: self.ite_cache.len(),
             ite_cache_hits: self.ite_hits,
@@ -493,22 +811,37 @@ impl BddManager {
         }
         self.ite_misses += 1;
 
-        // Split on the top variable (minimum level among the three).
-        let lf = self.level(f);
-        let lg = self.level(g);
-        let lh = self.level(h);
+        // Split on the top variable (minimum level among the three).  Each
+        // operand's node is loaded exactly once: `split` yields its level
+        // and both cofactor edges together, and the cofactor choice below
+        // is by level equality (levels and variables are in bijection).
+        let (lf, flo, fhi) = self.split(f);
+        let (lg, glo, ghi) = self.split(g);
+        let (lh, hlo, hhi) = self.split(h);
         let top_level = lf.min(lg).min(lh);
         let top_var = self.level_to_var[top_level as usize];
 
-        let (f0, f1) = self.cofactors_at(f, top_var);
-        let (g0, g1) = self.cofactors_at(g, top_var);
-        let (h0, h1) = self.cofactors_at(h, top_var);
+        let (f0, f1) = if lf == top_level { (flo, fhi) } else { (f, f) };
+        let (g0, g1) = if lg == top_level { (glo, ghi) } else { (g, g) };
+        let (h0, h1) = if lh == top_level { (hlo, hhi) } else { (h, h) };
 
         let lo = self.ite(f0, g0, h0);
         let hi = self.ite(f1, g1, h1);
         let result = self.mk_node(top_var, lo, hi);
         self.ite_cache.insert(key, result);
         result
+    }
+
+    /// One load of `f`'s node: its level (`u32::MAX` for terminals) and
+    /// both cofactor edges (`f` itself for terminals).
+    #[inline]
+    fn split(&self, f: Bdd) -> (u32, Bdd, Bdd) {
+        let n = self.nodes[f.index()];
+        if n.var == Node::TERMINAL_VAR {
+            (u32::MAX, f, f)
+        } else {
+            (self.var_to_level[n.var as usize], n.lo, n.hi)
+        }
     }
 
     /// `true` if `a` comes strictly before `b` in the canonical operand
@@ -523,7 +856,7 @@ impl BddManager {
     }
 
     #[inline]
-    fn cofactors_at(&self, f: Bdd, var: u32) -> (Bdd, Bdd) {
+    pub(crate) fn cofactors_at(&self, f: Bdd, var: u32) -> (Bdd, Bdd) {
         if f.is_terminal() {
             return (f, f);
         }
@@ -1418,12 +1751,29 @@ mod tests {
         let (f_fresh, s_fresh) = build(&mut fresh, &mut rng_a);
 
         let mut pooled = BddManager::new();
-        // Dirty the manager with unrelated work, then recycle it.
+        // Dirty the manager with unrelated work — including the lifetime
+        // and ordering machinery: protected roots, a GC pass and a sifting
+        // pass all leave counters, free slots and maintenance state that
+        // `reset` must clear back to the fresh-manager baseline.
         let d0 = pooled.new_var("dirty0");
         let d1 = pooled.new_var("dirty1");
-        let _ = pooled.xor(d0, d1);
+        let dirty = pooled.xor(d0, d1);
         let _ = pooled.exists(d0, &[0]);
+        pooled.protect(dirty);
+        pooled.gc();
+        pooled.set_maintenance(Some(crate::reorder::MaintainSettings {
+            gc_threshold: 1,
+            sift: true,
+            sift_threshold: 1,
+            max_growth: 1.5,
+        }));
+        pooled.maintain();
+        assert!(pooled.stats().gc_passes > 0 && pooled.stats().reorder_passes > 0);
         pooled.reset();
+        assert!(
+            !pooled.maintenance_enabled(),
+            "reset clears the maintenance policy"
+        );
         let (f_pooled, s_pooled) = build(&mut pooled, &mut rng);
 
         assert_eq!(f_fresh, f_pooled, "handles are reproduced exactly");
@@ -1432,7 +1782,11 @@ mod tests {
             resets: 0,
             ..s_pooled
         };
-        assert_eq!(normalised, s_fresh, "stats are reproduced exactly");
+        assert_eq!(
+            normalised, s_fresh,
+            "stats — including live/peak/GC/reorder counters — are reproduced exactly"
+        );
+        assert_eq!(pooled.sift_nanos(), 0, "reset clears the sift clock");
         assert_eq!(fresh.node_count(), pooled.node_count());
         assert_eq!(fresh.var_count(), pooled.var_count());
         assert_eq!(pooled.var_by_name("r3"), Some(3));

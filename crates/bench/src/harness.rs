@@ -22,12 +22,24 @@
 use std::collections::BTreeMap;
 use std::time::Instant;
 
-use ssr_bdd::{Bdd, BddManager, BddVec};
+use ssr_bdd::{Bdd, BddManager, BddVec, MaintainSettings, OrderPolicy};
 use ssr_engine::json::Json;
 use ssr_engine::{named_policies, CampaignSpec, Granularity, NamedConfig, Suite};
 
 /// Schema identifier written into every bench report.
 pub const SCHEMA: &str = "ssr-bench-report/v1";
+
+/// Execution options shared by every campaign workload of a bench run:
+/// the variable-order preset and the kernel maintenance (GC + sifting)
+/// policy, mirroring `ssr bench --order/--reorder`.  The defaults
+/// reproduce the committed `BENCH_*.json` trajectory exactly.
+#[derive(Debug, Clone, Default)]
+pub struct BenchOptions {
+    /// Variable-order preset for the campaign workloads.
+    pub order: OrderPolicy,
+    /// Kernel GC/sifting policy for the campaign workloads.
+    pub reorder: Option<MaintainSettings>,
+}
 
 /// Which half of the suite a workload belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -322,12 +334,14 @@ fn kernel_metrics(m: &BddManager) -> Vec<(String, f64)> {
 /// The campaign spec behind the `campaign/*` workloads: the default
 /// `ssr campaign` configuration (small core, every named policy, all
 /// suites) pinned to one worker thread.
-fn campaign_spec(granularity: Granularity) -> CampaignSpec {
+fn campaign_spec(granularity: Granularity, options: &BenchOptions) -> CampaignSpec {
     CampaignSpec {
         configs: vec![NamedConfig::small()],
         policies: named_policies(),
         suites: Suite::ALL.to_vec(),
         granularity,
+        order: options.order.clone(),
+        reorder: options.reorder,
         threads: 1,
         verbose: false,
     }
@@ -336,12 +350,14 @@ fn campaign_spec(granularity: Granularity) -> CampaignSpec {
 /// The acceptance workload: the default config at assertion granularity
 /// with only the default (architectural) policy — exactly
 /// `ssr campaign --suite all --granularity assertion`.
-fn acceptance_spec() -> CampaignSpec {
+fn acceptance_spec(options: &BenchOptions) -> CampaignSpec {
     CampaignSpec {
         configs: vec![NamedConfig::small()],
         policies: vec![ssr_engine::policy_by_name("architectural").expect("named policy")],
         suites: Suite::ALL.to_vec(),
         granularity: Granularity::Assertion,
+        order: options.order.clone(),
+        reorder: options.reorder,
         threads: 1,
         verbose: false,
     }
@@ -356,11 +372,24 @@ fn campaign_metrics(report: &ssr_engine::CampaignReport) -> Vec<(String, f64)> {
             "bdd_nodes".into(),
             report.jobs.iter().map(|j| j.bdd_nodes).sum::<u64>() as f64,
         ),
+        (
+            "peak_live_nodes".into(),
+            report
+                .jobs
+                .iter()
+                .map(|j| j.peak_live_nodes)
+                .max()
+                .unwrap_or(0) as f64,
+        ),
+        (
+            "gc_passes".into(),
+            report.jobs.iter().map(|j| j.gc_passes).sum::<u64>() as f64,
+        ),
     ]
 }
 
 /// The named workloads `ssr bench` runs, in execution order.
-pub fn workloads() -> Vec<Workload> {
+pub fn workloads(options: &BenchOptions) -> Vec<Workload> {
     let mut out: Vec<Workload> = Vec::new();
 
     // --- kernel microbenchmarks -------------------------------------
@@ -480,29 +509,38 @@ pub fn workloads() -> Vec<Workload> {
     out.push(Workload {
         name: "campaign/default-assertion",
         kind: WorkloadKind::Campaign,
-        run: Box::new(|| {
-            let report = acceptance_spec().run();
-            assert!(report.all_hold(), "the default campaign must pass");
-            campaign_metrics(&report)
-        }),
+        run: {
+            let spec = acceptance_spec(options);
+            Box::new(move || {
+                let report = spec.run();
+                assert!(report.all_hold(), "the default campaign must pass");
+                campaign_metrics(&report)
+            })
+        },
     });
 
     out.push(Workload {
         name: "campaign/all-policies-suite",
         kind: WorkloadKind::Campaign,
-        run: Box::new(|| {
-            let report = campaign_spec(Granularity::Suite).run();
-            campaign_metrics(&report)
-        }),
+        run: {
+            let spec = campaign_spec(Granularity::Suite, options);
+            Box::new(move || {
+                let report = spec.run();
+                campaign_metrics(&report)
+            })
+        },
     });
 
     out.push(Workload {
         name: "campaign/all-policies-assertion",
         kind: WorkloadKind::Campaign,
-        run: Box::new(|| {
-            let report = campaign_spec(Granularity::Assertion).run();
-            campaign_metrics(&report)
-        }),
+        run: {
+            let spec = campaign_spec(Granularity::Assertion, options);
+            Box::new(move || {
+                let report = spec.run();
+                campaign_metrics(&report)
+            })
+        },
     });
 
     out
@@ -510,7 +548,10 @@ pub fn workloads() -> Vec<Workload> {
 
 /// The names [`workloads`] exposes, for CLI help and validation.
 pub fn workload_names() -> Vec<&'static str> {
-    workloads().into_iter().map(|w| w.name).collect()
+    workloads(&BenchOptions::default())
+        .into_iter()
+        .map(|w| w.name)
+        .collect()
 }
 
 /// Runs the selected workloads (`filter` empty = all; otherwise exact names
@@ -523,8 +564,9 @@ pub fn run_workloads(
     filter: &[String],
     iterations: u32,
     warmup: u32,
+    options: &BenchOptions,
 ) -> Result<BenchReport, String> {
-    let mut all = workloads();
+    let mut all = workloads(options);
     if !filter.is_empty() {
         for want in filter {
             let matches_any = all
@@ -611,7 +653,8 @@ mod tests {
 
     #[test]
     fn kernel_workloads_run_and_report() {
-        let report = run_workloads(&["kernel".to_owned()], 1, 0).expect("kernel workloads run");
+        let report = run_workloads(&["kernel".to_owned()], 1, 0, &BenchOptions::default())
+            .expect("kernel workloads run");
         assert_eq!(report.results.len(), 5);
         for r in &report.results {
             assert_eq!(r.kind, "kernel");
@@ -623,8 +666,13 @@ mod tests {
 
     #[test]
     fn json_round_trips() {
-        let report =
-            run_workloads(&["kernel/vector-add32".to_owned()], 2, 1).expect("workload runs");
+        let report = run_workloads(
+            &["kernel/vector-add32".to_owned()],
+            2,
+            1,
+            &BenchOptions::default(),
+        )
+        .expect("workload runs");
         let text = report.to_json();
         let parsed = BenchReport::from_json(&text).expect("parses");
         assert_eq!(parsed, report);
@@ -633,13 +681,15 @@ mod tests {
 
     #[test]
     fn unknown_workloads_are_rejected() {
-        assert!(run_workloads(&["bogus".to_owned()], 1, 0).is_err());
+        assert!(run_workloads(&["bogus".to_owned()], 1, 0, &BenchOptions::default()).is_err());
     }
 
     #[test]
     fn diff_table_reports_deltas_and_membership() {
-        let mut old = run_workloads(&["kernel/allsat-cube".to_owned()], 1, 0).expect("runs");
-        let new = run_workloads(&["kernel/allsat-cube".to_owned()], 1, 0).expect("runs");
+        let options = BenchOptions::default();
+        let mut old =
+            run_workloads(&["kernel/allsat-cube".to_owned()], 1, 0, &options).expect("runs");
+        let new = run_workloads(&["kernel/allsat-cube".to_owned()], 1, 0, &options).expect("runs");
         let table = BenchReport::diff_table(&old, &new);
         assert!(table.contains("kernel/allsat-cube"));
         assert!(table.contains('%'));

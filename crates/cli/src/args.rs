@@ -2,7 +2,9 @@
 //! no `clap`).
 
 use ssr_cpu::ControlPath;
-use ssr_engine::{named_policies, policy_by_name, Granularity, NamedConfig, NamedPolicy, Suite};
+use ssr_engine::{
+    named_policies, policy_by_name, Granularity, NamedConfig, NamedPolicy, OrderPolicy, Suite,
+};
 
 /// The usage text shown on `ssr help` and on parse errors.
 pub const USAGE: &str = "\
@@ -45,6 +47,26 @@ OPTIONS:
                                   Job granularity: whole suites, or one job
                                   per proof obligation.  [default: suite for
                                   campaign/check, assertion for minimise]
+    --order <PRESET>              Static variable-order preset the property
+                                  suites compile under: interleaved
+                                  (default), sequential, reverse, or
+                                  explicit(name;name;...) — listed variable
+                                  names are declared first, unmatched names
+                                  are ignored (check with `ssr stats`).
+                                  Part of the job
+                                  identity (reports gain an order= field),
+                                  so resume never mixes verdicts across
+                                  orders.  Caution: sequential is the
+                                  ablation baseline and is exponential for
+                                  32-bit operand suites (one/two); use it
+                                  with --suite ifr.
+    --reorder                     Enable kernel garbage collection plus
+                                  Rudell sifting at the checker's safe
+                                  points.  Changes node counts and peak
+                                  memory, never verdicts.
+    --max-growth <X>              Sifting growth cap (default 1.2): abort a
+                                  variable's exploration once the live node
+                                  count exceeds X times its starting size
     --control-path <ifr|combinational|unsafe>
                                   Control-path variant of the generated
                                   core.  Non-default variants tag the
@@ -133,6 +155,12 @@ pub struct Command {
     /// default otherwise: `suite` for campaigns, `assertion` for the
     /// minimisation oracle).
     pub granularity: Option<Granularity>,
+    /// Variable-order preset (`--order`).
+    pub order: OrderPolicy,
+    /// Enable automatic GC + sifting (`--reorder`).
+    pub reorder: bool,
+    /// Sifting growth cap (`--max-growth`).
+    pub max_growth: f64,
     /// Where to write the JSON report (`-` = stdout).
     pub json: Option<String>,
     /// Suppress the table.
@@ -173,7 +201,7 @@ fn parse_config(text: &str, control_path: ControlPath) -> Result<NamedConfig, St
     named.config.control_path = control_path;
     // A non-default control path is a different hardware design: tag the
     // config *name* so it is visible in reports and — crucially — part of
-    // the (config, policy, suite, part) identity that `--resume` and
+    // the (config, policy, suite, part, order) identity that `--resume` and
     // `ssr diff` match jobs on.  Without the tag, a journal checkpointed
     // under `--control-path unsafe` would resume under the default path
     // and silently reuse verdicts from the wrong design.
@@ -233,6 +261,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     let mut suites: Vec<Suite> = Vec::new();
     let mut jobs = 0usize;
     let mut granularity: Option<Granularity> = None;
+    let mut order = OrderPolicy::Interleaved;
+    let mut reorder = false;
+    let mut max_growth = 1.2f64;
     let mut control_path = ControlPath::RefreshingIfr;
     let mut json = None;
     let mut quiet = false;
@@ -268,6 +299,24 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 granularity = Some(
                     Granularity::parse(&v).ok_or_else(|| format!("unknown granularity `{v}`"))?,
                 );
+            }
+            "--order" => {
+                let v = value("--order")?;
+                order = OrderPolicy::parse(&v).ok_or_else(|| {
+                    format!(
+                        "unknown order `{v}` (try interleaved, sequential, reverse or \
+                         explicit(name;...))"
+                    )
+                })?;
+            }
+            "--reorder" => reorder = true,
+            "--max-growth" => {
+                let v = value("--max-growth")?;
+                max_growth = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|g| g.is_finite() && *g >= 1.0)
+                    .ok_or_else(|| format!("--max-growth needs a number >= 1.0, got `{v}`"))?;
             }
             "--control-path" => {
                 let v = value("--control-path")?;
@@ -354,6 +403,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         suites,
         jobs,
         granularity,
+        order,
+        reorder,
+        max_growth,
         json,
         quiet,
         verbose,
@@ -498,6 +550,37 @@ mod tests {
         assert!(parse(&argv(&["diff", "old.json"])).is_err());
         assert!(parse(&argv(&["diff", "a.json", "b.json", "c.json"])).is_err());
         assert!(parse(&argv(&["diff", "--frobnicate", "a", "b"])).is_err());
+    }
+
+    #[test]
+    fn ordering_flags_parse_with_defaults() {
+        let cmd = parse(&argv(&["campaign"])).expect("parses");
+        assert_eq!(cmd.order, OrderPolicy::Interleaved);
+        assert!(!cmd.reorder);
+        assert!((cmd.max_growth - 1.2).abs() < 1e-9);
+
+        let cmd = parse(&argv(&[
+            "campaign",
+            "--order",
+            "sequential",
+            "--reorder",
+            "--max-growth",
+            "1.5",
+        ]))
+        .expect("parses");
+        assert_eq!(cmd.order, OrderPolicy::Sequential);
+        assert!(cmd.reorder);
+        assert!((cmd.max_growth - 1.5).abs() < 1e-9);
+
+        let cmd = parse(&argv(&["bench", "--order", "explicit(a[0];b[0])"])).expect("parses");
+        assert_eq!(
+            cmd.order,
+            OrderPolicy::Explicit(vec!["a[0]".into(), "b[0]".into()])
+        );
+
+        assert!(parse(&argv(&["campaign", "--order", "bogus"])).is_err());
+        assert!(parse(&argv(&["campaign", "--max-growth", "0.5"])).is_err());
+        assert!(parse(&argv(&["campaign", "--max-growth", "nan"])).is_err());
     }
 
     #[test]

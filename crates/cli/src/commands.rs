@@ -5,7 +5,7 @@ use std::process::ExitCode;
 use ssr_engine::persist::{load_partial, plan_resume, Checkpoint, PartialCampaign};
 use ssr_engine::{
     minimise_with_engine, CampaignReport, CampaignSpec, EngineOracle, Granularity, JobResult,
-    ReportDiff,
+    MaintainSettings, ReportDiff,
 };
 use ssr_netlist::stats::{stats, AreaModel};
 use ssr_properties::CoreHarness;
@@ -14,6 +14,16 @@ use ssr_retention::intent::RetentionIntent;
 use ssr_retention::selection::classify;
 
 use crate::args::{Action, Command, USAGE};
+
+/// The kernel maintenance policy a command's `--reorder`/`--max-growth`
+/// flags select (`None` without `--reorder`).
+fn maintenance(cmd: &Command) -> Option<MaintainSettings> {
+    cmd.reorder.then(|| MaintainSettings {
+        sift: true,
+        max_growth: cmd.max_growth,
+        ..Default::default()
+    })
+}
 
 /// Runs the parsed command; the exit code reports the overall verdict.
 pub fn run(cmd: Command) -> ExitCode {
@@ -53,7 +63,7 @@ fn diff(cmd: &Command) -> ExitCode {
 }
 
 fn bench(cmd: &Command) -> ExitCode {
-    use ssr_bench::harness::{run_workloads, BenchReport};
+    use ssr_bench::harness::{run_workloads, BenchOptions, BenchReport};
 
     // Diff mode: compare two committed reports, no workloads run.
     if let Some((old_path, new_path)) = &cmd.diff {
@@ -73,7 +83,28 @@ fn bench(cmd: &Command) -> ExitCode {
             }
         }
     } else {
-        let report = match run_workloads(&cmd.workloads, cmd.iterations, cmd.warmup) {
+        let options = BenchOptions {
+            order: cmd.order.clone(),
+            reorder: maintenance(cmd),
+        };
+        // The sequential preset is exponential for the 32-bit operand-pair
+        // suites the campaign workloads run; unlike `check` there is no
+        // --suite filter here, so an unguarded run would simply hang.
+        let runs_campaigns = cmd.workloads.is_empty()
+            || cmd
+                .workloads
+                .iter()
+                .any(|w| w == "campaign" || w.starts_with("campaign/"));
+        if cmd.order == ssr_engine::OrderPolicy::Sequential && runs_campaigns {
+            eprintln!(
+                "error: --order sequential would make the campaign workloads' 32-bit \
+                 operand suites exponential (the ablation baseline); select kernel \
+                 workloads only (--workload kernel) or use `ssr check --suite ifr \
+                 --order sequential`"
+            );
+            return ExitCode::from(2);
+        }
+        let report = match run_workloads(&cmd.workloads, cmd.iterations, cmd.warmup, &options) {
             Ok(report) => report,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -128,6 +159,8 @@ fn campaign(cmd: &Command) -> ExitCode {
         policies: cmd.policies.clone(),
         suites,
         granularity,
+        order: cmd.order.clone(),
+        reorder: maintenance(cmd),
         threads: cmd.jobs,
         verbose: cmd.verbose,
     };
@@ -156,6 +189,18 @@ fn campaign(cmd: &Command) -> ExitCode {
     let prior: Vec<JobResult> = match &cmd.resume {
         Some(path) => match load_campaign_artifact(path) {
             Ok(partial) => {
+                if let Some(recorded) = partial.reorder {
+                    if recorded != cmd.reorder {
+                        eprintln!(
+                            "warning: {path} was recorded {} --reorder but this run is {} it; \
+                             verdicts are unaffected, but reused jobs carry the other mode's \
+                             kernel telemetry (node counts, peaks, GC counters), so the merged \
+                             report is not canonically byte-identical to a fresh run",
+                            if recorded { "with" } else { "without" },
+                            if cmd.reorder { "with" } else { "without" },
+                        );
+                    }
+                }
                 if !cmd.quiet {
                     let plan = plan_resume(&jobs, &partial.jobs);
                     println!(
@@ -187,7 +232,12 @@ fn campaign(cmd: &Command) -> ExitCode {
     };
     let checkpoint = match cmd.checkpoint.as_ref().or(auto_partial.as_ref()) {
         Some(path) => {
-            match Checkpoint::create(std::path::Path::new(path), granularity.name(), jobs.len()) {
+            match Checkpoint::create(
+                std::path::Path::new(path),
+                granularity.name(),
+                jobs.len(),
+                cmd.reorder,
+            ) {
                 Ok(cp) => Some(cp),
                 Err(e) => {
                     eprintln!("error: cannot create checkpoint {path}: {e}");
@@ -250,11 +300,14 @@ fn minimise(cmd: &Command) -> ExitCode {
     let mut oracle = EngineOracle::property_two(base, cmd.jobs);
     // `minimise` explores policies itself.  The flags still shape each
     // oracle query: --granularity overrides the oracle's default
-    // obligation-sharding, and an explicit --suite widens/narrows the
-    // acceptance criterion beyond Property II.
+    // obligation-sharding, an explicit --suite widens/narrows the
+    // acceptance criterion beyond Property II, and --order/--reorder pick
+    // the kernel's ordering configuration per query.
     if let Some(granularity) = cmd.granularity {
         oracle.granularity = granularity;
     }
+    oracle.order = cmd.order.clone();
+    oracle.reorder = maintenance(cmd);
     if !cmd.suites.is_empty() {
         oracle.suites = cmd.suites.clone();
     }
@@ -346,13 +399,83 @@ fn minimise(cmd: &Command) -> ExitCode {
     }
 }
 
+/// The `ssr stats` kernel census: compiles every applicable suite's
+/// assertions for the (config × policy × order) into one arena — with
+/// `--reorder`, running the GC/sift maintenance between suites — and
+/// reports the manager's statistics alongside the netlist ones.
+fn kernel_stats(cmd: &Command, harness: &CoreHarness, config: &ssr_cpu::CoreConfig) {
+    let mut m = ssr_bdd::BddManager::new();
+    m.set_maintenance(maintenance(cmd));
+    m.push_root_frame();
+    let mut built = 0usize;
+    let suites = if cmd.suites.is_empty() {
+        ssr_engine::Suite::ALL.to_vec()
+    } else {
+        cmd.suites.clone()
+    };
+    for suite in suites {
+        if !suite.applicable_to(config) {
+            continue;
+        }
+        for assertion in suite.assertions(harness, &mut m) {
+            let mut bdds = Vec::new();
+            assertion.collect_bdds(&mut bdds);
+            for b in bdds {
+                m.root(b);
+            }
+            built += 1;
+        }
+        m.maintain();
+    }
+    m.pop_root_frame();
+    let s = m.stats();
+    let quant_probes = s.quant_cache_hits + s.quant_cache_misses;
+    let quant_rate = if quant_probes == 0 {
+        0.0
+    } else {
+        s.quant_cache_hits as f64 / quant_probes as f64
+    };
+    println!(
+        "  kernel (order={}, {} assertions compiled): {} live / {} peak nodes (arena {}), \
+         {} vars",
+        cmd.order, built, s.live_nodes, s.peak_live_nodes, s.nodes_allocated, s.variables,
+    );
+    println!(
+        "    ITE {:.1}% hit ({} rewrites), quant {:.1}% hit, gc {} pass(es) ({} reclaimed), \
+         sift {} pass(es) ({} swaps, {} ms)",
+        100.0 * s.ite_hit_rate(),
+        s.ite_normalised,
+        100.0 * quant_rate,
+        s.gc_passes,
+        s.gc_reclaimed,
+        s.reorder_passes,
+        s.level_swaps,
+        m.sift_nanos() / 1_000_000,
+    );
+}
+
 fn core_stats(cmd: &Command) -> ExitCode {
+    // Same hazard as `bench`: the sequential preset is exponential for the
+    // 32-bit operand-pair suites, and the kernel census compiles them.
+    let pair_suites = cmd.suites.is_empty()
+        || cmd
+            .suites
+            .iter()
+            .any(|s| !matches!(s, ssr_engine::Suite::Ifr));
+    if cmd.order == ssr_engine::OrderPolicy::Sequential && pair_suites {
+        eprintln!(
+            "error: --order sequential would make the kernel census's 32-bit operand \
+             suites exponential (the ablation baseline); add --suite ifr to census the \
+             pair-free suite"
+        );
+        return ExitCode::from(2);
+    }
     let mut ok = true;
     for named in &cmd.configs {
         for policy in &cmd.policies {
             let mut config = named.config;
             config.retention = policy.policy;
-            let harness = match CoreHarness::new(config) {
+            let harness = match CoreHarness::with_order(config, cmd.order.clone()) {
                 Ok(h) => h,
                 Err(e) => {
                     eprintln!("error: config `{}`: {e:?}", named.name);
@@ -391,6 +514,7 @@ fn core_stats(cmd: &Command) -> ExitCode {
                 "  retention-intent audit: {} violation(s)",
                 violations.len()
             );
+            kernel_stats(cmd, &harness, &config);
         }
     }
     println!("\narea / standby-leakage savings (selective vs full retention):");

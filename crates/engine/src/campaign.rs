@@ -23,11 +23,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use ssr_bdd::BddManager;
+use ssr_bdd::{BddManager, MaintainSettings, OrderPolicy};
 use ssr_properties::{CoreHarness, Suite};
 use ssr_ste::CheckReport;
 
-use crate::job::{enumerate_jobs, Granularity, JobPart, JobSpec, NamedConfig, NamedPolicy};
+use crate::job::{enumerate_jobs_with, Granularity, JobPart, JobSpec, NamedConfig, NamedPolicy};
 use crate::persist::{plan_resume, Checkpoint};
 use crate::pool::ManagerPool;
 use crate::report::{AssertionOutcome, CampaignReport, JobResult};
@@ -44,23 +44,25 @@ use crate::report::{AssertionOutcome, CampaignReport, JobResult};
 #[derive(Debug)]
 pub struct SharedHarness {
     config: ssr_cpu::CoreConfig,
+    order: OrderPolicy,
     cell: std::sync::OnceLock<Result<CoreHarness, String>>,
 }
 
 impl SharedHarness {
-    /// Creates an uncompiled context for `config` (cheap; nothing is
-    /// generated until [`SharedHarness::get`]).
-    pub fn new(config: ssr_cpu::CoreConfig) -> Self {
+    /// Creates an uncompiled context for `config` under the given variable
+    /// order (cheap; nothing is generated until [`SharedHarness::get`]).
+    pub fn new(config: ssr_cpu::CoreConfig, order: OrderPolicy) -> Self {
         SharedHarness {
             config,
+            order,
             cell: std::sync::OnceLock::new(),
         }
     }
 
     /// Eagerly builds the harness for `config`, capturing generation errors
     /// and panics as the error record every referencing job will carry.
-    pub fn build(config: ssr_cpu::CoreConfig) -> Self {
-        let ctx = Self::new(config);
+    pub fn build(config: ssr_cpu::CoreConfig, order: OrderPolicy) -> Self {
+        let ctx = Self::new(config, order);
         let _ = ctx.get();
         ctx
     }
@@ -71,7 +73,7 @@ impl SharedHarness {
         self.cell
             .get_or_init(|| {
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    CoreHarness::new(self.config)
+                    CoreHarness::with_order(self.config, self.order.clone())
                 }))
                 .map_err(|payload| format!("job panicked: {}", panic_message(&payload)))
                 .and_then(|r| r.map_err(|e| format!("netlist generation failed: {e:?}")))
@@ -86,14 +88,18 @@ impl SharedHarness {
 /// same combination get clones of one `Arc`.  Contexts are created
 /// uncompiled; workers trigger the (per-combination, once-only) build.
 fn shared_harnesses(jobs: &[JobSpec]) -> Vec<Arc<SharedHarness>> {
-    let mut built: Vec<(ssr_cpu::CoreConfig, Arc<SharedHarness>)> = Vec::new();
+    #[allow(clippy::type_complexity)]
+    let mut built: Vec<(ssr_cpu::CoreConfig, OrderPolicy, Arc<SharedHarness>)> = Vec::new();
     jobs.iter()
         .map(|job| {
-            if let Some((_, ctx)) = built.iter().find(|(config, _)| *config == job.config) {
+            if let Some((_, _, ctx)) = built
+                .iter()
+                .find(|(config, order, _)| *config == job.config && *order == job.order)
+            {
                 return Arc::clone(ctx);
             }
-            let ctx = Arc::new(SharedHarness::new(job.config));
-            built.push((job.config, Arc::clone(&ctx)));
+            let ctx = Arc::new(SharedHarness::new(job.config, job.order.clone()));
+            built.push((job.config, job.order.clone(), Arc::clone(&ctx)));
             ctx
         })
         .collect()
@@ -111,6 +117,15 @@ pub struct CampaignSpec {
     pub suites: Vec<Suite>,
     /// Job granularity.
     pub granularity: Granularity,
+    /// Variable-order preset every job's model compiles under.  Part of
+    /// the job identity, so `--resume`/`ssr diff` never mix verdicts
+    /// across orders.
+    pub order: OrderPolicy,
+    /// Automatic GC + dynamic-reordering policy for the workers' managers
+    /// (`None` keeps the historical never-free kernel behaviour).  An
+    /// execution parameter like `threads`: it changes node counts and peak
+    /// memory, never verdicts, and is not part of job identity.
+    pub reorder: Option<MaintainSettings>,
     /// Worker threads; `0` means one per available CPU.
     pub threads: usize,
     /// Stream a line to stderr as each job finishes (progress feedback for
@@ -127,6 +142,8 @@ impl CampaignSpec {
             policies: crate::job::named_policies(),
             suites: Suite::ALL.to_vec(),
             granularity: Granularity::Suite,
+            order: OrderPolicy::Interleaved,
+            reorder: None,
             threads: 0,
             verbose: false,
         }
@@ -134,11 +151,12 @@ impl CampaignSpec {
 
     /// The jobs this campaign expands to, in deterministic order.
     pub fn jobs(&self) -> Vec<JobSpec> {
-        enumerate_jobs(
+        enumerate_jobs_with(
             &self.configs,
             &self.policies,
             &self.suites,
             self.granularity,
+            &self.order,
         )
     }
 
@@ -183,11 +201,15 @@ impl CampaignSpec {
     ///
     /// * `prior` — recorded results from an earlier (partial) run of the
     ///   same campaign.  Each is reused — not re-run — iff the job at its
-    ///   recorded id carries the same (config, policy, suite, part)
+    ///   recorded id carries the same (config, policy, suite, part, order)
     ///   identity; mismatches are ignored and re-run.  Because job
     ///   execution is deterministic, the merged report's
     ///   [`CampaignReport::canonical_json`] is byte-identical to an
-    ///   uninterrupted run's.
+    ///   uninterrupted run's — provided the execution mode matches too:
+    ///   reused results keep the kernel telemetry of the run that produced
+    ///   them, so resuming under a different `reorder` setting mixes
+    ///   telemetry (verdicts are unaffected; the CLI warns, via the
+    ///   journal header's `reorder` field).
     /// * `checkpoint` — a journal that receives every result (reused ones
     ///   up front, fresh ones as workers finish), so the run is resumable
     ///   from the instant it dies.  Journal I/O errors are reported to
@@ -246,6 +268,7 @@ impl CampaignSpec {
                             );
                         }
                         manager.reset();
+                        manager.set_maintenance(self.reorder);
                         // A panicking job (e.g. an assertion builder hitting
                         // an internal assert) must not abort the campaign
                         // and lose every completed result: capture it as the
@@ -327,16 +350,21 @@ fn panicked_job(spec: &JobSpec, payload: &(dyn std::any::Any + Send)) -> JobResu
 
 /// A result skeleton for `spec` with no assertions checked yet.
 fn empty_result(spec: &JobSpec) -> JobResult {
-    let (config_name, policy_name, suite, part) = crate::report::job_identity(spec);
+    let (config_name, policy_name, suite, part, order) = crate::report::job_identity(spec);
     JobResult {
         job_id: spec.id as u64,
         config_name,
         policy_name,
         suite,
         part,
+        order,
         assertions: Vec::new(),
         holds: false,
         bdd_nodes: 0,
+        peak_live_nodes: 0,
+        gc_passes: 0,
+        reorder_passes: 0,
+        sift_ms: 0,
         bdd_vars: 0,
         ite_hits: 0,
         ite_misses: 0,
@@ -350,7 +378,7 @@ fn empty_result(spec: &JobSpec) -> JobResult {
 /// [`run_job_with`] for one-off checks; campaigns share harnesses and
 /// recycle managers instead.
 pub fn run_job(spec: &JobSpec) -> JobResult {
-    let context = SharedHarness::build(spec.config);
+    let context = SharedHarness::build(spec.config, spec.order.clone());
     let mut m = BddManager::new();
     run_job_with(spec, context.get(), &mut m)
 }
@@ -392,6 +420,10 @@ pub fn run_job_with(
     }
     let stats = m.stats();
     result.bdd_nodes = stats.nodes_allocated as u64;
+    result.peak_live_nodes = stats.peak_live_nodes as u64;
+    result.gc_passes = stats.gc_passes;
+    result.reorder_passes = stats.reorder_passes;
+    result.sift_ms = m.sift_nanos() / 1_000_000;
     result.bdd_vars = stats.variables as u64;
     result.ite_hits = stats.ite_cache_hits;
     result.ite_misses = stats.ite_cache_misses;
@@ -439,6 +471,8 @@ mod tests {
             ],
             suites: vec![Suite::PropertyTwo],
             granularity,
+            order: OrderPolicy::Interleaved,
+            reorder: None,
             threads,
             verbose: false,
         }
@@ -505,6 +539,8 @@ mod tests {
             policies: vec![policy_by_name("architectural").expect("named")],
             suites: vec![Suite::PropertyTwo],
             granularity: Granularity::Suite,
+            order: OrderPolicy::Interleaved,
+            reorder: None,
             threads: 2,
             verbose: false,
         };

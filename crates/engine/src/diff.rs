@@ -16,6 +16,13 @@ use std::fmt::Write as _;
 use crate::report::{CampaignReport, JobResult};
 
 /// The identity a job is matched on across reports.
+///
+/// Deliberately *excludes* the variable-order preset: diffing a campaign
+/// against the same campaign at another order (or with `--reorder`) is
+/// exactly the ordering-ablation gate — verdicts must agree across orders,
+/// so matching them makes the gate stricter, never looser.  Resume is the
+/// opposite trade and does validate the order (see
+/// [`crate::report::job_identity`]).
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct JobKey {
     /// Core configuration name.
@@ -313,6 +320,7 @@ mod tests {
             policy_name: policy.into(),
             suite: "property-two".into(),
             part: "suite".into(),
+            order: "interleaved".into(),
             assertions: vec![AssertionOutcome {
                 name: "survive_pc".into(),
                 holds,
@@ -323,6 +331,10 @@ mod tests {
             }],
             holds,
             bdd_nodes: 100,
+            peak_live_nodes: 100,
+            gc_passes: 0,
+            reorder_passes: 0,
+            sift_ms: 0,
             bdd_vars: 8,
             ite_hits: 80,
             ite_misses: 20,

@@ -8,6 +8,7 @@
 //! ([`JobPart::Assertion`]) so the scheduler can spread one expensive suite
 //! across many workers.
 
+use ssr_bdd::OrderPolicy;
 use ssr_cpu::{CoreConfig, RetentionPolicy};
 use ssr_properties::Suite;
 
@@ -190,6 +191,10 @@ pub struct JobSpec {
     pub suite: Suite,
     /// Whole suite or a single obligation.
     pub part: JobPart,
+    /// The static variable-order preset the job's model compiles under.
+    /// Part of the job identity (`order=` in reports), so resumed runs can
+    /// never reuse a verdict computed under a different order.
+    pub order: OrderPolicy,
 }
 
 impl JobSpec {
@@ -211,12 +216,32 @@ impl JobSpec {
 /// Enumerates the jobs of the (configs × policies × suites) product in a
 /// deterministic order: configs outermost, then policies, then suites, then
 /// (at assertion granularity) assertion index.  Inapplicable combinations
-/// (IFR suite × combinational control path) are skipped.
+/// (IFR suite × combinational control path) are skipped.  Every job
+/// compiles under the default interleaved order; use
+/// [`enumerate_jobs_with`] to pick a preset.
 pub fn enumerate_jobs(
     configs: &[NamedConfig],
     policies: &[NamedPolicy],
     suites: &[Suite],
     granularity: Granularity,
+) -> Vec<JobSpec> {
+    enumerate_jobs_with(
+        configs,
+        policies,
+        suites,
+        granularity,
+        &OrderPolicy::Interleaved,
+    )
+}
+
+/// [`enumerate_jobs`] with an explicit variable-order preset stamped onto
+/// every job.
+pub fn enumerate_jobs_with(
+    configs: &[NamedConfig],
+    policies: &[NamedPolicy],
+    suites: &[Suite],
+    granularity: Granularity,
+    order: &OrderPolicy,
 ) -> Vec<JobSpec> {
     let mut out = Vec::new();
     for named_config in configs {
@@ -241,6 +266,7 @@ pub fn enumerate_jobs(
                         policy_name: named_policy.name.clone(),
                         suite,
                         part,
+                        order: order.clone(),
                     });
                 }
             }

@@ -46,6 +46,8 @@
 //!     policies: vec![ssr_engine::policy_by_name("architectural").unwrap()],
 //!     suites: vec![Suite::PropertyTwo],
 //!     granularity: Granularity::Suite,
+//!     order: ssr_engine::OrderPolicy::Interleaved,
+//!     reorder: None,
 //!     threads: 2,
 //!     verbose: false,
 //! };
@@ -68,14 +70,15 @@ pub mod report;
 pub use campaign::{run_job, run_job_with, CampaignSpec, SharedHarness};
 pub use diff::{JobKey, ReportDiff, Verdict, VerdictChange};
 pub use job::{
-    enumerate_jobs, named_policies, policy_by_name, policy_name, Granularity, JobPart, JobSpec,
-    NamedConfig, NamedPolicy,
+    enumerate_jobs, enumerate_jobs_with, named_policies, policy_by_name, policy_name, Granularity,
+    JobPart, JobSpec, NamedConfig, NamedPolicy,
 };
 pub use oracle::{minimise_with_engine, EngineOracle, MinimisationOutcome, MinimisationStep};
 pub use persist::{load_partial, plan_resume, Checkpoint, PartialCampaign, ResumePlan};
 pub use pool::ManagerPool;
 pub use report::{AssertionOutcome, CampaignReport, JobResult};
 
-// Re-exported so engine users can name suites without depending on
-// `ssr-properties` directly.
+// Re-exported so engine users can name suites and ordering policies
+// without depending on `ssr-properties`/`ssr-bdd` directly.
+pub use ssr_bdd::{MaintainSettings, OrderPolicy};
 pub use ssr_properties::Suite;

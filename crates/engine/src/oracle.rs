@@ -9,6 +9,7 @@
 
 use std::cell::RefCell;
 
+use ssr_bdd::{MaintainSettings, OrderPolicy};
 use ssr_cpu::RetentionPolicy;
 use ssr_properties::Suite;
 use ssr_retention::selection::{minimise, SelectionStep};
@@ -32,6 +33,10 @@ pub struct EngineOracle {
     /// Job granularity per query.  [`Granularity::Assertion`] lets the pool
     /// parallelise inside the single-policy campaign each query runs.
     pub granularity: Granularity,
+    /// Variable-order preset each query's models compile under.
+    pub order: OrderPolicy,
+    /// Automatic GC/reordering policy for each query's managers.
+    pub reorder: Option<MaintainSettings>,
 }
 
 impl EngineOracle {
@@ -43,6 +48,8 @@ impl EngineOracle {
             suites: vec![Suite::PropertyTwo],
             threads,
             granularity: Granularity::Assertion,
+            order: OrderPolicy::Interleaved,
+            reorder: None,
         }
     }
 
@@ -56,6 +63,8 @@ impl EngineOracle {
             }],
             suites: self.suites.clone(),
             granularity: self.granularity,
+            order: self.order.clone(),
+            reorder: self.reorder,
             threads: self.threads,
             verbose: false,
         }
@@ -157,6 +166,8 @@ mod tests {
             suites: vec![Suite::PropertyOne, Suite::Ifr],
             threads: 1,
             granularity: Granularity::Suite,
+            order: OrderPolicy::Interleaved,
+            reorder: None,
         };
         let mut no_pc = ssr_cpu::RetentionPolicy::architectural();
         no_pc.pc = false;

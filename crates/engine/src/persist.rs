@@ -14,7 +14,7 @@
 //! `ssr-campaign-report/v1` document or a (possibly truncated) journal —
 //! and [`plan_resume`] matches the recorded results against a fresh
 //! deterministic job enumeration.  Matching validates the full job
-//! *identity* (config, policy, suite, part at the recorded id), not just
+//! *identity* (config, policy, suite, part, order at the recorded id), not just
 //! the index, so a resume file from a different campaign shape can never
 //! silently stand in for work that was not done: mismatches are counted as
 //! stale and re-run.
@@ -48,12 +48,22 @@ impl Checkpoint {
     ///
     /// # Errors
     /// Propagates the I/O error if the file cannot be created or written.
-    pub fn create(path: &Path, granularity: &str, total_jobs: usize) -> std::io::Result<Self> {
+    pub fn create(
+        path: &Path,
+        granularity: &str,
+        total_jobs: usize,
+        reorder: bool,
+    ) -> std::io::Result<Self> {
         let mut file = std::fs::File::create(path)?;
         let header = Json::obj([
             ("schema", Json::Str(JOURNAL_SCHEMA.into())),
             ("granularity", Json::Str(granularity.to_owned())),
             ("total_jobs", Json::Num(total_jobs as f64)),
+            // Execution mode, not identity: verdicts are reorder-invariant,
+            // but the kernel telemetry (node counts, peaks, GC counters)
+            // is not, so a resume under the other mode mixes telemetry and
+            // the CLI warns about it.
+            ("reorder", Json::Bool(reorder)),
         ]);
         writeln!(file, "{}", header.render())?;
         file.flush()?;
@@ -95,6 +105,10 @@ pub struct PartialCampaign {
     /// Granularity the file recorded, if any (journals and reports both
     /// carry it).
     pub granularity: Option<String>,
+    /// Whether the journal was recorded under `--reorder`, when known
+    /// (journal headers carry it since the ordering layer; reports and
+    /// older journals do not).
+    pub reorder: Option<bool>,
     /// Worker count, when loaded from a complete report.
     pub threads: Option<u64>,
     /// Campaign wall time, when loaded from a complete report.
@@ -146,6 +160,7 @@ pub fn load_partial(text: &str) -> Result<PartialCampaign, String> {
         let report = CampaignReport::from_json(text)?;
         return Ok(PartialCampaign {
             granularity: Some(report.granularity),
+            reorder: None,
             threads: Some(report.threads),
             total_wall_ms: Some(report.total_wall_ms),
             jobs: report.jobs,
@@ -159,6 +174,7 @@ pub fn load_partial(text: &str) -> Result<PartialCampaign, String> {
         .get("granularity")
         .and_then(Json::as_str)
         .map(str::to_owned);
+    let reorder = header.get("reorder").and_then(Json::as_bool);
     // Keep the 1-based file line number with each record so corruption
     // reports point at the real line even when the file has blank lines.
     let lines: Vec<(usize, &str)> = text
@@ -191,6 +207,7 @@ pub fn load_partial(text: &str) -> Result<PartialCampaign, String> {
     }
     Ok(PartialCampaign {
         granularity,
+        reorder,
         threads: None,
         total_wall_ms: None,
         jobs,
@@ -224,7 +241,7 @@ impl ResumePlan {
 /// Matches `prior` results against the deterministic enumeration `jobs`.
 ///
 /// A recorded result is reused only when the job at its recorded id exists
-/// *and* carries the same (config, policy, suite, part) identity — resuming
+/// *and* carries the same (config, policy, suite, part, order) identity — resuming
 /// validates what the work was, not merely where it sat in the list.
 pub fn plan_resume(jobs: &[JobSpec], prior: &[JobResult]) -> ResumePlan {
     let mut reused: std::collections::BTreeMap<usize, JobResult> =
@@ -239,6 +256,7 @@ pub fn plan_resume(jobs: &[JobSpec], prior: &[JobResult]) -> ResumePlan {
                     result.policy_name.clone(),
                     result.suite.clone(),
                     result.part.clone(),
+                    result.order.clone(),
                 )
         });
         if matches {
@@ -270,9 +288,14 @@ mod tests {
             policy_name: policy.into(),
             suite: "property-two".into(),
             part: part.into(),
+            order: "interleaved".into(),
             assertions: vec![],
             holds: true,
             bdd_nodes: 10,
+            peak_live_nodes: 10,
+            gc_passes: 0,
+            reorder_passes: 0,
+            sift_ms: 0,
             bdd_vars: 4,
             ite_hits: 7,
             ite_misses: 3,
@@ -288,7 +311,7 @@ mod tests {
     #[test]
     fn journal_round_trips_through_the_filesystem() {
         let path = unique_path("roundtrip");
-        let cp = Checkpoint::create(&path, "suite", 2).expect("creates");
+        let cp = Checkpoint::create(&path, "suite", 2, false).expect("creates");
         let a = sample_result(0, "architectural", "suite");
         let b = sample_result(1, "none", "suite");
         cp.record(&a).expect("records");
@@ -305,7 +328,7 @@ mod tests {
     #[test]
     fn a_torn_final_line_is_dropped_not_fatal() {
         let path = unique_path("torn");
-        let cp = Checkpoint::create(&path, "suite", 2).expect("creates");
+        let cp = Checkpoint::create(&path, "suite", 2, true).expect("creates");
         cp.record(&sample_result(0, "architectural", "suite"))
             .expect("records");
         cp.record(&sample_result(1, "none", "suite"))

@@ -36,12 +36,24 @@ pub struct JobResult {
     pub suite: String,
     /// `"suite"` for a whole-suite job, `"#i"` for obligation `i`.
     pub part: String,
+    /// Variable-order preset the job compiled under (part of the job
+    /// identity; pre-ordering reports parse as `"interleaved"`).
+    pub order: String,
     /// Per-assertion outcomes, in suite order.
     pub assertions: Vec<AssertionOutcome>,
     /// `true` if every assertion held.
     pub holds: bool,
     /// BDD nodes allocated by the job's manager when the job finished.
     pub bdd_nodes: u64,
+    /// Peak live BDD nodes over the job — with GC/reordering enabled this
+    /// is the real working-set peak, otherwise it equals `bdd_nodes`.
+    pub peak_live_nodes: u64,
+    /// Garbage-collection passes the job's manager ran.
+    pub gc_passes: u64,
+    /// Sifting passes the job's manager ran.
+    pub reorder_passes: u64,
+    /// Wall time spent inside sifting, in milliseconds.
+    pub sift_ms: u64,
     /// BDD variables allocated by the job's manager.
     pub bdd_vars: u64,
     /// ITE computed-table hits recorded by the job's manager.
@@ -68,6 +80,7 @@ impl JobResult {
             ("policy", Json::Str(self.policy_name.clone())),
             ("suite", Json::Str(self.suite.clone())),
             ("part", Json::Str(self.part.clone())),
+            ("order", Json::Str(self.order.clone())),
             (
                 "assertions",
                 Json::Arr(
@@ -91,6 +104,10 @@ impl JobResult {
             ),
             ("holds", Json::Bool(self.holds)),
             ("bdd_nodes", Json::Num(self.bdd_nodes as f64)),
+            ("peak_live_nodes", Json::Num(self.peak_live_nodes as f64)),
+            ("gc_passes", Json::Num(self.gc_passes as f64)),
+            ("reorder_passes", Json::Num(self.reorder_passes as f64)),
+            ("sift_ms", Json::Num(self.sift_ms as f64)),
             ("bdd_vars", Json::Num(self.bdd_vars as f64)),
             ("ite_hits", Json::Num(self.ite_hits as f64)),
             ("ite_misses", Json::Num(self.ite_misses as f64)),
@@ -165,12 +182,24 @@ impl JobResult {
             policy_name: str_field("policy")?,
             suite: str_field("suite")?,
             part: str_field("part")?,
+            // Ordering-layer fields: absent in pre-ordering reports, parsed
+            // leniently so old v1 artifacts still load (and resume against
+            // the default order).
+            order: v
+                .get("order")
+                .and_then(Json::as_str)
+                .unwrap_or("interleaved")
+                .to_owned(),
             assertions,
             holds: v
                 .get("holds")
                 .and_then(Json::as_bool)
                 .ok_or("job missing `holds`")?,
             bdd_nodes: num_field("bdd_nodes")?,
+            peak_live_nodes: v.get("peak_live_nodes").and_then(Json::as_u64).unwrap_or(0),
+            gc_passes: v.get("gc_passes").and_then(Json::as_u64).unwrap_or(0),
+            reorder_passes: v.get("reorder_passes").and_then(Json::as_u64).unwrap_or(0),
+            sift_ms: v.get("sift_ms").and_then(Json::as_u64).unwrap_or(0),
             bdd_vars: num_field("bdd_vars")?,
             // Kernel-cache telemetry: absent in pre-kernel-rework reports,
             // parsed leniently so old v1 files still load.
@@ -256,11 +285,48 @@ impl CampaignReport {
         report.threads = 0;
         for job in &mut report.jobs {
             job.wall_ms = 0;
+            job.sift_ms = 0;
             for assertion in &mut job.assertions {
                 assertion.wall_ms = 0;
             }
         }
         report
+    }
+
+    /// The verdict-only content of the report: per job, its identity and
+    /// every assertion's (name, holds, vacuous) triple.  Unlike
+    /// [`CampaignReport::canonical_json`] this excludes all kernel
+    /// telemetry, so it is the right equality for order-invariance checks —
+    /// two campaigns over different variable orders (or with reordering
+    /// enabled) must produce equal verdicts even though their node counts
+    /// differ.
+    #[allow(clippy::type_complexity)]
+    pub fn verdicts(
+        &self,
+    ) -> Vec<(
+        String,
+        String,
+        String,
+        String,
+        bool,
+        Vec<(String, bool, bool)>,
+    )> {
+        self.jobs
+            .iter()
+            .map(|j| {
+                (
+                    j.config_name.clone(),
+                    j.policy_name.clone(),
+                    j.suite.clone(),
+                    j.part.clone(),
+                    j.holds,
+                    j.assertions
+                        .iter()
+                        .map(|a| (a.name.clone(), a.holds, a.vacuous))
+                        .collect(),
+                )
+            })
+            .collect()
     }
 
     /// [`CampaignReport::canonical`] serialised to JSON — the byte-stable
@@ -342,14 +408,16 @@ impl CampaignReport {
 
     /// Renders the human-readable result table.
     pub fn render_table(&self) -> String {
-        let mut rows: Vec<[String; 8]> = vec![[
+        let mut rows: Vec<[String; 10]> = vec![[
             "job".into(),
             "config".into(),
             "policy".into(),
             "suite".into(),
             "part".into(),
+            "order".into(),
             "holds".into(),
             "bdd nodes".into(),
+            "peak live".into(),
             "ms".into(),
         ]];
         for j in &self.jobs {
@@ -364,12 +432,14 @@ impl CampaignReport {
                 j.policy_name.clone(),
                 j.suite.clone(),
                 j.part.clone(),
+                j.order.clone(),
                 verdict,
                 j.bdd_nodes.to_string(),
+                j.peak_live_nodes.to_string(),
                 j.wall_ms.to_string(),
             ]);
         }
-        let mut widths = [0usize; 8];
+        let mut widths = [0usize; 10];
         for row in &rows {
             for (w, cell) in widths.iter_mut().zip(row) {
                 *w = (*w).max(cell.len());
@@ -382,7 +452,7 @@ impl CampaignReport {
                     out.push_str("  ");
                 }
                 // Right-align the numeric columns.
-                if matches!(col, 0 | 6 | 7) {
+                if matches!(col, 0 | 7 | 8 | 9) {
                     out.push_str(&" ".repeat(width - cell.len()));
                     out.push_str(cell);
                 } else {
@@ -433,13 +503,16 @@ impl CampaignReport {
 }
 
 /// Builds the table/JSON identity of a job from its spec (shared by the
-/// executor and the tests).
-pub fn job_identity(spec: &JobSpec) -> (String, String, String, String) {
+/// executor, the resume planner and the tests).  The order preset is part
+/// of the identity: a verdict computed under one variable order must never
+/// stand in for a job scheduled under another.
+pub fn job_identity(spec: &JobSpec) -> (String, String, String, String, String) {
     (
         spec.config_name.clone(),
         spec.policy_name.clone(),
         spec.suite.name().to_owned(),
         spec.part.render(),
+        spec.order.name(),
     )
 }
 
@@ -464,6 +537,7 @@ mod tests {
                     policy_name: "architectural".into(),
                     suite: "property-two".into(),
                     part: "suite".into(),
+                    order: "interleaved".into(),
                     assertions: vec![
                         AssertionOutcome {
                             name: "survive_pc".into(),
@@ -484,6 +558,10 @@ mod tests {
                     ],
                     holds: false,
                     bdd_nodes: 880,
+                    peak_live_nodes: 700,
+                    gc_passes: 2,
+                    reorder_passes: 1,
+                    sift_ms: 3,
                     bdd_vars: 70,
                     ite_hits: 5400,
                     ite_misses: 600,
@@ -496,9 +574,14 @@ mod tests {
                     policy_name: "none".into(),
                     suite: "ifr".into(),
                     part: "#1".into(),
+                    order: "sequential".into(),
                     assertions: vec![],
                     holds: false,
                     bdd_nodes: 0,
+                    peak_live_nodes: 0,
+                    gc_passes: 0,
+                    reorder_passes: 0,
+                    sift_ms: 0,
                     bdd_vars: 0,
                     ite_hits: 0,
                     ite_misses: 0,

@@ -64,9 +64,9 @@ pub fn assertion(harness: &CoreHarness, m: &mut BddManager, style: AntecedentSty
     let addr_bits = cfg.imem_addr_bits();
 
     // Symbolic read address (the PC) and write port values.
-    let read_word = BddVec::new_input(m, "ifr_ra", addr_bits);
-    let write_word = BddVec::new_input(m, "ifr_wa", addr_bits);
-    let write_data = BddVec::new_input(m, "ifr_wd", 32);
+    let read_word = harness.order().word(m, "ifr_ra", addr_bits);
+    let write_word = harness.order().word(m, "ifr_wa", addr_bits);
+    let write_data = harness.order().word(m, "ifr_wd", 32);
 
     let mut pc_bits = vec![ssr_bdd::Bdd::FALSE; 32];
     for (i, &b) in read_word.bits().iter().enumerate() {
@@ -89,7 +89,7 @@ pub fn assertion(harness: &CoreHarness, m: &mut BddManager, style: AntecedentSty
             (formula, raw)
         }
         AntecedentStyle::Indexed => {
-            let data = BddVec::new_input(m, "ifr_mem", 32);
+            let data = harness.order().word(m, "ifr_mem", 32);
             let formula = harness.imem_indexed_is(m, &read_word, &data, 0, 1);
             let write_hits_read = write_word.equals(m, &read_word).expect("width");
             let raw = write_data.mux(m, write_hits_read, &data).expect("width");

@@ -37,7 +37,7 @@ pub fn fetch(harness: &CoreHarness, m: &mut BddManager) -> Vec<Assertion> {
     // F1: sequential PC update — for a non-branch instruction the PC becomes
     // PC + 4 after one clock cycle.
     {
-        let pc = BddVec::new_input(m, "f1_pc", 32);
+        let pc = harness.order().word(m, "f1_pc", 32);
         let a = CoreHarness::nominal_controls(3)
             .and(clock("clock", 0, 1))
             .and(CoreHarness::pc_is(m, &pc, 0, 2))
@@ -49,11 +49,12 @@ pub fn fetch(harness: &CoreHarness, m: &mut BddManager) -> Vec<Assertion> {
 
     // F2: branch target — with a taken `beq` the PC becomes
     // PC + 4 + (sign-extended offset << 2).  The PC and offset operands
-    // feed a 32-bit adder, so their variables must be interleaved: with
-    // sequential ordering the carry chain's BDD is exponential (the
+    // feed a 32-bit adder, so their declaration follows the harness's
+    // order policy; under the default interleaved preset the carry chain
+    // stays linear, under the sequential preset it is exponential (the
     // ordering ablation of the `bdd_ops` bench).
     {
-        let (pc, offset) = BddVec::new_interleaved_pair(m, "f2_pc", "f2_off", 32);
+        let (pc, offset) = harness.order().pair(m, "f2_pc", "f2_off", 32);
         let a = CoreHarness::nominal_controls(3)
             .and(clock("clock", 0, 1))
             .and(CoreHarness::pc_is(m, &pc, 0, 2))
@@ -80,8 +81,8 @@ pub fn decode(harness: &CoreHarness, m: &mut BddManager) -> Vec<Assertion> {
         ("decode_read_port_1", 21usize, "ReadData1"),
         ("decode_read_port_2", 16usize, "ReadData2"),
     ] {
-        let addr = BddVec::new_input(m, &format!("{name}_addr"), reg_bits);
-        let data = BddVec::new_input(m, &format!("{name}_data"), 32);
+        let addr = harness.order().word(m, &format!("{name}_addr"), reg_bits);
+        let data = harness.order().word(m, &format!("{name}_data"), 32);
         let mut bank = Formula::True;
         for i in 0..reg_count {
             let hit = addr.equals_constant(m, i as u64);
@@ -102,7 +103,7 @@ pub fn decode(harness: &CoreHarness, m: &mut BddManager) -> Vec<Assertion> {
 
     // D3: sign extension of the 16-bit immediate.
     {
-        let imm = BddVec::new_input(m, "d3_imm", 16);
+        let imm = harness.order().word(m, "d3_imm", 16);
         let mut field = Formula::True;
         for (bit, &b) in imm.bits().iter().enumerate() {
             field = field.and(Formula::is_bdd(m, format!("Instruction[{bit}]"), b));
@@ -118,7 +119,7 @@ pub fn decode(harness: &CoreHarness, m: &mut BddManager) -> Vec<Assertion> {
         ("decode_write_register_rtype", true, 11usize),
         ("decode_write_register_load", false, 16usize),
     ] {
-        let addr = BddVec::new_input(m, &format!("{name}_addr"), reg_bits);
+        let addr = harness.order().word(m, &format!("{name}_addr"), reg_bits);
         let mut field = Formula::True;
         for (bit, &b) in addr.bits().iter().enumerate() {
             field = field.and(Formula::is_bdd(
@@ -136,8 +137,8 @@ pub fn decode(harness: &CoreHarness, m: &mut BddManager) -> Vec<Assertion> {
 
     // D6: a register-bank write commits on the clock edge.
     {
-        let addr = BddVec::new_input(m, "d6_addr", reg_bits);
-        let data = BddVec::new_input(m, "d6_data", 32);
+        let addr = harness.order().word(m, "d6_addr", reg_bits);
+        let data = harness.order().word(m, "d6_data", 32);
         let a = CoreHarness::nominal_controls(3)
             .and(clock("clock", 0, 1))
             .and(Formula::node_is_from_to("RegWrite", true, 0, 2))
@@ -235,7 +236,7 @@ pub fn control(harness: &CoreHarness, m: &mut BddManager) -> Vec<Assertion> {
 
     // C5: unimplemented opcodes drive no commits.
     {
-        let op = BddVec::new_input(m, "c5_op", 6);
+        let op = harness.order().word(m, "c5_op", 6);
         let known = [0u64, OP_LW as u64, OP_SW as u64, OP_BEQ as u64];
         let mut is_known = ssr_bdd::Bdd::FALSE;
         for k in known {
@@ -277,7 +278,7 @@ pub fn control(harness: &CoreHarness, m: &mut BddManager) -> Vec<Assertion> {
     ];
     let output_net = ["RegWrite", "MemWrite", "Branch", "ALUSrc", "MemRead"];
     for (i, (name, expected_fn)) in symbolic_outputs.iter().enumerate() {
-        let op = BddVec::new_input(m, &format!("{name}_op"), 6);
+        let op = harness.order().word(m, &format!("{name}_op"), 6);
         let a = CoreHarness::nominal_controls(1).and(Formula::word_is(m, opcode_net, &op));
         let expected = expected_fn(m, &op);
         let c = Formula::is_bdd(m, output_net[i], expected);
@@ -287,7 +288,7 @@ pub fn control(harness: &CoreHarness, m: &mut BddManager) -> Vec<Assertion> {
     // C11: the ALU-control table for R-type functs.  (The ALUOp encoding
     // itself is already checked per opcode by C1–C4.)
     {
-        let funct = BddVec::new_input(m, "c11_funct", 6);
+        let funct = harness.order().word(m, "c11_funct", 6);
         let mut field = Formula::True;
         for (bit, &b) in funct.bits().iter().enumerate() {
             field = field.and(Formula::is_bdd(m, format!("Instruction[{bit}]"), b));
@@ -312,7 +313,7 @@ pub fn control(harness: &CoreHarness, m: &mut BddManager) -> Vec<Assertion> {
 }
 
 /// The six execute-unit assertions.
-pub fn execute(_harness: &CoreHarness, m: &mut BddManager) -> Vec<Assertion> {
+pub fn execute(harness: &CoreHarness, m: &mut BddManager) -> Vec<Assertion> {
     let mut out = Vec::new();
 
     let alu_cases: [(&str, u64); 5] = [
@@ -324,7 +325,9 @@ pub fn execute(_harness: &CoreHarness, m: &mut BddManager) -> Vec<Assertion> {
     ];
     for (name, ctrl) in alu_cases {
         let (a_vec, b_vec) =
-            BddVec::new_interleaved_pair(m, &format!("{name}_a"), &format!("{name}_b"), 32);
+            harness
+                .order()
+                .pair(m, &format!("{name}_a"), &format!("{name}_b"), 32);
         let antecedent = CoreHarness::nominal_controls(1)
             .and(Formula::is0("ALUSrc"))
             .and(Formula::word_is_const("ALUControl", ctrl, 3))
@@ -348,7 +351,7 @@ pub fn execute(_harness: &CoreHarness, m: &mut BddManager) -> Vec<Assertion> {
 
     // E6: the Zero flag is exactly the equality of the subtraction operands.
     {
-        let (a_vec, b_vec) = BddVec::new_interleaved_pair(m, "e6_a", "e6_b", 32);
+        let (a_vec, b_vec) = harness.order().pair(m, "e6_a", "e6_b", 32);
         let antecedent = CoreHarness::nominal_controls(1)
             .and(Formula::is0("ALUSrc"))
             .and(Formula::word_is_const("ALUControl", 0b110, 3))
@@ -362,9 +365,9 @@ pub fn execute(_harness: &CoreHarness, m: &mut BddManager) -> Vec<Assertion> {
 }
 
 /// The single write-back assertion.
-pub fn write_back(_harness: &CoreHarness, m: &mut BddManager) -> Assertion {
-    let mem_data = BddVec::new_input(m, "wb_mem", 32);
-    let alu_data = BddVec::new_input(m, "wb_alu", 32);
+pub fn write_back(harness: &CoreHarness, m: &mut BddManager) -> Assertion {
+    let mem_data = harness.order().word(m, "wb_mem", 32);
+    let alu_data = harness.order().word(m, "wb_alu", 32);
     let sel = m.new_var("wb_sel");
     let a = CoreHarness::nominal_controls(1)
         .and(Formula::is_bdd(m, "MemtoReg", sel))

@@ -48,7 +48,7 @@ pub fn survival_suite(harness: &CoreHarness, m: &mut BddManager) -> Vec<Assertio
 
     // PC survives.
     {
-        let pc = BddVec::new_input(m, "sv_pc", 32);
+        let pc = harness.order().word(m, "sv_pc", 32);
         let a = s
             .formula()
             .and(CoreHarness::imem_port_idle(depth))
@@ -59,8 +59,10 @@ pub fn survival_suite(harness: &CoreHarness, m: &mut BddManager) -> Vec<Assertio
 
     // An indexed instruction-memory word survives.
     {
-        let addr = BddVec::new_input(m, "sv_imem_addr", harness.config().imem_addr_bits());
-        let data = BddVec::new_input(m, "sv_imem_data", 32);
+        let addr = harness
+            .order()
+            .word(m, "sv_imem_addr", harness.config().imem_addr_bits());
+        let data = harness.order().word(m, "sv_imem_data", 32);
         let a = s
             .formula()
             .and(CoreHarness::imem_port_idle(depth))
@@ -79,7 +81,7 @@ pub fn survival_suite(harness: &CoreHarness, m: &mut BddManager) -> Vec<Assertio
 
     // Register 1 survives.
     {
-        let value = BddVec::new_input(m, "sv_reg", 32);
+        let value = harness.order().word(m, "sv_reg", 32);
         let a = s
             .formula()
             .and(CoreHarness::imem_port_idle(depth))
@@ -90,8 +92,10 @@ pub fn survival_suite(harness: &CoreHarness, m: &mut BddManager) -> Vec<Assertio
 
     // An indexed data-memory word survives.
     {
-        let addr = BddVec::new_input(m, "sv_dmem_addr", harness.config().dmem_addr_bits());
-        let data = BddVec::new_input(m, "sv_dmem_data", 32);
+        let addr = harness
+            .order()
+            .word(m, "sv_dmem_addr", harness.config().dmem_addr_bits());
+        let data = harness.order().word(m, "sv_dmem_data", 32);
         let a = s
             .formula()
             .and(CoreHarness::imem_port_idle(depth))
@@ -133,7 +137,7 @@ fn present_state(
 ) -> (Formula, BddVec) {
     let depth = s.depth;
     let addr_bits = harness.config().imem_addr_bits();
-    let word_addr = BddVec::new_input(m, &format!("{tag}_pcw"), addr_bits);
+    let word_addr = harness.order().word(m, &format!("{tag}_pcw"), addr_bits);
     let pc = aligned_address(&word_addr);
     let instr_vec = BddVec::constant(m, instruction as u64, 32);
 
@@ -170,7 +174,7 @@ pub fn equivalence_suite(harness: &CoreHarness, m: &mut BddManager) -> Vec<Asser
         let (base, pc) = present_state(harness, m, "eq_add", instr, &s);
         // The register operands meet in the 32-bit ALU adder; interleave
         // their variables or the carry chain's BDD is exponential.
-        let (v1, v2) = BddVec::new_interleaved_pair(m, "eq_add_r1", "eq_add_r2", 32);
+        let (v1, v2) = harness.order().pair(m, "eq_add_r1", "eq_add_r2", 32);
         let a = base
             .and(CoreHarness::register_is(m, 1, &v1, 0, 1))
             .and(CoreHarness::register_is(m, 2, &v2, 0, 1));
@@ -195,9 +199,9 @@ pub fn equivalence_suite(harness: &CoreHarness, m: &mut BddManager) -> Vec<Asser
         .encode();
         let (base, pc) = present_state(harness, m, "eq_sw", instr, &s);
         let dmem_bits = harness.config().dmem_addr_bits();
-        let base_word = BddVec::new_input(m, "eq_sw_addr", dmem_bits);
+        let base_word = harness.order().word(m, "eq_sw_addr", dmem_bits);
         let base_addr = aligned_address(&base_word);
-        let stored = BddVec::new_input(m, "eq_sw_data", 32);
+        let stored = harness.order().word(m, "eq_sw_data", 32);
         let a = base
             .and(CoreHarness::register_is(m, 1, &base_addr, 0, 1))
             .and(CoreHarness::register_is(m, 2, &stored, 0, 1));
@@ -223,7 +227,7 @@ pub fn equivalence_suite(harness: &CoreHarness, m: &mut BddManager) -> Vec<Asser
         let (base, pc) = present_state(harness, m, "eq_beq", instr, &s);
         // The operands meet in the ALU's equality comparator; interleaved
         // ordering keeps it linear (sequential ordering is exponential).
-        let (v1, v2) = BddVec::new_interleaved_pair(m, "eq_beq_r1", "eq_beq_r2", 32);
+        let (v1, v2) = harness.order().pair(m, "eq_beq_r1", "eq_beq_r2", 32);
         let a = base
             .and(CoreHarness::register_is(m, 1, &v1, 0, 1))
             .and(CoreHarness::register_is(m, 2, &v2, 0, 1));
@@ -249,9 +253,9 @@ pub fn equivalence_suite(harness: &CoreHarness, m: &mut BddManager) -> Vec<Asser
         .encode();
         let (base, pc) = present_state(harness, m, "eq_lw", instr, &s);
         let dmem_bits = harness.config().dmem_addr_bits();
-        let base_word = BddVec::new_input(m, "eq_lw_addr", dmem_bits);
+        let base_word = harness.order().word(m, "eq_lw_addr", dmem_bits);
         let base_addr = aligned_address(&base_word);
-        let loaded = BddVec::new_input(m, "eq_lw_data", 32);
+        let loaded = harness.order().word(m, "eq_lw_data", 32);
         let a = base
             .and(CoreHarness::register_is(m, 1, &base_addr, 0, 1))
             .and(harness.dmem_indexed_is(m, &base_word, &loaded, 0, 1));

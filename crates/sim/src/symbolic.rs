@@ -65,7 +65,7 @@ impl<'m> SymSimulator<'m> {
         let shadow_clk = vec![SymTernary::X; self.model.state_bits()];
         self.apply_constants(&mut nodes);
         Self::apply_drive(m, &mut nodes, drive);
-        self.propagate(m, &mut nodes);
+        self.propagate(m, &mut nodes, &shadow_clk);
         SymState { nodes, shadow_clk }
     }
 
@@ -126,7 +126,7 @@ impl<'m> SymSimulator<'m> {
 
         self.apply_constants(&mut nodes);
         Self::apply_drive(m, &mut nodes, drive);
-        self.propagate(m, &mut nodes);
+        self.propagate(m, &mut nodes, &shadow_clk);
         SymState { nodes, shadow_clk }
     }
 
@@ -163,8 +163,18 @@ impl<'m> SymSimulator<'m> {
     /// Closes the combinational logic: every gate output is joined with the
     /// gate function applied to its (already final) inputs.  One pass in
     /// topological order suffices.
-    fn propagate(&self, m: &mut BddManager, nodes: &mut [SymTernary]) {
+    ///
+    /// When the manager has a maintenance policy installed and a pass is
+    /// due, the gate loop declares a safe point: the whole working state —
+    /// every net value computed so far plus `extra` (the clock shadows of
+    /// the state under construction) — goes into a scoped root set and
+    /// [`BddManager::maintain`] runs there.  This is what keeps the peak
+    /// down *inside* one time step, where the big-memory configurations
+    /// allocate most of their nodes; callers that enable maintenance must
+    /// root everything else they hold (the STE checker does).
+    fn propagate(&self, m: &mut BddManager, nodes: &mut [SymTernary], extra: &[SymTernary]) {
         let netlist = self.model.netlist();
+        let maintaining = m.maintenance_enabled();
         for &cell_id in self.model.comb_order() {
             let cell = netlist.cell(cell_id);
             let op = match cell.kind {
@@ -174,7 +184,26 @@ impl<'m> SymSimulator<'m> {
             let value = Self::eval_gate(m, op, cell.inputs.iter().map(|&i| nodes[i.index()]));
             let out = cell.output.index();
             nodes[out] = nodes[out].join(m, &value);
+            if maintaining && m.maintenance_due() {
+                Self::maintenance_point(m, nodes, extra);
+            }
         }
+    }
+
+    /// The out-of-line safe point of the gate loop: roots the working
+    /// state and runs the due maintenance pass.  `#[cold]` keeps the
+    /// rooting loops out of `propagate`'s hot body — the common case is
+    /// maintenance disabled or not due.
+    #[cold]
+    #[inline(never)]
+    fn maintenance_point(m: &mut BddManager, nodes: &[SymTernary], extra: &[SymTernary]) {
+        m.push_root_frame();
+        for v in nodes.iter().chain(extra) {
+            m.root(v.hi());
+            m.root(v.lo());
+        }
+        m.maintain();
+        m.pop_root_frame();
     }
 
     fn eval_gate(

@@ -102,10 +102,28 @@ impl<'m> Ste<'m> {
     ) -> Result<Vec<SymState>, SteError> {
         let seq = antecedent.defining_sequence(m, self.model.netlist(), depth)?;
         let sim = SymSimulator::new(self.model);
-        Ok(sim.run(m, &seq))
+        // This entry point does not root the caller's handles, so the
+        // simulator must not garbage-collect under it: suspend any
+        // maintenance policy for the duration.
+        let saved = m.maintenance();
+        m.set_maintenance(None);
+        let trajectory = sim.run(m, &seq);
+        m.set_maintenance(saved);
+        Ok(trajectory)
     }
 
     /// Checks the assertion `A ⇒ C` against the model.
+    ///
+    /// When the manager has an automatic maintenance policy installed
+    /// ([`BddManager::set_maintenance`]), the checker declares safe
+    /// points: the assertion's guards, the antecedent/consequent
+    /// constraints and every trajectory state computed so far are
+    /// registered in a scoped root set, and the simulator may
+    /// garbage-collect and resift between gates and steps.  The verdict
+    /// is unchanged either way; only node counts and peak memory differ.
+    /// Note that after such a check the raw BDDs in the returned
+    /// [`CheckReport`] (`ok`, `antecedent_conflict`) are only guaranteed
+    /// valid until the next collection.
     ///
     /// # Errors
     /// Returns [`SteError::UnknownNode`] if either formula mentions a node
@@ -122,8 +140,54 @@ impl<'m> Ste<'m> {
         let a_seq = assertion.antecedent.defining_sequence(m, netlist, depth)?;
         let c_seq = assertion.consequent.defining_sequence(m, netlist, depth)?;
 
+        let maintaining = m.maintenance_enabled();
+        if maintaining {
+            m.push_root_frame();
+            // The assertion's own guard BDDs are rooted too, so the caller
+            // can re-check the same assertion after a collection.
+            let mut guards = Vec::new();
+            assertion.collect_bdds(&mut guards);
+            for guard in guards {
+                m.root(guard);
+            }
+            for seq in [&a_seq, &c_seq] {
+                for constraints in seq.iter() {
+                    for &(_, value) in constraints {
+                        m.root(value.hi());
+                        m.root(value.lo());
+                    }
+                }
+            }
+        }
+
         let sim = SymSimulator::new(self.model);
-        let trajectory = sim.run(m, &a_seq);
+        let trajectory = if !maintaining {
+            sim.run(m, &a_seq)
+        } else {
+            // Step manually so every completed state can be rooted before
+            // the kernel collects the step's dead intermediates (and
+            // resifts if the live set grew).
+            let mut trajectory: Vec<SymState> = Vec::with_capacity(depth);
+            for (t, drive) in a_seq.iter().enumerate() {
+                let state = if t == 0 {
+                    sim.initial_state(m, drive)
+                } else {
+                    sim.step(m, &trajectory[t - 1], drive)
+                };
+                for value in state.nodes() {
+                    m.root(value.hi());
+                    m.root(value.lo());
+                }
+                for index in 0..self.model.state_bits() {
+                    let shadow = state.shadow_clk(index);
+                    m.root(shadow.hi());
+                    m.root(shadow.lo());
+                }
+                m.maintain();
+                trajectory.push(state);
+            }
+            trajectory
+        };
 
         // Antecedent consistency: a ⊤ on any antecedent-driven node means the
         // stimulus contradicts the circuit (or itself) for those assignments.
@@ -180,6 +244,10 @@ impl<'m> Ste<'m> {
             })
         };
 
+        if maintaining {
+            m.pop_root_frame();
+        }
+
         Ok(CheckReport {
             name: assertion.name.clone(),
             holds,
@@ -195,6 +263,11 @@ impl<'m> Ste<'m> {
     /// Checks a whole suite of assertions, returning one report per
     /// assertion in order.
     ///
+    /// With a maintenance policy installed, the guard BDDs of *every*
+    /// assertion are rooted for the duration of the run, so a collection
+    /// triggered inside one check cannot reclaim the formulas of the
+    /// checks still to come.
+    ///
     /// # Errors
     /// Fails fast on the first elaboration error.
     pub fn check_all(
@@ -202,7 +275,22 @@ impl<'m> Ste<'m> {
         m: &mut BddManager,
         assertions: &[Assertion],
     ) -> Result<Vec<CheckReport>, SteError> {
-        assertions.iter().map(|a| self.check(m, a)).collect()
+        let maintaining = m.maintenance_enabled();
+        if maintaining {
+            let mut guards = Vec::new();
+            for assertion in assertions {
+                assertion.collect_bdds(&mut guards);
+            }
+            m.push_root_frame();
+            for guard in guards {
+                m.root(guard);
+            }
+        }
+        let reports = assertions.iter().map(|a| self.check(m, a)).collect();
+        if maintaining {
+            m.pop_root_frame();
+        }
+        reports
     }
 }
 

@@ -172,6 +172,24 @@ impl Formula {
         }
     }
 
+    /// Collects every BDD handle the formula holds (the `when` guards) into
+    /// `out`.  Checkers that enable GC root these so a formula stays
+    /// elaborable after a collection.
+    pub fn collect_bdds(&self, out: &mut Vec<Bdd>) {
+        match self {
+            Formula::Is0(_) | Formula::Is1(_) | Formula::True => {}
+            Formula::And(a, b) => {
+                a.collect_bdds(out);
+                b.collect_bdds(out);
+            }
+            Formula::When(f, guard) => {
+                out.push(*guard);
+                f.collect_bdds(out);
+            }
+            Formula::Next(f) => f.collect_bdds(out),
+        }
+    }
+
     // ------------------------------------------------------------------
     // Defining sequence (Definition 2)
     // ------------------------------------------------------------------
@@ -268,6 +286,13 @@ impl Assertion {
     /// The number of time units the assertion spans.
     pub fn depth(&self) -> usize {
         self.antecedent.depth().max(self.consequent.depth())
+    }
+
+    /// Collects every BDD handle the assertion holds (see
+    /// [`Formula::collect_bdds`]).
+    pub fn collect_bdds(&self, out: &mut Vec<Bdd>) {
+        self.antecedent.collect_bdds(out);
+        self.consequent.collect_bdds(out);
     }
 }
 

@@ -1,8 +1,10 @@
-//! Property-based tests: the symbolic dual-rail gates agree with the scalar
-//! lattice gates under every assignment, and the scalar gates are monotone.
+//! Property-based tests, on the in-tree `ssr-prop` harness (offline
+//! replacement for the external `proptest` these targets were originally
+//! gated on): the symbolic dual-rail gates agree with the scalar lattice
+//! gates under every assignment, and the scalar gates are monotone.
 
-use proptest::prelude::*;
 use ssr_bdd::{Assignment, BddManager};
+use ssr_prop::{check, Rng};
 use ssr_ternary::{SymTernary, Ternary};
 
 /// A symbolic ternary operand description: either a constant lattice value
@@ -13,22 +15,21 @@ enum Operand {
     Symbol,
 }
 
-fn arb_ternary() -> impl Strategy<Value = Ternary> {
-    prop_oneof![
-        Just(Ternary::X),
-        Just(Ternary::Zero),
-        Just(Ternary::One),
-        Just(Ternary::Top),
-    ]
+const LATTICE: [Ternary; 4] = [Ternary::X, Ternary::Zero, Ternary::One, Ternary::Top];
+
+fn arb_ternary(rng: &mut Rng) -> Ternary {
+    *rng.choose(&LATTICE)
 }
 
-fn arb_operand() -> impl Strategy<Value = Operand> {
-    prop_oneof![
-        arb_ternary().prop_map(Operand::Const),
-        Just(Operand::Symbol)
-    ]
+fn arb_operand(rng: &mut Rng) -> Operand {
+    if rng.flag() {
+        Operand::Const(arb_ternary(rng))
+    } else {
+        Operand::Symbol
+    }
 }
 
+#[allow(clippy::type_complexity)]
 fn materialise(
     m: &mut BddManager,
     op: &Operand,
@@ -50,58 +51,69 @@ fn materialise(
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Dual-rail AND/OR/XOR/NOT agree with the scalar lattice gates for
-    /// every combination of constants and symbolic operands, under every
-    /// assignment of the symbolic variables.
-    #[test]
-    fn symbolic_agrees_with_scalar(a in arb_operand(), b in arb_operand(),
-                                   va in any::<bool>(), vb in any::<bool>()) {
+/// Dual-rail AND/OR/XOR/NOT agree with the scalar lattice gates for every
+/// combination of constants and symbolic operands, under every assignment
+/// of the symbolic variables.
+#[test]
+fn symbolic_agrees_with_scalar() {
+    check("symbolic agrees with scalar", 128, 0x7E12_0001, |rng| {
+        let a = arb_operand(rng);
+        let b = arb_operand(rng);
+        let (va, vb) = (rng.flag(), rng.flag());
         let mut m = BddManager::new();
         let (sa, fa) = materialise(&mut m, &a, "a");
         let (sb, fb) = materialise(&mut m, &b, "b");
         let mut asg = Assignment::new();
         // Assign all declared variables (at most two).
         let vals = [va, vb];
-        for v in 0..m.var_count() {
-            asg.set(v as u32, vals[v]);
+        for (v, &val) in vals.iter().enumerate().take(m.var_count()) {
+            asg.set(v as u32, val);
         }
         let ta = fa(&asg);
         let tb = fb(&asg);
 
         let and = sa.and(&mut m, &sb);
-        prop_assert_eq!(and.eval(&m, &asg), Some(ta.and(tb)));
+        assert_eq!(and.eval(&m, &asg), Some(ta.and(tb)));
         let or = sa.or(&mut m, &sb);
-        prop_assert_eq!(or.eval(&m, &asg), Some(ta.or(tb)));
+        assert_eq!(or.eval(&m, &asg), Some(ta.or(tb)));
         let xor = sa.xor(&mut m, &sb);
-        prop_assert_eq!(xor.eval(&m, &asg), Some(ta.xor(tb)));
+        assert_eq!(xor.eval(&m, &asg), Some(ta.xor(tb)));
         let not = sa.not();
-        prop_assert_eq!(not.eval(&m, &asg), Some(ta.not()));
+        assert_eq!(not.eval(&m, &asg), Some(ta.not()));
         let join = sa.join(&mut m, &sb);
-        prop_assert_eq!(join.eval(&m, &asg), Some(ta.join(tb)));
-    }
+        assert_eq!(join.eval(&m, &asg), Some(ta.join(tb)));
+    });
+}
 
-    /// Scalar mux is monotone in every argument.
-    #[test]
-    fn scalar_mux_is_monotone(s1 in arb_ternary(), s2 in arb_ternary(),
-                              a1 in arb_ternary(), a2 in arb_ternary(),
-                              b1 in arb_ternary(), b2 in arb_ternary()) {
-        prop_assume!(s1.leq(s2) && a1.leq(a2) && b1.leq(b2));
+/// Scalar mux is monotone in every argument.
+#[test]
+fn scalar_mux_is_monotone() {
+    check("scalar mux is monotone", 256, 0x7E12_0002, |rng| {
+        let (s1, s2) = (arb_ternary(rng), arb_ternary(rng));
+        let (a1, a2) = (arb_ternary(rng), arb_ternary(rng));
+        let (b1, b2) = (arb_ternary(rng), arb_ternary(rng));
+        if !(s1.leq(s2) && a1.leq(a2) && b1.leq(b2)) {
+            return; // precondition not met; draw again next case
+        }
         let lo = Ternary::mux(s1, a1, b1);
         let hi = Ternary::mux(s2, a2, b2);
-        prop_assert!(lo.leq(hi), "mux({s1},{a1},{b1})={lo} not ⊑ mux({s2},{a2},{b2})={hi}");
-    }
+        assert!(
+            lo.leq(hi),
+            "mux({s1},{a1},{b1})={lo} not ⊑ mux({s2},{a2},{b2})={hi}"
+        );
+    });
+}
 
-    /// Join is the least upper bound: it is an upper bound and below any
-    /// other upper bound.
-    #[test]
-    fn join_is_least_upper_bound(a in arb_ternary(), b in arb_ternary(), c in arb_ternary()) {
+/// Join is the least upper bound: it is an upper bound and below any other
+/// upper bound.
+#[test]
+fn join_is_least_upper_bound() {
+    check("join is least upper bound", 256, 0x7E12_0003, |rng| {
+        let (a, b, c) = (arb_ternary(rng), arb_ternary(rng), arb_ternary(rng));
         let j = a.join(b);
-        prop_assert!(a.leq(j) && b.leq(j));
+        assert!(a.leq(j) && b.leq(j));
         if a.leq(c) && b.leq(c) {
-            prop_assert!(j.leq(c));
+            assert!(j.leq(c));
         }
-    }
+    });
 }

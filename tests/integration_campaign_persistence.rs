@@ -20,6 +20,8 @@ fn spec(threads: usize) -> CampaignSpec {
         ],
         suites: Suite::ALL.to_vec(),
         granularity: Granularity::Suite,
+        order: ssr_engine::OrderPolicy::Interleaved,
+        reorder: None,
         threads,
         verbose: false,
     }
@@ -39,7 +41,7 @@ fn killed_campaign_resumes_to_a_byte_identical_report() {
 
     // First life: checkpoint to disk, die after three jobs.
     let path = journal_path("kill-resume");
-    let checkpoint = Checkpoint::create(&path, "suite", 6).expect("journal creates");
+    let checkpoint = Checkpoint::create(&path, "suite", 6, false).expect("journal creates");
     let partial_report = spec(1).run_with(&[], Some(&checkpoint), Some(3));
     assert_eq!(partial_report.jobs.len(), 3, "the run was interrupted");
     drop(checkpoint);

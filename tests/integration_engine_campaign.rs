@@ -21,6 +21,8 @@ fn parallel_campaign_reproduces_the_papers_verdicts() {
         policies: vec![policy("architectural"), policy("none")],
         suites: Suite::ALL.to_vec(),
         granularity: Granularity::Suite,
+        order: ssr_engine::OrderPolicy::Interleaved,
+        reorder: None,
         threads: 4,
         verbose: false,
     };
@@ -68,6 +70,8 @@ fn campaign_catches_the_unsafe_control_path_reset() {
         policies: vec![policy("architectural")],
         suites: vec![Suite::PropertyTwo],
         granularity: Granularity::Assertion,
+        order: ssr_engine::OrderPolicy::Interleaved,
+        reorder: None,
         threads: 2,
         verbose: false,
     }
