@@ -497,6 +497,15 @@ impl BddManager {
         self.nodes.len()
     }
 
+    /// Allocated capacity of the node arena in slots.  [`reset`] keeps the
+    /// allocation, so this is the manager's retained memory high-water mark
+    /// — what a recycling pool pins if it caches the manager.
+    ///
+    /// [`reset`]: BddManager::reset
+    pub fn arena_capacity(&self) -> usize {
+        self.nodes.capacity()
+    }
+
     /// Number of nodes reachable from `f` (the "size" of the BDD), counting
     /// terminals.
     pub fn size(&self, f: Bdd) -> usize {

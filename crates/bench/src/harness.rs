@@ -31,23 +31,41 @@ pub const SCHEMA: &str = "ssr-bench-report/v1";
 
 /// Execution options shared by every campaign workload of a bench run:
 /// the variable-order preset and the kernel maintenance (GC + sifting)
-/// policy, mirroring `ssr bench --order/--reorder`.  The defaults
+/// policy, mirroring `ssr bench --order/--reorder`, plus the serve
+/// closed-loop fleet shape (`--clients`/`--requests`).  The defaults
 /// reproduce the committed `BENCH_*.json` trajectory exactly.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct BenchOptions {
-    /// Variable-order preset for the campaign workloads.
+    /// Variable-order preset for the campaign (and serve) workloads.
     pub order: OrderPolicy,
-    /// Kernel GC/sifting policy for the campaign workloads.
+    /// Kernel GC/sifting policy for the campaign (and serve) workloads.
     pub reorder: Option<MaintainSettings>,
+    /// Serve closed loop: concurrent clients.
+    pub serve_clients: usize,
+    /// Serve closed loop: campaigns each client submits back-to-back.
+    pub serve_requests: usize,
 }
 
-/// Which half of the suite a workload belongs to.
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions {
+            order: OrderPolicy::default(),
+            reorder: None,
+            serve_clients: 4,
+            serve_requests: 2,
+        }
+    }
+}
+
+/// Which part of the suite a workload belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WorkloadKind {
     /// A BDD-kernel microbenchmark.
     Kernel,
     /// An end-to-end campaign run through `ssr-engine`.
     Campaign,
+    /// A closed-loop client fleet against an in-process `ssr-serve` daemon.
+    Serve,
 }
 
 impl WorkloadKind {
@@ -56,6 +74,7 @@ impl WorkloadKind {
         match self {
             WorkloadKind::Kernel => "kernel",
             WorkloadKind::Campaign => "campaign",
+            WorkloadKind::Serve => "serve",
         }
     }
 }
@@ -543,7 +562,91 @@ pub fn workloads(options: &BenchOptions) -> Vec<Workload> {
         },
     });
 
+    // --- serve closed loop ------------------------------------------
+
+    out.push(Workload {
+        name: "serve/closed-loop",
+        kind: WorkloadKind::Serve,
+        run: {
+            let clients = options.serve_clients.max(1);
+            let requests = options.serve_requests.max(1);
+            let spec = CampaignSpec {
+                configs: vec![NamedConfig::small()],
+                policies: vec![ssr_engine::policy_by_name("architectural").expect("named policy")],
+                suites: Suite::ALL.to_vec(),
+                granularity: Granularity::Suite,
+                order: options.order.clone(),
+                reorder: options.reorder,
+                threads: 1,
+                verbose: false,
+            };
+            Box::new(move || serve_closed_loop(&spec, clients, requests))
+        },
+    });
+
     out
+}
+
+/// One timed iteration of the serve closed loop: spawn an in-process
+/// daemon, run a fleet of `clients` blocking clients that each submit
+/// `requests` campaigns back-to-back over real localhost sockets, then
+/// shut the daemon down.  Reports fleet throughput (campaigns/sec) and
+/// per-campaign latency percentiles — the full submit → queue → run →
+/// stream → final-report round trip, protocol and socket costs included.
+fn serve_closed_loop(spec: &CampaignSpec, clients: usize, requests: usize) -> Vec<(String, f64)> {
+    use ssr_serve::{Client, Server, ServerConfig};
+
+    let server = Server::spawn(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        // The fleet never queues more than it submits; one dispatcher per
+        // client keeps the closed loop free of artificial queueing.
+        queue_capacity: clients * requests + 1,
+        dispatchers: clients,
+        job_threads: 1,
+        journal_dir: None,
+        verbose: false,
+    })
+    .expect("the in-process daemon binds a loopback port");
+    let addr = server.local_addr();
+
+    let started = Instant::now();
+    let mut latencies_ns: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("fleet client connects");
+                    let mut latencies = Vec::with_capacity(requests);
+                    for _ in 0..requests {
+                        let submitted = Instant::now();
+                        let done = client.run(spec, 0, None, |_| {}).expect("campaign served");
+                        assert!(!done.cancelled && done.report.all_hold());
+                        latencies.push(submitted.elapsed().as_nanos() as u64);
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("fleet client thread"))
+            .collect()
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    server.shutdown();
+
+    latencies_ns.sort_unstable();
+    let campaigns = (clients * requests) as f64;
+    let p99_index = ((latencies_ns.len() - 1) as f64 * 0.99).round() as usize;
+    vec![
+        ("clients".into(), clients as f64),
+        ("requests_per_client".into(), requests as f64),
+        ("campaigns_per_sec".into(), campaigns / elapsed),
+        (
+            "p50_ms".into(),
+            median_of_sorted(&latencies_ns) as f64 / 1e6,
+        ),
+        ("p99_ms".into(), latencies_ns[p99_index] as f64 / 1e6),
+    ]
 }
 
 /// The names [`workloads`] exposes, for CLI help and validation.
@@ -677,6 +780,24 @@ mod tests {
         let parsed = BenchReport::from_json(&text).expect("parses");
         assert_eq!(parsed, report);
         assert!(text.contains(SCHEMA));
+    }
+
+    #[test]
+    fn serve_closed_loop_reports_throughput_and_latency() {
+        let options = BenchOptions {
+            serve_clients: 2,
+            serve_requests: 1,
+            ..BenchOptions::default()
+        };
+        let report = run_workloads(&["serve".to_owned()], 1, 0, &options).expect("serve runs");
+        assert_eq!(report.results.len(), 1);
+        let r = &report.results[0];
+        assert_eq!(r.kind, "serve");
+        assert_eq!(r.metrics["clients"], 2.0);
+        assert_eq!(r.metrics["requests_per_client"], 1.0);
+        assert!(r.metrics["campaigns_per_sec"] > 0.0);
+        assert!(r.metrics["p50_ms"] > 0.0);
+        assert!(r.metrics["p99_ms"] >= r.metrics["p50_ms"]);
     }
 
     #[test]

@@ -22,13 +22,22 @@ COMMANDS:
     stats      Print the generated core's state classification, netlist
                census, retention-intent audit and area/leakage savings
     bench      Run the zero-dependency wall-clock benchmark suite (BDD
-               kernel microbenchmarks + campaign workloads) and emit an
-               `ssr-bench-report/v1` JSON; or diff two reports
+               kernel microbenchmarks + campaign workloads + the serve
+               closed loop) and emit an `ssr-bench-report/v1` JSON; or
+               diff two reports
+    serve      Run the campaign-serving daemon: accept `ssr-serve/v1`
+               submissions over TCP, queue them by priority, stream each
+               job result back as it lands, and journal every request so
+               a crash loses no completed work
+    submit     Submit a campaign to a running daemon and stream its
+               results (or --cancel/--status/--shutdown it)
     diff       Compare two campaign artifacts (reports or checkpoint
                journals): verdict transitions per job, added/removed jobs,
                wall-time and ITE-hit-rate deltas.  Exits 1 iff a verdict
-               regressed — the CI regression gate.
-               Usage: ssr diff OLD.json NEW.json
+               regressed — the CI regression gate.  With --canonical,
+               instead require the two reports to be byte-identical in
+               canonical form (the serve-vs-direct CI check).
+               Usage: ssr diff [--canonical] OLD.json NEW.json
     help       Show this text
 
 OPTIONS:
@@ -99,17 +108,60 @@ CAMPAIGN PERSISTENCE:
 BENCH OPTIONS:
     --iterations <N>              Timed iterations per workload [default: 5]
     --warmup <N>                  Untimed warmup iterations     [default: 1]
-    --workload <NAME|kernel|campaign>
+    --workload <NAME|kernel|campaign|serve>
                                   Select workloads; repeatable or
                                   comma-separated.       [default: all]
+    --serve                       Shorthand for --workload serve: only the
+                                  closed-loop serving benchmark (client
+                                  fleet vs in-process daemon; reports
+                                  campaigns/sec and p50/p99 latency)
+    --clients <N>                 Serve bench: concurrent clients [default: 4]
+    --requests <N>                Serve bench: campaigns per client
+                                                                 [default: 2]
     --diff <OLD.json> <NEW.json>  Compare two bench reports (per-workload
                                   median deltas) instead of running
+
+SERVE OPTIONS (ssr serve):
+    --addr <HOST:PORT>            Bind address; port 0 picks a free port
+                                                     [default: 127.0.0.1:7878]
+    --addr-file <PATH>            Write the bound address to PATH once
+                                  listening (how scripts find a port-0
+                                  daemon)
+    --queue-capacity <N>          Pending submissions before backpressure
+                                  rejection                    [default: 64]
+    --parallel <N>                Campaigns running concurrently [default: 1]
+    --journal-dir <DIR>           Directory for per-request checkpoint
+                                  journals (req-<id>.journal); enables
+                                  crash-resume    [default: no persistence]
+    --jobs <N>                    Worker threads per campaign (0 = one per
+                                  CPU); overrides submitted specs
+
+SUBMIT OPTIONS (ssr submit):
+    --addr <HOST:PORT>            Daemon to talk to [default: 127.0.0.1:7878]
+    --priority <N>                Scheduling priority (higher runs first)
+                                                                 [default: 0]
+    --resume <NAME>               Server-side journal file name to resume
+                                  from (as acked by a previous submit)
+    --detach                      Print `id <N>` after the ack and exit
+                                  without streaming (the run continues
+                                  server-side; its journal is kept)
+    --cancel <ID>                 Cancel request ID instead of submitting
+    --status                      Print the daemon's request table instead
+                                  of submitting
+    --shutdown                    Stop the daemon instead of submitting
+    Campaign shape flags (--config/--policy/--suite/--granularity/--order/
+    --reorder/--max-growth) choose what to submit; --json/--quiet control
+    output like `ssr campaign`.
 
 EXIT CODE:
     campaign/check: 0 if every checked assertion holds, 1 otherwise (a
            --limit run is judged on the jobs it completed).
     diff: 0 if no verdict regressed, 1 on regression, 2 on unreadable
-          artifacts.
+          artifacts.  --canonical: 0 iff canonically byte-identical.
+    serve: 0 on clean shutdown, 2 on bind/setup errors.
+    submit: 0 if every checked assertion held (or the control request
+            succeeded), 1 on failures or a cancelled run, 2 on
+            connection or protocol errors.
     bench: 0 on success (including --diff), 2 on unknown workloads or
            unreadable reports.
     minimise: 0 if the baseline (all-architectural) policy verifies;
@@ -131,6 +183,10 @@ pub enum Action {
     Stats,
     /// The wall-clock benchmark suite (or a report diff).
     Bench,
+    /// The campaign-serving daemon.
+    Serve,
+    /// Submit to (or control) a running daemon.
+    Submit,
     /// Campaign-report regression diffing.
     Diff,
     /// Print usage.
@@ -175,12 +231,41 @@ pub struct Command {
     pub workloads: Vec<String>,
     /// `bench --diff OLD NEW` / `ssr diff OLD NEW`: the two report paths.
     pub diff: Option<(String, String)>,
-    /// `campaign --resume`: path of the report/journal to resume from.
+    /// `campaign --resume`: path of the report/journal to resume from
+    /// (`submit --resume`: server-side journal file name).
     pub resume: Option<String>,
     /// `campaign --checkpoint`: explicit journal path.
     pub checkpoint: Option<String>,
     /// `campaign --limit`: stop after this many job completions.
     pub limit: Option<usize>,
+    /// `serve`/`submit --addr`: daemon address (default 127.0.0.1:7878).
+    pub addr: String,
+    /// `serve --addr-file`: write the bound address here once listening.
+    pub addr_file: Option<String>,
+    /// `serve --queue-capacity`: pending submissions before rejection.
+    pub queue_capacity: usize,
+    /// `serve --parallel`: concurrently running campaigns.
+    pub parallel: usize,
+    /// `serve --journal-dir`: per-request journal directory.
+    pub journal_dir: Option<String>,
+    /// `submit --priority`: scheduling priority.
+    pub priority: u32,
+    /// `submit --detach`: exit after the ack without streaming.
+    pub detach: bool,
+    /// `submit --cancel ID`: cancel instead of submitting.
+    pub cancel: Option<u64>,
+    /// `submit --status`: print the request table instead of submitting.
+    pub status: bool,
+    /// `submit --shutdown`: stop the daemon instead of submitting.
+    pub shutdown: bool,
+    /// `diff --canonical`: require canonical byte-identity.
+    pub canonical: bool,
+    /// `bench --serve`: only the closed-loop serving workloads.
+    pub serve_only: bool,
+    /// `bench --clients`: serve-bench fleet size.
+    pub clients: usize,
+    /// `bench --requests`: serve-bench campaigns per client.
+    pub requests: usize,
 }
 
 fn parse_config(text: &str, control_path: ControlPath) -> Result<NamedConfig, String> {
@@ -251,6 +336,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         Some("minimise" | "minimize") => Action::Minimise,
         Some("stats") => Action::Stats,
         Some("bench") => Action::Bench,
+        Some("serve") => Action::Serve,
+        Some("submit") => Action::Submit,
         Some("diff") => Action::Diff,
         Some("help" | "--help" | "-h") | None => Action::Help,
         Some(other) => return Err(format!("unknown command `{other}`")),
@@ -275,6 +362,20 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     let mut resume = None;
     let mut checkpoint = None;
     let mut limit = None;
+    let mut addr = "127.0.0.1:7878".to_owned();
+    let mut addr_file = None;
+    let mut queue_capacity = 64usize;
+    let mut parallel = 1usize;
+    let mut journal_dir = None;
+    let mut priority = 0u32;
+    let mut detach = false;
+    let mut cancel = None;
+    let mut status = false;
+    let mut shutdown = false;
+    let mut canonical = false;
+    let mut serve_only = false;
+    let mut clients = 4usize;
+    let mut requests = 2usize;
     let mut positional: Vec<String> = Vec::new();
 
     let mut it = argv.iter().skip(1);
@@ -355,6 +456,58 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             }
             "--resume" => resume = Some(value("--resume")?),
             "--checkpoint" => checkpoint = Some(value("--checkpoint")?),
+            "--addr" => addr = value("--addr")?,
+            "--addr-file" => addr_file = Some(value("--addr-file")?),
+            "--queue-capacity" => {
+                let v = value("--queue-capacity")?;
+                queue_capacity =
+                    v.parse::<usize>().ok().filter(|n| *n >= 1).ok_or_else(|| {
+                        format!("--queue-capacity needs a number >= 1, got `{v}`")
+                    })?;
+            }
+            "--parallel" => {
+                let v = value("--parallel")?;
+                parallel = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or_else(|| format!("--parallel needs a number >= 1, got `{v}`"))?;
+            }
+            "--journal-dir" => journal_dir = Some(value("--journal-dir")?),
+            "--priority" => {
+                let v = value("--priority")?;
+                priority = v
+                    .parse()
+                    .map_err(|_| format!("--priority needs a number, got `{v}`"))?;
+            }
+            "--detach" => detach = true,
+            "--cancel" => {
+                let v = value("--cancel")?;
+                cancel = Some(
+                    v.parse()
+                        .map_err(|_| format!("--cancel needs a request id, got `{v}`"))?,
+                );
+            }
+            "--status" => status = true,
+            "--shutdown" => shutdown = true,
+            "--canonical" => canonical = true,
+            "--serve" => serve_only = true,
+            "--clients" => {
+                let v = value("--clients")?;
+                clients = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or_else(|| format!("--clients needs a number >= 1, got `{v}`"))?;
+            }
+            "--requests" => {
+                let v = value("--requests")?;
+                requests = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or_else(|| format!("--requests needs a number >= 1, got `{v}`"))?;
+            }
             "--limit" => {
                 let v = value("--limit")?;
                 limit = Some(
@@ -388,6 +541,19 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         policies = vec![policy_by_name("architectural").expect("named policy exists")];
     }
 
+    if action == Action::Submit {
+        let controls = [cancel.is_some(), status, shutdown]
+            .into_iter()
+            .filter(|set| *set)
+            .count();
+        if controls > 1 {
+            return Err("--cancel, --status and --shutdown are mutually exclusive".into());
+        }
+        if controls == 1 && detach {
+            return Err("--detach only applies to submissions".into());
+        }
+    }
+
     if action == Action::Check && (configs.len() != 1 || policies.len() != 1 || suites.len() != 1) {
         return Err(
             "`check` is a one-job campaign: at most one --config, one --policy (defaults to \
@@ -416,6 +582,20 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         resume,
         checkpoint,
         limit,
+        addr,
+        addr_file,
+        queue_capacity,
+        parallel,
+        journal_dir,
+        priority,
+        detach,
+        cancel,
+        status,
+        shutdown,
+        canonical,
+        serve_only,
+        clients,
+        requests,
     })
 }
 
@@ -605,6 +785,73 @@ mod tests {
         assert_eq!(cmd.resume, None);
         assert_eq!(cmd.checkpoint, None);
         assert_eq!(cmd.limit, None);
+    }
+
+    #[test]
+    fn serve_flags_parse_with_defaults() {
+        let cmd = parse(&argv(&["serve"])).expect("parses");
+        assert_eq!(cmd.action, Action::Serve);
+        assert_eq!(cmd.addr, "127.0.0.1:7878");
+        assert_eq!(cmd.queue_capacity, 64);
+        assert_eq!(cmd.parallel, 1);
+        assert_eq!(cmd.journal_dir, None);
+
+        let cmd = parse(&argv(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--addr-file",
+            "serve.addr",
+            "--queue-capacity",
+            "8",
+            "--parallel",
+            "2",
+            "--journal-dir",
+            "journals",
+        ]))
+        .expect("parses");
+        assert_eq!(cmd.addr, "127.0.0.1:0");
+        assert_eq!(cmd.addr_file.as_deref(), Some("serve.addr"));
+        assert_eq!(cmd.queue_capacity, 8);
+        assert_eq!(cmd.parallel, 2);
+        assert_eq!(cmd.journal_dir.as_deref(), Some("journals"));
+        assert!(parse(&argv(&["serve", "--queue-capacity", "0"])).is_err());
+        assert!(parse(&argv(&["serve", "--parallel", "0"])).is_err());
+    }
+
+    #[test]
+    fn submit_flags_parse_and_exclude_each_other() {
+        let cmd = parse(&argv(&["submit", "--priority", "5", "--detach"])).expect("parses");
+        assert_eq!(cmd.action, Action::Submit);
+        assert_eq!(cmd.priority, 5);
+        assert!(cmd.detach);
+
+        let cmd = parse(&argv(&["submit", "--cancel", "7"])).expect("parses");
+        assert_eq!(cmd.cancel, Some(7));
+        assert!(parse(&argv(&["submit", "--cancel", "7", "--status"])).is_err());
+        assert!(parse(&argv(&["submit", "--shutdown", "--detach"])).is_err());
+        assert!(parse(&argv(&["submit", "--cancel", "soon"])).is_err());
+    }
+
+    #[test]
+    fn diff_canonical_and_bench_serve_flags_parse() {
+        let cmd = parse(&argv(&["diff", "--canonical", "a.json", "b.json"])).expect("parses");
+        assert!(cmd.canonical);
+        assert_eq!(cmd.diff, Some(("a.json".to_owned(), "b.json".to_owned())));
+
+        let cmd = parse(&argv(&[
+            "bench",
+            "--serve",
+            "--clients",
+            "8",
+            "--requests",
+            "3",
+        ]))
+        .expect("parses");
+        assert!(cmd.serve_only);
+        assert_eq!(cmd.clients, 8);
+        assert_eq!(cmd.requests, 3);
+        assert!(parse(&argv(&["bench", "--clients", "0"])).is_err());
     }
 
     #[test]

@@ -37,6 +37,193 @@ pub fn run(cmd: Command) -> ExitCode {
         Action::Stats => core_stats(&cmd),
         Action::Bench => bench(&cmd),
         Action::Diff => diff(&cmd),
+        Action::Serve => serve(&cmd),
+        Action::Submit => submit(&cmd),
+    }
+}
+
+/// The campaign spec a command's shape flags describe (shared by
+/// `campaign` and `submit` so a served run checks exactly what a local
+/// one would).
+fn spec_from_flags(cmd: &Command) -> CampaignSpec {
+    let suites = if cmd.suites.is_empty() {
+        ssr_engine::Suite::ALL.to_vec()
+    } else {
+        cmd.suites.clone()
+    };
+    CampaignSpec {
+        configs: cmd.configs.clone(),
+        policies: cmd.policies.clone(),
+        suites,
+        granularity: cmd.granularity.unwrap_or(Granularity::Suite),
+        order: cmd.order.clone(),
+        reorder: maintenance(cmd),
+        threads: cmd.jobs,
+        verbose: cmd.verbose,
+    }
+}
+
+/// `ssr serve`: run the campaign-serving daemon until a wire `shutdown`
+/// (or the process is killed; with --journal-dir no completed work is
+/// lost either way).
+fn serve(cmd: &Command) -> ExitCode {
+    use ssr_serve::{Server, ServerConfig};
+
+    let config = ServerConfig {
+        addr: cmd.addr.clone(),
+        queue_capacity: cmd.queue_capacity,
+        dispatchers: cmd.parallel,
+        job_threads: cmd.jobs,
+        journal_dir: cmd.journal_dir.as_ref().map(std::path::PathBuf::from),
+        verbose: cmd.verbose,
+    };
+    let server = match Server::spawn(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: cannot start the daemon on {}: {e}", cmd.addr);
+            return ExitCode::from(2);
+        }
+    };
+    let addr = server.local_addr();
+    if let Some(path) = &cmd.addr_file {
+        if let Err(e) = std::fs::write(path, format!("{addr}\n")) {
+            eprintln!("error: cannot write --addr-file {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if !cmd.quiet {
+        eprintln!(
+            "ssr serve: listening on {addr} ({} dispatcher(s), queue capacity {}{})",
+            cmd.parallel,
+            cmd.queue_capacity,
+            match &cmd.journal_dir {
+                Some(dir) => format!(", journals in {dir}"),
+                None => ", no persistence".to_owned(),
+            },
+        );
+    }
+    server.join();
+    if !cmd.quiet {
+        eprintln!("ssr serve: shut down");
+    }
+    ExitCode::SUCCESS
+}
+
+/// `ssr submit`: submit a campaign to a running daemon and stream its
+/// results — or `--cancel`/`--status`/`--shutdown` it.
+fn submit(cmd: &Command) -> ExitCode {
+    let mut client = match ssr_serve::Client::connect(&cmd.addr) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("error: cannot connect to {}: {e}", cmd.addr);
+            return ExitCode::from(2);
+        }
+    };
+
+    // Control operations: one request, one answer, done.
+    if let Some(id) = cmd.cancel {
+        return match client.cancel(id) {
+            Ok(state) => {
+                println!("request {id}: {state}");
+                if state == "unknown" {
+                    ExitCode::from(1)
+                } else {
+                    ExitCode::SUCCESS
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    if cmd.status {
+        return match client.status() {
+            Ok((queue_len, rows)) => {
+                println!("queue depth: {queue_len}");
+                println!("{:>8}  {:>8}  state", "id", "priority");
+                for row in rows {
+                    println!("{:>8}  {:>8}  {}", row.id, row.priority, row.state);
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    if cmd.shutdown {
+        return match client.shutdown() {
+            Ok(()) => {
+                println!("daemon at {} shutting down", cmd.addr);
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let spec = spec_from_flags(cmd);
+    let submission = match client.submit(&spec, cmd.priority, cmd.resume.as_deref()) {
+        Ok(submission) => submission,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if !cmd.quiet {
+        eprintln!(
+            "submitted: id {}{}",
+            submission.id,
+            match &submission.journal {
+                Some(journal) => format!(", journal {journal}"),
+                None => String::new(),
+            },
+        );
+    }
+    if cmd.detach {
+        println!("id {}", submission.id);
+        return ExitCode::SUCCESS;
+    }
+
+    let mut streamed = 0usize;
+    let done = match client.stream_to_completion(submission.id, |job| {
+        streamed += 1;
+        if cmd.verbose {
+            eprintln!(
+                "[{streamed}] {} {} {} {}: {}",
+                job.config_name,
+                job.policy_name,
+                job.suite,
+                job.part,
+                if job.holds { "holds" } else { "FAILS" },
+            );
+        }
+    }) {
+        Ok(done) => done,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if done.cancelled && !cmd.quiet {
+        eprintln!(
+            "note: request {} was cancelled after {} job(s); its journal is kept server-side",
+            submission.id,
+            done.report.jobs.len(),
+        );
+    }
+    if let Err(message) = emit_report(cmd, &done.report) {
+        eprintln!("error: {message}");
+        return ExitCode::from(2);
+    }
+    if done.report.all_hold() && !done.cancelled {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
     }
 }
 
@@ -46,6 +233,35 @@ fn diff(cmd: &Command) -> ExitCode {
     let (old_path, new_path) = cmd.diff.as_ref().expect("parser enforced two paths");
     let load = |path: &str| load_campaign_artifact(path).map(PartialCampaign::into_report);
     match (load(old_path), load(new_path)) {
+        (Ok(old), Ok(new)) if cmd.canonical => {
+            // The serve-vs-direct CI gate: the two artifacts must be
+            // byte-identical in canonical form (wall times and thread
+            // counts zeroed, everything else exact).
+            let (old_canon, new_canon) = (old.canonical_json(), new.canonical_json());
+            if old_canon == new_canon {
+                if !cmd.quiet {
+                    println!(
+                        "canonically identical: {} job(s), {} byte(s)",
+                        old.jobs.len(),
+                        old_canon.len(),
+                    );
+                }
+                ExitCode::SUCCESS
+            } else {
+                let divergence = old_canon
+                    .bytes()
+                    .zip(new_canon.bytes())
+                    .position(|(a, b)| a != b)
+                    .unwrap_or_else(|| old_canon.len().min(new_canon.len()));
+                eprintln!(
+                    "canonical forms differ: {old_path} ({} bytes) vs {new_path} ({} bytes), \
+                     first divergence at byte {divergence}",
+                    old_canon.len(),
+                    new_canon.len(),
+                );
+                ExitCode::from(1)
+            }
+        }
         (Ok(old), Ok(new)) => {
             let diff = ReportDiff::between(&old, &new);
             print!("{}", diff.render());
@@ -86,15 +302,25 @@ fn bench(cmd: &Command) -> ExitCode {
         let options = BenchOptions {
             order: cmd.order.clone(),
             reorder: maintenance(cmd),
+            serve_clients: cmd.clients,
+            serve_requests: cmd.requests,
         };
+        // --serve is shorthand for --workload serve (the closed loop only).
+        let mut workloads = cmd.workloads.clone();
+        if cmd.serve_only && !workloads.iter().any(|w| w == "serve") {
+            workloads.push("serve".to_owned());
+        }
         // The sequential preset is exponential for the 32-bit operand-pair
-        // suites the campaign workloads run; unlike `check` there is no
-        // --suite filter here, so an unguarded run would simply hang.
-        let runs_campaigns = cmd.workloads.is_empty()
-            || cmd
-                .workloads
-                .iter()
-                .any(|w| w == "campaign" || w.starts_with("campaign/"));
+        // suites the campaign (and serve) workloads run; unlike `check`
+        // there is no --suite filter here, so an unguarded run would simply
+        // hang.
+        let runs_campaigns = workloads.is_empty()
+            || workloads.iter().any(|w| {
+                w == "campaign"
+                    || w.starts_with("campaign/")
+                    || w == "serve"
+                    || w.starts_with("serve/")
+            });
         if cmd.order == ssr_engine::OrderPolicy::Sequential && runs_campaigns {
             eprintln!(
                 "error: --order sequential would make the campaign workloads' 32-bit \
@@ -104,7 +330,7 @@ fn bench(cmd: &Command) -> ExitCode {
             );
             return ExitCode::from(2);
         }
-        let report = match run_workloads(&cmd.workloads, cmd.iterations, cmd.warmup, &options) {
+        let report = match run_workloads(&workloads, cmd.iterations, cmd.warmup, &options) {
             Ok(report) => report,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -148,22 +374,8 @@ fn emit_report(cmd: &Command, report: &CampaignReport) -> Result<(), String> {
 }
 
 fn campaign(cmd: &Command) -> ExitCode {
-    let granularity = cmd.granularity.unwrap_or(Granularity::Suite);
-    let suites = if cmd.suites.is_empty() {
-        ssr_engine::Suite::ALL.to_vec()
-    } else {
-        cmd.suites.clone()
-    };
-    let spec = CampaignSpec {
-        configs: cmd.configs.clone(),
-        policies: cmd.policies.clone(),
-        suites,
-        granularity,
-        order: cmd.order.clone(),
-        reorder: maintenance(cmd),
-        threads: cmd.jobs,
-        verbose: cmd.verbose,
-    };
+    let spec = spec_from_flags(cmd);
+    let granularity = spec.granularity;
     let jobs = spec.jobs();
     if jobs.is_empty() {
         eprintln!("error: the campaign enumerates no jobs (every suite was inapplicable)");
@@ -404,7 +616,9 @@ fn minimise(cmd: &Command) -> ExitCode {
 /// `--reorder`, running the GC/sift maintenance between suites — and
 /// reports the manager's statistics alongside the netlist ones.
 fn kernel_stats(cmd: &Command, harness: &CoreHarness, config: &ssr_cpu::CoreConfig) {
-    let mut m = ssr_bdd::BddManager::new();
+    // Acquire from the process-wide pool (as the campaign engine does), so
+    // the pool census below reflects real acquire/release traffic.
+    let mut m = ssr_engine::ManagerPool::global().acquire();
     m.set_maintenance(maintenance(cmd));
     m.push_root_frame();
     let mut built = 0usize;
@@ -452,6 +666,7 @@ fn kernel_stats(cmd: &Command, harness: &CoreHarness, config: &ssr_cpu::CoreConf
         s.level_swaps,
         m.sift_nanos() / 1_000_000,
     );
+    ssr_engine::ManagerPool::global().release(m);
 }
 
 fn core_stats(cmd: &Command) -> ExitCode {
@@ -517,6 +732,12 @@ fn core_stats(cmd: &Command) -> ExitCode {
             kernel_stats(cmd, &harness, &config);
         }
     }
+    let pool = ssr_engine::ManagerPool::global().stats();
+    println!(
+        "\nmanager pool: {} idle, {} warm reuse(s), {} cold allocation(s), \
+         {} discard(s) (free list full), {} discard(s) (oversized arena)",
+        pool.idle, pool.reuse_hits, pool.fresh, pool.discarded_full, pool.discarded_oversize,
+    );
     println!("\narea / standby-leakage savings (selective vs full retention):");
     println!(
         "{}",

@@ -19,7 +19,7 @@
 //! their job's slot, and the report therefore comes out in enumeration order
 //! no matter how the pool interleaved the work.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -31,6 +31,94 @@ use crate::job::{enumerate_jobs_with, Granularity, JobPart, JobSpec, NamedConfig
 use crate::persist::{plan_resume, Checkpoint};
 use crate::pool::ManagerPool;
 use crate::report::{AssertionOutcome, CampaignReport, JobResult};
+
+/// Why a shared harness could not be built: the structured form of the
+/// error record every job of the failed (config × policy) combination
+/// carries.  Server-side consumers (the `ssr-serve` daemon) map the
+/// variants onto protocol error responses instead of parsing strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HarnessError {
+    /// Netlist generation or model compilation rejected the configuration.
+    Generation(String),
+    /// The builder panicked (the payload's message is captured).
+    Panicked(String),
+}
+
+impl HarnessError {
+    /// Stable machine-readable discriminant (`generation` / `panicked`),
+    /// used as the protocol error code by the serving layer.
+    pub fn code(&self) -> &'static str {
+        match self {
+            HarnessError::Generation(_) => "generation",
+            HarnessError::Panicked(_) => "panicked",
+        }
+    }
+}
+
+impl std::fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Keep the historical report strings byte-identical: resumed
+        // pre-PR journals must still match fresh error records.
+        match self {
+            HarnessError::Generation(e) => write!(f, "netlist generation failed: {e}"),
+            HarnessError::Panicked(msg) => write!(f, "job panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
+/// A shared, cloneable cancellation flag.
+///
+/// The serving daemon hands one to every accepted request: `cancel()` is
+/// called from the connection thread, the campaign workers observe it
+/// between jobs, and after `cancel()` returns no *new* job of that
+/// campaign starts (the at-most-one job already past its admission check
+/// may still complete — cancellation never tears a job mid-check, so the
+/// partial report and its journal stay well-formed and resumable).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation.  Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// `true` once [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// Observation hooks a [`CampaignSpec::run_with_hooks`] caller can attach:
+/// the serving scheduler streams each completion to its client and wires
+/// request cancellation through these, and the CLI could drive progress
+/// bars the same way.
+#[derive(Default, Clone, Copy)]
+pub struct RunHooks<'a> {
+    /// Checked before each pending job is admitted; once cancelled, workers
+    /// stop pulling work and the run returns the partial report.
+    pub cancel: Option<&'a CancelToken>,
+    /// Called once per completed job, in completion order (reused resume
+    /// results first, then fresh completions as workers finish).  Called
+    /// from worker threads; must be `Sync`.
+    pub on_job: Option<&'a (dyn Fn(&JobResult) + Sync)>,
+}
+
+impl std::fmt::Debug for RunHooks<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunHooks")
+            .field("cancel", &self.cancel.map(CancelToken::is_cancelled))
+            .field("on_job", &self.on_job.is_some())
+            .finish()
+    }
+}
 
 /// The immutable compilation shared by every job of one (config × policy)
 /// combination: the generated-and-compiled harness, or the error/panic that
@@ -45,7 +133,7 @@ use crate::report::{AssertionOutcome, CampaignReport, JobResult};
 pub struct SharedHarness {
     config: ssr_cpu::CoreConfig,
     order: OrderPolicy,
-    cell: std::sync::OnceLock<Result<CoreHarness, String>>,
+    cell: std::sync::OnceLock<Result<CoreHarness, HarnessError>>,
 }
 
 impl SharedHarness {
@@ -67,19 +155,18 @@ impl SharedHarness {
         ctx
     }
 
-    /// The compiled harness — built on first call — or the error message to
-    /// report.
-    pub fn get(&self) -> Result<&CoreHarness, &str> {
+    /// The compiled harness — built on first call — or the structured
+    /// error to report.
+    pub fn get(&self) -> Result<&CoreHarness, &HarnessError> {
         self.cell
             .get_or_init(|| {
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     CoreHarness::with_order(self.config, self.order.clone())
                 }))
-                .map_err(|payload| format!("job panicked: {}", panic_message(&payload)))
-                .and_then(|r| r.map_err(|e| format!("netlist generation failed: {e:?}")))
+                .map_err(|payload| HarnessError::Panicked(panic_message(&payload)))
+                .and_then(|r| r.map_err(|e| HarnessError::Generation(format!("{e:?}"))))
             })
             .as_ref()
-            .map_err(String::as_str)
     }
 }
 
@@ -223,6 +310,22 @@ impl CampaignSpec {
         checkpoint: Option<&Checkpoint>,
         limit: Option<usize>,
     ) -> CampaignReport {
+        self.run_with_hooks(prior, checkpoint, limit, RunHooks::default())
+    }
+
+    /// [`CampaignSpec::run_with`] plus observation hooks: a cancellation
+    /// token checked before each job is admitted, and a per-completion
+    /// callback invoked as each result lands (the serving daemon's
+    /// streaming path).  A cancelled run returns the partial report of the
+    /// jobs that completed — same shape as a `limit`-interrupted run, so
+    /// the journal resumes identically.
+    pub fn run_with_hooks(
+        &self,
+        prior: &[JobResult],
+        checkpoint: Option<&Checkpoint>,
+        limit: Option<usize>,
+        hooks: RunHooks<'_>,
+    ) -> CampaignReport {
         let jobs = self.jobs();
         let started = Instant::now();
 
@@ -244,6 +347,9 @@ impl CampaignSpec {
         let slots: Vec<Mutex<Option<JobResult>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
         for (index, result) in plan.reused {
             record_checkpoint(checkpoint, &result);
+            if let Some(on_job) = hooks.on_job {
+                on_job(&result);
+            }
             *slots[index].lock().expect("result slot poisoned") = Some(result);
         }
 
@@ -253,6 +359,12 @@ impl CampaignSpec {
                     // One leased arena per worker, reset between jobs.
                     let mut manager = pool.acquire();
                     loop {
+                        // Admission check: a cancelled campaign stops
+                        // pulling work.  Checked before the cursor moves so
+                        // a cancelled run never claims a job it won't run.
+                        if hooks.cancel.is_some_and(CancelToken::is_cancelled) {
+                            break;
+                        }
                         let at = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(&index) = pending.get(at) else { break };
                         let spec = &jobs[index];
@@ -297,6 +409,9 @@ impl CampaignSpec {
                             );
                         }
                         record_checkpoint(checkpoint, &result);
+                        if let Some(on_job) = hooks.on_job {
+                            on_job(&result);
+                        }
                         *slots[index].lock().expect("result slot poisoned") = Some(result);
                     }
                     pool.release(manager);
@@ -389,7 +504,7 @@ pub fn run_job(spec: &JobSpec) -> JobResult {
 /// either way.
 pub fn run_job_with(
     spec: &JobSpec,
-    harness: Result<&CoreHarness, &str>,
+    harness: Result<&CoreHarness, &HarnessError>,
     m: &mut BddManager,
 ) -> JobResult {
     let started = Instant::now();
@@ -397,8 +512,8 @@ pub fn run_job_with(
 
     let harness = match harness {
         Ok(h) => h,
-        Err(message) => {
-            result.error = Some(message.to_owned());
+        Err(error) => {
+            result.error = Some(error.to_string());
             result.wall_ms = started.elapsed().as_millis() as u64;
             return result;
         }
@@ -678,6 +793,92 @@ mod tests {
         for (a, b) in resumed.jobs.iter().zip(&fresh.jobs) {
             assert_eq!(a.wall_ms, b.wall_ms);
         }
+    }
+
+    /// Cancellation promptness: once the token is cancelled, no *new* job
+    /// is admitted — with one worker, cancelling inside the first job's
+    /// completion callback leaves exactly that job in the report.
+    #[test]
+    fn cancellation_stops_new_jobs_and_returns_a_partial_report() {
+        let spec = tiny_spec(1, Granularity::Assertion);
+        let total = spec.jobs().len();
+        assert!(total > 1, "something must be left to cancel");
+        let token = CancelToken::new();
+        let streamed = Mutex::new(Vec::new());
+        let on_job = |r: &JobResult| {
+            streamed.lock().expect("not poisoned").push(r.job_id);
+            token.cancel();
+        };
+        let report = spec.run_with_hooks(
+            &[],
+            None,
+            None,
+            RunHooks {
+                cancel: Some(&token),
+                on_job: Some(&on_job),
+            },
+        );
+        assert_eq!(report.jobs.len(), 1, "no new job after the cancel");
+        assert_eq!(streamed.into_inner().expect("not poisoned").len(), 1);
+        // The partial report resumes like any interrupted run.
+        let resumed = tiny_spec(1, Granularity::Assertion).run_with(&report.jobs, None, None);
+        let fresh = tiny_spec(1, Granularity::Assertion).run();
+        assert_eq!(resumed.canonical_json(), fresh.canonical_json());
+    }
+
+    /// An already-cancelled token means zero jobs run (the queued-request
+    /// cancellation path of the serving daemon).
+    #[test]
+    fn a_pre_cancelled_run_completes_no_jobs() {
+        let token = CancelToken::new();
+        token.cancel();
+        let report = tiny_spec(2, Granularity::Suite).run_with_hooks(
+            &[],
+            None,
+            None,
+            RunHooks {
+                cancel: Some(&token),
+                on_job: None,
+            },
+        );
+        assert!(report.jobs.is_empty());
+        assert!(!report.all_hold(), "an empty report never vacuously holds");
+    }
+
+    /// The completion callback streams every job exactly once — reused
+    /// resume results included — and the stream covers the whole report.
+    #[test]
+    fn on_job_streams_reused_and_fresh_completions() {
+        let partial = tiny_spec(1, Granularity::Suite).run_with(&[], None, Some(1));
+        let streamed = Mutex::new(Vec::new());
+        let on_job = |r: &JobResult| streamed.lock().expect("not poisoned").push(r.job_id);
+        let report = tiny_spec(1, Granularity::Suite).run_with_hooks(
+            &partial.jobs,
+            None,
+            None,
+            RunHooks {
+                cancel: None,
+                on_job: Some(&on_job),
+            },
+        );
+        let mut ids = streamed.into_inner().expect("not poisoned");
+        ids.sort_unstable();
+        let mut expected: Vec<u64> = report.jobs.iter().map(|j| j.job_id).collect();
+        expected.sort_unstable();
+        assert_eq!(ids, expected, "one callback per job, reused ones included");
+    }
+
+    /// Harness failures carry a structured error implementing
+    /// `Display` + `Error`, with the historical report string preserved.
+    #[test]
+    fn harness_errors_are_structured() {
+        // `sized(12)` is not a power of two; the generator panics (caught).
+        let ctx = SharedHarness::build(NamedConfig::sized(12).config, OrderPolicy::Interleaved);
+        let err = ctx.get().expect_err("the build must fail");
+        assert_eq!(err.code(), "panicked");
+        assert!(err.to_string().starts_with("job panicked: "), "{err}");
+        let as_std: &dyn std::error::Error = err;
+        assert!(!as_std.to_string().is_empty());
     }
 
     #[test]

@@ -172,6 +172,22 @@ impl NamedConfig {
             config,
         }
     }
+
+    /// Resolves a configuration name as campaign specs and the serving
+    /// protocol carry it: `small`, `paper`, or `d<N>` with `N` a power of
+    /// two ≥ 2.  Returns `None` for anything else (control-path-tagged
+    /// names like `small+unsafe-reset-ifr` are a CLI-side construction and
+    /// deliberately not accepted over the wire).
+    pub fn by_name(name: &str) -> Option<NamedConfig> {
+        match name {
+            "small" => Some(NamedConfig::small()),
+            "paper" => Some(NamedConfig::paper()),
+            other => {
+                let depth: usize = other.strip_prefix('d')?.parse().ok()?;
+                (depth >= 2 && depth.is_power_of_two()).then(|| NamedConfig::sized(depth))
+            }
+        }
+    }
 }
 
 /// One schedulable unit of a campaign.

@@ -66,8 +66,11 @@ pub mod oracle;
 pub mod persist;
 pub mod pool;
 pub mod report;
+pub mod spec;
 
-pub use campaign::{run_job, run_job_with, CampaignSpec, SharedHarness};
+pub use campaign::{
+    run_job, run_job_with, CampaignSpec, CancelToken, HarnessError, RunHooks, SharedHarness,
+};
 pub use diff::{JobKey, ReportDiff, Verdict, VerdictChange};
 pub use job::{
     enumerate_jobs, enumerate_jobs_with, named_policies, policy_by_name, policy_name, Granularity,
@@ -75,8 +78,9 @@ pub use job::{
 };
 pub use oracle::{minimise_with_engine, EngineOracle, MinimisationOutcome, MinimisationStep};
 pub use persist::{load_partial, plan_resume, Checkpoint, PartialCampaign, ResumePlan};
-pub use pool::ManagerPool;
+pub use pool::{ManagerPool, PoolStats};
 pub use report::{AssertionOutcome, CampaignReport, JobResult};
+pub use spec::{spec_from_json, spec_to_json};
 
 // Re-exported so engine users can name suites and ordering policies
 // without depending on `ssr-properties`/`ssr-bdd` directly.

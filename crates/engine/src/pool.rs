@@ -12,16 +12,47 @@
 //! Reset managers are observationally identical to new ones (same handles,
 //! node counts and statistics for the same operation sequence), so pooling
 //! never perturbs the deterministic campaign reports.
+//!
+//! Because `reset` keeps capacity, an unbounded pool would pin the
+//! worst-case arena of every workload it ever served — fatal for a
+//! long-lived `ssr serve` daemon that occasionally runs a `paper`-sized
+//! campaign.  Releases therefore *shrink on release*: a manager whose
+//! arena capacity exceeds the pool's high-water mark is dropped instead of
+//! cached, returning its memory to the allocator.  [`PoolStats`] counts
+//! reuse hits, cold allocations and both kinds of discard so `ssr stats`
+//! can show how the cache behaves.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
 use ssr_bdd::BddManager;
+
+/// A point-in-time snapshot of a [`ManagerPool`]'s behaviour counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Managers currently idle on the free list.
+    pub idle: usize,
+    /// Acquires served from the free list (warm arenas).
+    pub reuse_hits: u64,
+    /// Acquires that had to allocate a manager from cold.
+    pub fresh: u64,
+    /// Releases dropped because the free list was already at `max_idle`.
+    pub discarded_full: u64,
+    /// Releases dropped because the arena had grown past the pool's
+    /// high-water capacity mark (shrink-on-release).
+    pub discarded_oversize: u64,
+}
 
 /// A bounded free list of reset BDD managers.
 #[derive(Debug, Default)]
 pub struct ManagerPool {
     free: Mutex<Vec<BddManager>>,
     max_idle: usize,
+    max_arena_capacity: usize,
+    reuse_hits: AtomicU64,
+    fresh: AtomicU64,
+    discarded_full: AtomicU64,
+    discarded_oversize: AtomicU64,
 }
 
 impl ManagerPool {
@@ -29,12 +60,29 @@ impl ManagerPool {
     /// warm arena per plausible worker on a workstation-class box.
     pub const DEFAULT_MAX_IDLE: usize = 8;
 
+    /// Arena-capacity high-water mark (in node slots) above which a
+    /// released manager is dropped rather than cached.  4 Mi slots is an
+    /// order of magnitude beyond what the paper-scale campaigns peak at, so
+    /// ordinary workloads always recycle, while a pathological run cannot
+    /// pin hundreds of megabytes in an idle daemon.
+    pub const DEFAULT_MAX_ARENA_CAPACITY: usize = 1 << 22;
+
     /// Creates a pool that keeps at most `max_idle` managers on the free
-    /// list; releases beyond that simply drop the manager.
+    /// list (with the default arena-capacity high-water mark); releases
+    /// beyond that simply drop the manager.
     pub fn new(max_idle: usize) -> Self {
+        Self::with_limits(max_idle, Self::DEFAULT_MAX_ARENA_CAPACITY)
+    }
+
+    /// Creates a pool with explicit bounds: at most `max_idle` idle
+    /// managers, none of them holding an arena larger than
+    /// `max_arena_capacity` slots.
+    pub fn with_limits(max_idle: usize, max_arena_capacity: usize) -> Self {
         ManagerPool {
             free: Mutex::new(Vec::new()),
             max_idle,
+            max_arena_capacity,
+            ..Default::default()
         }
     }
 
@@ -64,22 +112,50 @@ impl ManagerPool {
 
     /// Takes a reset manager from the free list, or allocates a new one.
     pub fn acquire(&self) -> BddManager {
-        self.free_list().pop().unwrap_or_default()
+        match self.free_list().pop() {
+            Some(manager) => {
+                self.reuse_hits.fetch_add(1, Ordering::Relaxed);
+                manager
+            }
+            None => {
+                self.fresh.fetch_add(1, Ordering::Relaxed);
+                BddManager::default()
+            }
+        }
     }
 
-    /// Resets `manager` and returns it to the free list (dropped instead if
-    /// the list is full).
+    /// Resets `manager` and returns it to the free list.  The manager is
+    /// dropped instead — its memory returned to the allocator — if its
+    /// arena outgrew the pool's high-water capacity mark or the list is
+    /// already at `max_idle`.
     pub fn release(&self, mut manager: BddManager) {
         manager.reset();
+        if manager.arena_capacity() > self.max_arena_capacity {
+            self.discarded_oversize.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         let mut free = self.free_list();
         if free.len() < self.max_idle {
             free.push(manager);
+        } else {
+            self.discarded_full.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     /// Number of managers currently idle in the pool.
     pub fn idle(&self) -> usize {
         self.free_list().len()
+    }
+
+    /// Snapshot of the pool's behaviour counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            idle: self.idle(),
+            reuse_hits: self.reuse_hits.load(Ordering::Relaxed),
+            fresh: self.fresh.load(Ordering::Relaxed),
+            discarded_full: self.discarded_full.load(Ordering::Relaxed),
+            discarded_oversize: self.discarded_oversize.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -105,6 +181,9 @@ mod tests {
         assert_eq!(m2.node_count(), 2);
         assert_eq!(m2.var_count(), 0);
         assert_eq!(m2.stats().resets, 1);
+        let stats = pool.stats();
+        assert_eq!(stats.reuse_hits, 1);
+        assert_eq!(stats.fresh, 1);
     }
 
     #[test]
@@ -113,6 +192,27 @@ mod tests {
         pool.release(BddManager::new());
         pool.release(BddManager::new());
         assert_eq!(pool.idle(), 1, "releases beyond max_idle are dropped");
+        assert_eq!(pool.stats().discarded_full, 1);
+    }
+
+    #[test]
+    fn oversized_arenas_are_dropped_on_release() {
+        // High-water mark below the default arena allocation: every release
+        // is an oversize discard, so the pool never caches anything.
+        let pool = ManagerPool::with_limits(4, 2);
+        let manager = pool.acquire();
+        assert!(manager.arena_capacity() > 2);
+        pool.release(manager);
+        let stats = pool.stats();
+        assert_eq!(stats.idle, 0, "oversized manager must not be cached");
+        assert_eq!(stats.discarded_oversize, 1);
+        assert_eq!(stats.discarded_full, 0);
+
+        // A generous mark recycles as before.
+        let roomy = ManagerPool::with_limits(4, usize::MAX);
+        roomy.release(roomy.acquire());
+        assert_eq!(roomy.stats().idle, 1);
+        assert_eq!(roomy.stats().discarded_oversize, 0);
     }
 
     #[test]

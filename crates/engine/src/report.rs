@@ -73,7 +73,9 @@ impl JobResult {
         self.assertions.iter().filter(|a| a.holds).count()
     }
 
-    pub(crate) fn to_json(&self) -> Json {
+    /// The result as a JSON value — one line of a checkpoint journal, or
+    /// the `result` field of a streamed `ssr-serve/v1` `job` response.
+    pub fn to_json(&self) -> Json {
         Json::obj([
             ("job_id", Json::Num(self.job_id as f64)),
             ("config", Json::Str(self.config_name.clone())),
@@ -122,7 +124,11 @@ impl JobResult {
         ])
     }
 
-    pub(crate) fn from_json(v: &Json) -> Result<JobResult, String> {
+    /// Parses a value produced by [`JobResult::to_json`].
+    ///
+    /// # Errors
+    /// Returns a human-readable message for missing or mistyped fields.
+    pub fn from_json(v: &Json) -> Result<JobResult, String> {
         let str_field = |key: &str| -> Result<String, String> {
             v.get(key)
                 .and_then(Json::as_str)
@@ -355,8 +361,10 @@ impl CampaignReport {
             .collect()
     }
 
-    /// Serialises the report to pretty-printed JSON.
-    pub fn to_json(&self) -> String {
+    /// The report as a JSON value (schema `ssr-campaign-report/v1`).
+    /// [`CampaignReport::to_json`] pretty-prints it; the serving protocol
+    /// embeds it compactly in the final `report` response line.
+    pub fn json_value(&self) -> Json {
         Json::obj([
             ("schema", Json::Str("ssr-campaign-report/v1".into())),
             ("threads", Json::Num(self.threads as f64)),
@@ -367,7 +375,11 @@ impl CampaignReport {
                 Json::Arr(self.jobs.iter().map(JobResult::to_json).collect()),
             ),
         ])
-        .render_pretty()
+    }
+
+    /// Serialises the report to pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        self.json_value().render_pretty()
     }
 
     /// Parses a report serialised by [`CampaignReport::to_json`].
@@ -377,6 +389,15 @@ impl CampaignReport {
     /// fields.
     pub fn from_json(text: &str) -> Result<CampaignReport, String> {
         let doc = Json::parse(text).map_err(|e: JsonError| e.to_string())?;
+        Self::from_json_value(&doc)
+    }
+
+    /// Parses a value produced by [`CampaignReport::json_value`].
+    ///
+    /// # Errors
+    /// Returns a human-readable message for a wrong schema or missing
+    /// fields.
+    pub fn from_json_value(doc: &Json) -> Result<CampaignReport, String> {
         match doc.get("schema").and_then(Json::as_str) {
             Some("ssr-campaign-report/v1") => {}
             other => return Err(format!("unsupported report schema {other:?}")),

@@ -1,0 +1,559 @@
+//! The `ssr-serve/v1` wire protocol: newline-delimited JSON over TCP.
+//!
+//! Every message — request or response — is one compact JSON object on one
+//! line, terminated by `\n`.  Requests carry a `type` field (`submit`,
+//! `status`, `cancel`, `shutdown`); responses carry `schema`
+//! (= [`PROTOCOL`]) and `type`.  Lines longer than [`MAX_LINE_BYTES`] are
+//! rejected: the server answers with an `error` response and closes the
+//! connection, because a line with no newline inside the limit cannot be
+//! resynchronised.
+//!
+//! ## Versioning and compatibility
+//!
+//! The same rules as the `ssr-campaign-report/v1` document formats:
+//!
+//! * every response names its schema, so readers can hard-fail on a
+//!   version they do not understand instead of misreading it;
+//! * *additive* changes (new optional request fields, new response fields,
+//!   new response types) keep the `v1` name — clients must ignore fields
+//!   and response types they do not recognise;
+//! * any change that alters the meaning of an existing field bumps the
+//!   version to `ssr-serve/v2`, and a server may then speak both.
+
+use ssr_engine::json::Json;
+use ssr_engine::{spec_from_json, spec_to_json, CampaignReport, CampaignSpec, JobResult};
+
+/// Schema identifier carried by every response line.
+pub const PROTOCOL: &str = "ssr-serve/v1";
+
+/// Hard upper bound on one protocol line (requests and responses alike).
+/// Generous for any real spec — the largest campaign spec is a few hundred
+/// bytes — while bounding what a misbehaving client can make the daemon
+/// buffer.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// A parsed client request.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Enqueue a campaign.  Higher `priority` runs first; equal priorities
+    /// run in submission order.  `resume` optionally names a journal file
+    /// (a plain file name inside the server's journal directory, no path
+    /// separators) whose recorded results are reused instead of re-run.
+    Submit {
+        /// The campaign to run.
+        spec: CampaignSpec,
+        /// Scheduling priority (higher first; default 0).
+        priority: u32,
+        /// Journal file name to resume from, if any.
+        resume: Option<String>,
+    },
+    /// Ask for a snapshot of every request the daemon knows about.
+    Status,
+    /// Cancel the request with this id (queued or running).
+    Cancel {
+        /// The id the submit ack reported.
+        id: u64,
+    },
+    /// Stop the daemon: cancel everything outstanding and exit.
+    Shutdown,
+}
+
+/// Parses one request line.
+///
+/// # Errors
+/// Returns a human-readable message (echoed to the client verbatim in an
+/// `error` response) for anything that is not a well-formed `v1` request.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let doc = Json::parse(line).map_err(|e| format!("request is not valid JSON: {e}"))?;
+    let kind = doc
+        .get("type")
+        .and_then(Json::as_str)
+        .ok_or("request has no `type` field")?;
+    match kind {
+        "submit" => {
+            let spec_doc = doc.get("spec").ok_or("submit request has no `spec`")?;
+            let spec = spec_from_json(spec_doc)?;
+            let priority = doc
+                .get("priority")
+                .and_then(Json::as_u64)
+                .map(|p| p.min(u32::MAX as u64) as u32)
+                .unwrap_or(0);
+            let resume = match doc.get("resume").and_then(Json::as_str) {
+                Some(name) => {
+                    if name.is_empty() || name.contains(['/', '\\']) || name.contains("..") {
+                        return Err(format!(
+                            "`resume` must be a plain journal file name, got `{name}`"
+                        ));
+                    }
+                    Some(name.to_owned())
+                }
+                None => None,
+            };
+            Ok(Request::Submit {
+                spec,
+                priority,
+                resume,
+            })
+        }
+        "status" => Ok(Request::Status),
+        "cancel" => {
+            let id = doc
+                .get("id")
+                .and_then(Json::as_u64)
+                .ok_or("cancel request has no numeric `id`")?;
+            Ok(Request::Cancel { id })
+        }
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown request type `{other}`")),
+    }
+}
+
+/// Renders a submit request line (the client side of [`parse_request`]).
+pub fn submit_request(spec: &CampaignSpec, priority: u32, resume: Option<&str>) -> Json {
+    let mut fields = vec![
+        ("type", Json::Str("submit".into())),
+        ("spec", spec_to_json(spec)),
+        ("priority", Json::Num(priority as f64)),
+    ];
+    if let Some(name) = resume {
+        fields.push(("resume", Json::Str(name.to_owned())));
+    }
+    Json::obj(fields)
+}
+
+/// Renders a status request line.
+pub fn status_request() -> Json {
+    Json::obj([("type", Json::Str("status".into()))])
+}
+
+/// Renders a cancel request line.
+pub fn cancel_request(id: u64) -> Json {
+    Json::obj([
+        ("type", Json::Str("cancel".into())),
+        ("id", Json::Num(id as f64)),
+    ])
+}
+
+/// Renders a shutdown request line.
+pub fn shutdown_request() -> Json {
+    Json::obj([("type", Json::Str("shutdown".into()))])
+}
+
+/// Lifecycle of a submitted request, as `status` reports it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestState {
+    /// Accepted, waiting in the priority queue.
+    Queued,
+    /// A dispatcher is running its jobs.
+    Running,
+    /// Completed; the final report was sent.
+    Finished,
+    /// Cancelled (while queued or mid-run).
+    Cancelled,
+}
+
+impl RequestState {
+    /// Stable lower-case identifier used on the wire.
+    pub fn name(self) -> &'static str {
+        match self {
+            RequestState::Queued => "queued",
+            RequestState::Running => "running",
+            RequestState::Finished => "finished",
+            RequestState::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// One request's row in a `status` response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatusEntry {
+    /// Request id.
+    pub id: u64,
+    /// Scheduling priority.
+    pub priority: u32,
+    /// Lifecycle state name (one of the [`RequestState`] names).
+    pub state: String,
+}
+
+fn tagged(kind: &str, fields: Vec<(&'static str, Json)>) -> Json {
+    let mut all = vec![
+        ("schema", Json::Str(PROTOCOL.into())),
+        ("type", Json::Str(kind.into())),
+    ];
+    all.extend(fields);
+    Json::obj(all)
+}
+
+/// `ack`: the submit was accepted under this id.
+pub fn ack_response(id: u64, queue_len: usize, journal: Option<&str>) -> Json {
+    let mut fields = vec![
+        ("id", Json::Num(id as f64)),
+        ("queue_len", Json::Num(queue_len as f64)),
+    ];
+    if let Some(name) = journal {
+        fields.push(("journal", Json::Str(name.to_owned())));
+    }
+    tagged("ack", fields)
+}
+
+/// `error`: the request was rejected (optionally tied to a request id).
+pub fn error_response(id: Option<u64>, message: &str) -> Json {
+    let mut fields = Vec::new();
+    if let Some(id) = id {
+        fields.push(("id", Json::Num(id as f64)));
+    }
+    fields.push(("message", Json::Str(message.to_owned())));
+    tagged("error", fields)
+}
+
+/// `job`: one finished job of request `id`, streamed as it lands.
+pub fn job_response(id: u64, result: &JobResult) -> Json {
+    tagged(
+        "job",
+        vec![("id", Json::Num(id as f64)), ("result", result.to_json())],
+    )
+}
+
+/// `report`: the terminating line of request `id`'s stream.
+pub fn report_response(id: u64, cancelled: bool, report: &CampaignReport) -> Json {
+    tagged(
+        "report",
+        vec![
+            ("id", Json::Num(id as f64)),
+            ("cancelled", Json::Bool(cancelled)),
+            ("report", report.json_value()),
+        ],
+    )
+}
+
+/// `status`: a snapshot of every known request plus the queue depth.
+pub fn status_response(entries: &[StatusEntry], queue_len: usize) -> Json {
+    let rows = entries
+        .iter()
+        .map(|e| {
+            Json::obj([
+                ("id", Json::Num(e.id as f64)),
+                ("priority", Json::Num(e.priority as f64)),
+                ("state", Json::Str(e.state.clone())),
+            ])
+        })
+        .collect();
+    tagged(
+        "status",
+        vec![
+            ("queue_len", Json::Num(queue_len as f64)),
+            ("requests", Json::Arr(rows)),
+        ],
+    )
+}
+
+/// `cancelled`: the outcome of a cancel request.  `state` is the state the
+/// request was found in: `queued` (removed before it ran), `running` (token
+/// set, the run winds down), `finished`/`cancelled` (nothing to do), or
+/// `unknown` (no such id).
+pub fn cancelled_response(id: u64, state: &str) -> Json {
+    tagged(
+        "cancelled",
+        vec![
+            ("id", Json::Num(id as f64)),
+            ("state", Json::Str(state.to_owned())),
+        ],
+    )
+}
+
+/// `shutting-down`: the daemon acknowledged a shutdown request.
+pub fn shutdown_response() -> Json {
+    tagged("shutting-down", vec![])
+}
+
+/// A parsed server response (the client side).
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// Submit accepted.
+    Ack {
+        /// Assigned request id.
+        id: u64,
+        /// Queue depth after the push.
+        queue_len: u64,
+        /// Journal file name, when the server persists requests.
+        journal: Option<String>,
+    },
+    /// Request rejected.
+    Error {
+        /// Request id, when the error is tied to one.
+        id: Option<u64>,
+        /// Human-readable reason.
+        message: String,
+    },
+    /// One streamed job completion.
+    Job {
+        /// Request id the job belongs to.
+        id: u64,
+        /// The finished job.
+        result: JobResult,
+    },
+    /// The terminating report of a request's stream.
+    Report {
+        /// Request id.
+        id: u64,
+        /// `true` when the run was cancelled (the report is partial).
+        cancelled: bool,
+        /// The final (or partial) campaign report.
+        report: CampaignReport,
+    },
+    /// Status snapshot.
+    Status {
+        /// Queue depth.
+        queue_len: u64,
+        /// One row per known request, ascending by id.
+        requests: Vec<StatusEntry>,
+    },
+    /// Cancel outcome.
+    Cancelled {
+        /// Request id.
+        id: u64,
+        /// State the request was found in.
+        state: String,
+    },
+    /// Shutdown acknowledged.
+    ShuttingDown,
+}
+
+/// Parses one response line.
+///
+/// # Errors
+/// Rejects lines that are not valid JSON, carry the wrong `schema`, or
+/// miss required fields.  Unknown response *types* are also an error here:
+/// v1 clients knowingly opt out of forward compatibility (see the module
+/// docs) so tests catch accidental protocol drift.
+pub fn parse_response(line: &str) -> Result<Response, String> {
+    let doc = Json::parse(line).map_err(|e| format!("response is not valid JSON: {e}"))?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(schema) if schema == PROTOCOL => {}
+        Some(other) => return Err(format!("unsupported protocol `{other}`")),
+        None => return Err("response has no `schema` field".into()),
+    }
+    let kind = doc
+        .get("type")
+        .and_then(Json::as_str)
+        .ok_or("response has no `type` field")?;
+    let id = |key: &str| doc.get(key).and_then(Json::as_u64);
+    match kind {
+        "ack" => Ok(Response::Ack {
+            id: id("id").ok_or("ack has no `id`")?,
+            queue_len: id("queue_len").unwrap_or(0),
+            journal: doc.get("journal").and_then(Json::as_str).map(str::to_owned),
+        }),
+        "error" => Ok(Response::Error {
+            id: id("id"),
+            message: doc
+                .get("message")
+                .and_then(Json::as_str)
+                .unwrap_or("unspecified error")
+                .to_owned(),
+        }),
+        "job" => Ok(Response::Job {
+            id: id("id").ok_or("job has no `id`")?,
+            result: JobResult::from_json(doc.get("result").ok_or("job has no `result`")?)?,
+        }),
+        "report" => Ok(Response::Report {
+            id: id("id").ok_or("report has no `id`")?,
+            cancelled: doc
+                .get("cancelled")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+            report: CampaignReport::from_json_value(
+                doc.get("report").ok_or("report has no `report`")?,
+            )?,
+        }),
+        "status" => {
+            let requests = doc
+                .get("requests")
+                .and_then(Json::as_arr)
+                .map(|rows| {
+                    rows.iter()
+                        .map(|row| {
+                            Ok(StatusEntry {
+                                id: row
+                                    .get("id")
+                                    .and_then(Json::as_u64)
+                                    .ok_or("status row has no `id`")?,
+                                priority: row.get("priority").and_then(Json::as_u64).unwrap_or(0)
+                                    as u32,
+                                state: row
+                                    .get("state")
+                                    .and_then(Json::as_str)
+                                    .ok_or("status row has no `state`")?
+                                    .to_owned(),
+                            })
+                        })
+                        .collect::<Result<Vec<_>, String>>()
+                })
+                .transpose()?
+                .unwrap_or_default();
+            Ok(Response::Status {
+                queue_len: id("queue_len").unwrap_or(0),
+                requests,
+            })
+        }
+        "cancelled" => Ok(Response::Cancelled {
+            id: id("id").ok_or("cancelled has no `id`")?,
+            state: doc
+                .get("state")
+                .and_then(Json::as_str)
+                .ok_or("cancelled has no `state`")?
+                .to_owned(),
+        }),
+        "shutting-down" => Ok(Response::ShuttingDown),
+        other => Err(format!("unknown response type `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> CampaignSpec {
+        CampaignSpec::small_all()
+    }
+
+    #[test]
+    fn submit_requests_round_trip() {
+        let line = submit_request(&small_spec(), 7, Some("req-3.journal")).render();
+        match parse_request(&line).expect("parses") {
+            Request::Submit {
+                spec,
+                priority,
+                resume,
+            } => {
+                assert_eq!(priority, 7);
+                assert_eq!(resume.as_deref(), Some("req-3.journal"));
+                assert_eq!(spec.jobs(), small_spec().jobs());
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_requests_round_trip() {
+        assert!(matches!(
+            parse_request(&status_request().render()),
+            Ok(Request::Status)
+        ));
+        assert!(matches!(
+            parse_request(&cancel_request(42).render()),
+            Ok(Request::Cancel { id: 42 })
+        ));
+        assert!(matches!(
+            parse_request(&shutdown_request().render()),
+            Ok(Request::Shutdown)
+        ));
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_reasons() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request("{}").unwrap_err().contains("type"));
+        assert!(parse_request("{\"type\":\"frob\"}")
+            .unwrap_err()
+            .contains("frob"));
+        assert!(parse_request("{\"type\":\"submit\"}")
+            .unwrap_err()
+            .contains("spec"));
+        assert!(parse_request("{\"type\":\"cancel\"}")
+            .unwrap_err()
+            .contains("id"));
+    }
+
+    #[test]
+    fn resume_names_cannot_escape_the_journal_dir() {
+        for bad in ["../steal", "a/b", "a\\b", ""] {
+            let mut line = submit_request(&small_spec(), 0, None);
+            if let Json::Obj(map) = &mut line {
+                map.insert("resume".into(), Json::Str(bad.into()));
+            }
+            assert!(
+                parse_request(&line.render()).is_err(),
+                "`{bad}` must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let ack = ack_response(3, 1, Some("req-3.journal")).render();
+        match parse_response(&ack).expect("parses") {
+            Response::Ack {
+                id,
+                queue_len,
+                journal,
+            } => {
+                assert_eq!((id, queue_len), (3, 1));
+                assert_eq!(journal.as_deref(), Some("req-3.journal"));
+            }
+            other => panic!("wrong response: {other:?}"),
+        }
+
+        let err = error_response(None, "queue full").render();
+        assert!(matches!(
+            parse_response(&err),
+            Ok(Response::Error { id: None, message }) if message == "queue full"
+        ));
+
+        let status = status_response(
+            &[StatusEntry {
+                id: 5,
+                priority: 2,
+                state: "running".into(),
+            }],
+            4,
+        )
+        .render();
+        match parse_response(&status).expect("parses") {
+            Response::Status {
+                queue_len,
+                requests,
+            } => {
+                assert_eq!(queue_len, 4);
+                assert_eq!(requests.len(), 1);
+                assert_eq!(requests[0].state, "running");
+            }
+            other => panic!("wrong response: {other:?}"),
+        }
+
+        let cancelled = cancelled_response(9, RequestState::Queued.name()).render();
+        assert!(matches!(
+            parse_response(&cancelled),
+            Ok(Response::Cancelled { id: 9, state }) if state == "queued"
+        ));
+        assert!(matches!(
+            parse_response(&shutdown_response().render()),
+            Ok(Response::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    fn report_responses_carry_the_full_report() {
+        let report = small_spec().run_with(&[], None, Some(0));
+        let line = report_response(1, false, &report).render();
+        assert!(!line.contains('\n'), "responses must be single lines");
+        match parse_response(&line).expect("parses") {
+            Response::Report {
+                id,
+                cancelled,
+                report: parsed,
+            } => {
+                assert_eq!(id, 1);
+                assert!(!cancelled);
+                assert_eq!(parsed.canonical_json(), report.canonical_json());
+            }
+            other => panic!("wrong response: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_schema_is_refused() {
+        assert!(parse_response("{\"schema\":\"ssr-serve/v9\",\"type\":\"ack\",\"id\":1}").is_err());
+        assert!(parse_response("{\"type\":\"ack\",\"id\":1}").is_err());
+    }
+}

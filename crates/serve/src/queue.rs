@@ -1,0 +1,223 @@
+//! A bounded, blocking priority queue for pending requests.
+//!
+//! Scheduling policy: highest priority first; within one priority, FIFO by
+//! submission order (a monotonic sequence number, so two equal-priority
+//! requests can never reorder).  The queue is *bounded* — a push beyond
+//! capacity is rejected immediately ([`QueueFull`]) rather than blocking
+//! the submitting connection, which is the backpressure signal the
+//! protocol's `error` response carries to clients.
+//!
+//! Entries carry an id so a queued request can be withdrawn by
+//! cancellation ([`PriorityQueue::remove`]) without disturbing the rest of
+//! the order.
+
+use std::sync::{Condvar, Mutex};
+
+/// Error returned by [`PriorityQueue::push`] when the queue is at
+/// capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull {
+    /// The configured capacity that was hit.
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "queue full ({} pending requests)", self.capacity)
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
+#[derive(Debug)]
+struct Entry<T> {
+    id: u64,
+    priority: u32,
+    seq: u64,
+    item: T,
+}
+
+#[derive(Debug)]
+struct State<T> {
+    entries: Vec<Entry<T>>,
+    next_seq: u64,
+    closed: bool,
+}
+
+/// A bounded blocking priority queue; see the module docs for the policy.
+#[derive(Debug)]
+pub struct PriorityQueue<T> {
+    state: Mutex<State<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> PriorityQueue<T> {
+    /// Creates a queue holding at most `capacity` pending entries.
+    pub fn new(capacity: usize) -> Self {
+        PriorityQueue {
+            state: Mutex::new(State {
+                entries: Vec::new(),
+                next_seq: 0,
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        // The queue holds plain data; a panicking holder cannot leave it in
+        // a torn state, so poisoning is recoverable.
+        match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Enqueues `item` under `id` with `priority`.  Returns the queue
+    /// length after the push.
+    ///
+    /// # Errors
+    /// [`QueueFull`] when the queue already holds `capacity` entries (the
+    /// entry is *not* enqueued), or when the queue has been closed.
+    pub fn push(&self, id: u64, priority: u32, item: T) -> Result<usize, QueueFull> {
+        let mut state = self.lock();
+        if state.closed || state.entries.len() >= self.capacity {
+            return Err(QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        state.entries.push(Entry {
+            id,
+            priority,
+            seq,
+            item,
+        });
+        let len = state.entries.len();
+        drop(state);
+        self.available.notify_one();
+        Ok(len)
+    }
+
+    /// Blocks until an entry is available and returns the best one
+    /// (highest priority, then lowest sequence number), or `None` once the
+    /// queue is closed and drained.
+    pub fn pop(&self) -> Option<(u64, T)> {
+        let mut state = self.lock();
+        loop {
+            if let Some(best) = Self::best_index(&state.entries) {
+                let entry = state.entries.swap_remove(best);
+                return Some((entry.id, entry.item));
+            }
+            if state.closed {
+                return None;
+            }
+            state = match self.available.wait(state) {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+
+    fn best_index(entries: &[Entry<T>]) -> Option<usize> {
+        entries
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, e)| (e.priority, std::cmp::Reverse(e.seq)))
+            .map(|(i, _)| i)
+    }
+
+    /// Withdraws the entry with `id`, if it is still queued.
+    pub fn remove(&self, id: u64) -> Option<T> {
+        let mut state = self.lock();
+        let at = state.entries.iter().position(|e| e.id == id)?;
+        Some(state.entries.swap_remove(at).item)
+    }
+
+    /// Number of pending entries.
+    pub fn len(&self) -> usize {
+        self.lock().entries.len()
+    }
+
+    /// `true` when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Closes the queue: every pending [`PriorityQueue::pop`] (and all
+    /// future ones) returns `None` once the entries drain, and pushes are
+    /// rejected.  Used for daemon shutdown.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn higher_priority_pops_first_and_ties_are_fifo() {
+        let q = PriorityQueue::new(8);
+        q.push(1, 0, "low-a").expect("fits");
+        q.push(2, 5, "high").expect("fits");
+        q.push(3, 0, "low-b").expect("fits");
+        assert_eq!(q.pop(), Some((2, "high")));
+        assert_eq!(q.pop(), Some((1, "low-a")), "equal priority is FIFO");
+        assert_eq!(q.pop(), Some((3, "low-b")));
+    }
+
+    #[test]
+    fn a_full_queue_rejects_instead_of_blocking() {
+        let q = PriorityQueue::new(2);
+        q.push(1, 0, ()).expect("fits");
+        q.push(2, 0, ()).expect("fits");
+        let err = q.push(3, 9, ()).expect_err("bounded");
+        assert_eq!(err.capacity, 2);
+        assert!(err.to_string().contains("queue full"));
+        assert_eq!(q.len(), 2, "the rejected entry was not enqueued");
+        // Popping frees a slot.
+        q.pop();
+        q.push(3, 9, ()).expect("fits again");
+    }
+
+    #[test]
+    fn remove_withdraws_only_the_named_entry() {
+        let q = PriorityQueue::new(8);
+        q.push(1, 1, "a").expect("fits");
+        q.push(2, 2, "b").expect("fits");
+        assert_eq!(q.remove(1), Some("a"));
+        assert_eq!(q.remove(1), None, "already gone");
+        assert_eq!(q.remove(7), None, "never existed");
+        assert_eq!(q.pop(), Some((2, "b")));
+    }
+
+    #[test]
+    fn close_wakes_blocked_poppers_and_rejects_pushes() {
+        let q = Arc::new(PriorityQueue::<u32>::new(4));
+        let waiter = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        // Give the popper a moment to block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(waiter.join().expect("no panic"), None);
+        assert!(q.push(1, 0, 7).is_err(), "closed queues reject pushes");
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_drains_pending_entries_before_returning_none() {
+        let q = PriorityQueue::new(4);
+        q.push(1, 0, "survivor").expect("fits");
+        q.close();
+        assert_eq!(q.pop(), Some((1, "survivor")));
+        assert_eq!(q.pop(), None);
+    }
+}
