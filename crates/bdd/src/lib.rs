@@ -58,6 +58,13 @@
 //!   GC+sift maintenance at caller-declared safe points is configured with
 //!   [`BddManager::set_maintenance`] and driven by
 //!   [`BddManager::maintain`].
+//! * Resource governance: [`BddManager::set_budget`] installs a live-node
+//!   ceiling, an ITE-step ceiling and a wall-clock deadline
+//!   ([`BudgetSettings`]).  Exhaustion unwinds out of the hot paths with a
+//!   typed [`BddError::BudgetExceeded`] payload instead of growing without
+//!   bound; governed callers (`catch_unwind` + downcast) turn that into a
+//!   structured verdict.  Node/step budgets are deterministic; the
+//!   deadline is wall-clock and is not.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -71,9 +78,9 @@ pub mod order;
 pub mod reorder;
 pub mod vec;
 
-pub use error::BddError;
+pub use error::{BddError, BudgetKind};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
-pub use manager::{Assignment, BddManager, BddStats};
+pub use manager::{Assignment, BddManager, BddStats, BudgetSettings};
 pub use node::Bdd;
 pub use order::OrderPolicy;
 pub use reorder::{MaintainSettings, SiftOutcome};

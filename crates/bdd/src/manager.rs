@@ -2,8 +2,9 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::time::Instant;
 
-use crate::error::BddError;
+use crate::error::{BddError, BudgetKind};
 use crate::hash::{mix2, FxHashMap, FxHashSet};
 use crate::node::{Bdd, Node};
 use crate::reorder::MaintainSettings;
@@ -149,6 +150,52 @@ impl BddStats {
     }
 }
 
+/// Resource ceilings for a governed manager, installed via
+/// [`BddManager::set_budget`].
+///
+/// A ceiling of `None` means unlimited (the default).  Exhausting any
+/// installed ceiling raises [`BddError::BudgetExceeded`] by *unwinding*
+/// out of the hot path (`std::panic::panic_any` with a `BddError`
+/// payload), so the thousands of infallible call sites need no `Result`
+/// plumbing; a governed caller wraps the whole computation in
+/// `catch_unwind` and downcasts the payload.  The manager's arena stays
+/// internally consistent after the unwind, but in-flight handles are
+/// unspecified — callers should [`BddManager::reset`] (or discard) the
+/// manager before reuse.
+///
+/// Node and step ceilings are deterministic: the same operation sequence
+/// exhausts at the same point regardless of thread count or machine
+/// speed.  The wall-clock deadline is inherently not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BudgetSettings {
+    /// Ceiling on live (allocated-minus-reclaimed) nodes, terminals
+    /// included; checked at every allocation.
+    pub max_live_nodes: Option<u64>,
+    /// Ceiling on ITE computed-table misses (the recursion's unit of
+    /// work); checked at every miss.
+    pub max_ite_steps: Option<u64>,
+    /// Wall-clock deadline; probed periodically inside the ITE recursion
+    /// and at every explicit [`BddManager::check_deadline`] call.
+    pub deadline: Option<Instant>,
+    /// The deadline's originally-configured span in milliseconds, reported
+    /// as the `limit` of a `budget_time` error (informational only).
+    pub deadline_ms: u64,
+}
+
+/// ITE misses between deadline probes: frequent enough that an exploding
+/// recursion overshoots its deadline by milliseconds, rare enough that
+/// `Instant::now` stays off the hot path.
+const DEADLINE_PROBE_INTERVAL: u64 = 8192;
+
+/// Unwinds out of a hot path with a typed [`BddError::BudgetExceeded`]
+/// payload.  `#[cold]` keeps the exhaustion branch off the fast path's
+/// icache footprint.
+#[cold]
+#[inline(never)]
+fn exhausted(kind: BudgetKind, limit: u64) -> ! {
+    std::panic::panic_any(BddError::BudgetExceeded { kind, limit })
+}
+
 /// One slot of the direct-mapped quantification cache: the operand, a tag
 /// packing `(generation, existential)`, and the result.  Tag `0` marks an
 /// empty slot (generations start at 1).
@@ -231,6 +278,17 @@ pub struct BddManager {
     quant_hits: u64,
     quant_misses: u64,
     resets: u64,
+    /// The installed budget, kept for [`BddManager::budget`] and for
+    /// error reporting.
+    budget: BudgetSettings,
+    /// Unpacked live-node ceiling (`usize::MAX` = unlimited), compared on
+    /// the `mk_node` hot path without an `Option` branch.
+    node_ceiling: usize,
+    /// Unpacked ITE-step ceiling (`u64::MAX` = unlimited).
+    step_ceiling: u64,
+    /// ITE computed-table misses since the budget was installed — the
+    /// step counter the ceiling is compared against.
+    ite_steps: u64,
 }
 
 impl fmt::Debug for BddManager {
@@ -290,6 +348,10 @@ impl BddManager {
             quant_hits: 0,
             quant_misses: 0,
             resets: 0,
+            budget: BudgetSettings::default(),
+            node_ceiling: usize::MAX,
+            step_ceiling: u64::MAX,
+            ite_steps: 0,
         }
     }
 
@@ -334,6 +396,56 @@ impl BddManager {
         self.quant_hits = 0;
         self.quant_misses = 0;
         self.resets += 1;
+        // Budgets never survive a reset: a recycled pool manager must not
+        // inherit the previous job's ceilings (or its step count).
+        self.budget = BudgetSettings::default();
+        self.node_ceiling = usize::MAX;
+        self.step_ceiling = u64::MAX;
+        self.ite_steps = 0;
+    }
+
+    // ------------------------------------------------------------------
+    // Resource budgets
+    // ------------------------------------------------------------------
+
+    /// Installs (or clears, with the default settings) the resource
+    /// ceilings this manager enforces.  Also resets the step counter, so a
+    /// budget governs the work *from this call on*.  [`BddManager::reset`]
+    /// clears any installed budget.
+    pub fn set_budget(&mut self, budget: BudgetSettings) {
+        self.budget = budget;
+        self.node_ceiling = budget
+            .max_live_nodes
+            .map_or(usize::MAX, |n| usize::try_from(n).unwrap_or(usize::MAX));
+        self.step_ceiling = budget.max_ite_steps.unwrap_or(u64::MAX);
+        self.ite_steps = 0;
+    }
+
+    /// The currently installed budget (all-`None` when ungoverned).
+    pub fn budget(&self) -> BudgetSettings {
+        self.budget
+    }
+
+    /// ITE steps (computed-table misses) consumed since the budget was
+    /// installed.
+    pub fn ite_steps(&self) -> u64 {
+        self.ite_steps
+    }
+
+    /// Checks the installed wall-clock deadline *now* (the ITE recursion
+    /// probes it only every [`DEADLINE_PROBE_INTERVAL`] misses; checkers
+    /// call this at their per-step safe points for a tighter bound).
+    ///
+    /// # Panics
+    /// Unwinds with a [`BddError::BudgetExceeded`] payload once the
+    /// deadline has passed — see [`BudgetSettings`] for the contract.
+    #[inline]
+    pub fn check_deadline(&self) {
+        if let Some(deadline) = self.budget.deadline {
+            if Instant::now() >= deadline {
+                exhausted(BudgetKind::Time, self.budget.deadline_ms);
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -470,6 +582,9 @@ impl BddManager {
         // where it can drop (GC, swap dereferencing, `stats`) instead of
         // being tracked here on the allocation hot path.
         self.live += 1;
+        if self.live > self.node_ceiling {
+            exhausted(BudgetKind::Nodes, self.node_ceiling as u64);
+        }
         self.unique.insert(node, id);
         id
     }
@@ -819,6 +934,15 @@ impl BddManager {
             return r;
         }
         self.ite_misses += 1;
+        // Budget bookkeeping rides the miss path: hits are free, misses
+        // are the recursion's unit of real work.
+        self.ite_steps += 1;
+        if self.ite_steps > self.step_ceiling {
+            exhausted(BudgetKind::Steps, self.step_ceiling);
+        }
+        if self.ite_steps % DEADLINE_PROBE_INTERVAL == 0 {
+            self.check_deadline();
+        }
 
         // Split on the top variable (minimum level among the three).  Each
         // operand's node is loaded exactly once: `split` yields its level
@@ -1893,5 +2017,119 @@ mod tests {
         assert_eq!(asg.unset(3), Some(true));
         assert_eq!(asg.get(3), None);
         assert_eq!(asg.len(), 1);
+    }
+
+    /// Runs `work` under `catch_unwind` and returns the [`BddError`]
+    /// payload it unwound with, if any.
+    fn budget_error<T>(work: impl FnOnce() -> T) -> Option<BddError> {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(work)) {
+            Ok(_) => None,
+            Err(payload) => match payload.downcast::<BddError>() {
+                Ok(err) => Some(*err),
+                Err(other) => std::panic::resume_unwind(other),
+            },
+        }
+    }
+
+    /// Builds an n-variable parity function — compact as a BDD but every
+    /// `xor` level forces fresh allocations and cache misses.
+    fn parity(m: &mut BddManager, n: usize) -> Bdd {
+        let vars = m.new_vars("p", n);
+        let mut acc = Bdd::FALSE;
+        for v in vars {
+            acc = m.xor(acc, v);
+        }
+        acc
+    }
+
+    #[test]
+    fn node_budget_unwinds_with_a_typed_payload() {
+        let mut m = BddManager::new();
+        m.set_budget(BudgetSettings {
+            max_live_nodes: Some(16),
+            ..BudgetSettings::default()
+        });
+        let err = budget_error(|| parity(&mut m, 32)).expect("budget must trip");
+        assert_eq!(
+            err,
+            BddError::BudgetExceeded {
+                kind: BudgetKind::Nodes,
+                limit: 16
+            }
+        );
+    }
+
+    #[test]
+    fn step_budget_unwinds_with_a_typed_payload() {
+        let mut m = BddManager::new();
+        m.set_budget(BudgetSettings {
+            max_ite_steps: Some(8),
+            ..BudgetSettings::default()
+        });
+        let err = budget_error(|| parity(&mut m, 32)).expect("budget must trip");
+        assert_eq!(
+            err,
+            BddError::BudgetExceeded {
+                kind: BudgetKind::Steps,
+                limit: 8
+            }
+        );
+    }
+
+    #[test]
+    fn expired_deadline_trips_on_explicit_check() {
+        let mut m = BddManager::new();
+        m.set_budget(BudgetSettings {
+            deadline: Some(Instant::now()),
+            deadline_ms: 5,
+            ..BudgetSettings::default()
+        });
+        let err = budget_error(|| m.check_deadline()).expect("deadline already passed");
+        assert_eq!(
+            err,
+            BddError::BudgetExceeded {
+                kind: BudgetKind::Time,
+                limit: 5
+            }
+        );
+    }
+
+    #[test]
+    fn budgets_are_deterministic_and_cleared_by_reset() {
+        // The same operation sequence consumes the same step count…
+        let mut a = BddManager::new();
+        let _ = parity(&mut a, 16);
+        let steps = a.ite_steps();
+        assert!(steps > 0);
+        let mut b = BddManager::new();
+        let _ = parity(&mut b, 16);
+        assert_eq!(b.ite_steps(), steps);
+        // …and an exhausted manager, once reset, runs ungoverned again.
+        a.set_budget(BudgetSettings {
+            max_live_nodes: Some(16),
+            ..BudgetSettings::default()
+        });
+        assert!(budget_error(|| parity(&mut a, 32)).is_some());
+        a.reset();
+        assert_eq!(a.budget(), BudgetSettings::default());
+        assert_eq!(a.ite_steps(), 0);
+        assert!(budget_error(|| parity(&mut a, 32)).is_none());
+    }
+
+    #[test]
+    fn an_ample_budget_never_fires() {
+        let mut m = BddManager::new();
+        m.set_budget(BudgetSettings {
+            max_live_nodes: Some(1 << 20),
+            max_ite_steps: Some(1 << 30),
+            ..BudgetSettings::default()
+        });
+        let mut reference = BddManager::new();
+        let governed = parity(&mut m, 16);
+        let free = parity(&mut reference, 16);
+        // Governance is observationally free until it fires: identical
+        // handles and statistics.
+        assert_eq!(governed, free);
+        assert_eq!(m.stats(), reference.stats());
     }
 }

@@ -24,7 +24,7 @@ use std::time::Instant;
 
 use ssr_bdd::{Bdd, BddManager, BddVec, MaintainSettings, OrderPolicy};
 use ssr_engine::json::Json;
-use ssr_engine::{named_policies, CampaignSpec, Granularity, NamedConfig, Suite};
+use ssr_engine::{named_policies, CampaignSpec, Granularity, JobBudget, NamedConfig, Suite};
 
 /// Schema identifier written into every bench report.
 pub const SCHEMA: &str = "ssr-bench-report/v1";
@@ -362,6 +362,7 @@ fn campaign_spec(granularity: Granularity, options: &BenchOptions) -> CampaignSp
         order: options.order.clone(),
         reorder: options.reorder,
         threads: 1,
+        budget: JobBudget::default(),
         verbose: false,
     }
 }
@@ -378,6 +379,7 @@ fn acceptance_spec(options: &BenchOptions) -> CampaignSpec {
         order: options.order.clone(),
         reorder: options.reorder,
         threads: 1,
+        budget: JobBudget::default(),
         verbose: false,
     }
 }
@@ -578,6 +580,7 @@ pub fn workloads(options: &BenchOptions) -> Vec<Workload> {
                 order: options.order.clone(),
                 reorder: options.reorder,
                 threads: 1,
+                budget: JobBudget::default(),
                 verbose: false,
             };
             Box::new(move || serve_closed_loop(&spec, clients, requests))
@@ -605,6 +608,7 @@ fn serve_closed_loop(spec: &CampaignSpec, clients: usize, requests: usize) -> Ve
         job_threads: 1,
         journal_dir: None,
         verbose: false,
+        ..ServerConfig::default()
     })
     .expect("the in-process daemon binds a loopback port");
     let addr = server.local_addr();

@@ -105,6 +105,23 @@ CAMPAIGN PERSISTENCE:
                                   partial report/journal (interruption
                                   simulation for tests and CI smoke)
 
+RESOURCE BUDGETS (campaign/check/submit):
+    --node-budget <N>             Per-job ceiling on live BDD nodes.  A job
+                                  that exhausts a budget is retried once
+                                  with GC + sifting forced and the budgets
+                                  doubled (graceful degradation); if that
+                                  also exhausts, the job is recorded as a
+                                  structured `budget_nodes` error and the
+                                  campaign continues — budgets never abort
+                                  a run and never flip holds <-> fails
+    --step-budget <N>             Per-job ceiling on ITE recursion steps
+                                  (`budget_steps`).  Node and step budgets
+                                  are deterministic: the same spec exhausts
+                                  at the same point whatever --jobs is
+    --deadline-ms <MS>            Per-job wall-clock deadline, re-anchored
+                                  for the degradation retry
+                                  (`budget_time`; inherently nondeterministic)
+
 BENCH OPTIONS:
     --iterations <N>              Timed iterations per workload [default: 5]
     --warmup <N>                  Untimed warmup iterations     [default: 1]
@@ -135,6 +152,10 @@ SERVE OPTIONS (ssr serve):
                                   crash-resume    [default: no persistence]
     --jobs <N>                    Worker threads per campaign (0 = one per
                                   CPU); overrides submitted specs
+    --idle-timeout-ms <MS>        Reap connections idle this long that have
+                                  no queued/running submission (streaming
+                                  clients are never reaped); 0 = never
+                                                                 [default: 0]
 
 SUBMIT OPTIONS (ssr submit):
     --addr <HOST:PORT>            Daemon to talk to [default: 127.0.0.1:7878]
@@ -154,8 +175,11 @@ SUBMIT OPTIONS (ssr submit):
     output like `ssr campaign`.
 
 EXIT CODE:
-    campaign/check: 0 if every checked assertion holds, 1 otherwise (a
-           --limit run is judged on the jobs it completed).
+    campaign/check: 0 if every checked assertion holds; 3 if the only
+           non-holding jobs were budget-limited (structured budget_*
+           errors — resource exhaustion, not a verification failure);
+           1 otherwise (a --limit run is judged on the jobs it
+           completed).
     diff: 0 if no verdict regressed, 1 on regression, 2 on unreadable
           artifacts.  --canonical: 0 iff canonically byte-identical.
     serve: 0 on clean shutdown, 2 on bind/setup errors.
@@ -266,6 +290,14 @@ pub struct Command {
     pub clients: usize,
     /// `bench --requests`: serve-bench campaigns per client.
     pub requests: usize,
+    /// `--node-budget`: per-job live BDD node ceiling.
+    pub node_budget: Option<u64>,
+    /// `--step-budget`: per-job ITE recursion step ceiling.
+    pub step_budget: Option<u64>,
+    /// `--deadline-ms`: per-job wall-clock deadline.
+    pub deadline_ms: Option<u64>,
+    /// `serve --idle-timeout-ms`: reap idle connections (0 = never).
+    pub idle_timeout_ms: u64,
 }
 
 fn parse_config(text: &str, control_path: ControlPath) -> Result<NamedConfig, String> {
@@ -376,6 +408,10 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     let mut serve_only = false;
     let mut clients = 4usize;
     let mut requests = 2usize;
+    let mut node_budget = None;
+    let mut step_budget = None;
+    let mut deadline_ms = None;
+    let mut idle_timeout_ms = 0u64;
     let mut positional: Vec<String> = Vec::new();
 
     let mut it = argv.iter().skip(1);
@@ -515,6 +551,37 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                         .map_err(|_| format!("--limit needs a number, got `{v}`"))?,
                 );
             }
+            "--node-budget" => {
+                let v = value("--node-budget")?;
+                node_budget = Some(
+                    v.parse::<u64>()
+                        .ok()
+                        .filter(|n| *n >= 1)
+                        .ok_or_else(|| format!("--node-budget needs a number >= 1, got `{v}`"))?,
+                );
+            }
+            "--step-budget" => {
+                let v = value("--step-budget")?;
+                step_budget = Some(
+                    v.parse::<u64>()
+                        .ok()
+                        .filter(|n| *n >= 1)
+                        .ok_or_else(|| format!("--step-budget needs a number >= 1, got `{v}`"))?,
+                );
+            }
+            "--deadline-ms" => {
+                let v = value("--deadline-ms")?;
+                deadline_ms = Some(
+                    v.parse::<u64>()
+                        .map_err(|_| format!("--deadline-ms needs a number, got `{v}`"))?,
+                );
+            }
+            "--idle-timeout-ms" => {
+                let v = value("--idle-timeout-ms")?;
+                idle_timeout_ms = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("--idle-timeout-ms needs a number, got `{v}`"))?;
+            }
             other if action == Action::Diff && !other.starts_with('-') => {
                 positional.push(other.to_owned());
             }
@@ -596,6 +663,10 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         serve_only,
         clients,
         requests,
+        node_budget,
+        step_budget,
+        deadline_ms,
+        idle_timeout_ms,
     })
 }
 
@@ -852,6 +923,39 @@ mod tests {
         assert_eq!(cmd.clients, 8);
         assert_eq!(cmd.requests, 3);
         assert!(parse(&argv(&["bench", "--clients", "0"])).is_err());
+    }
+
+    #[test]
+    fn budget_flags_parse_with_unlimited_defaults() {
+        let cmd = parse(&argv(&["campaign"])).expect("parses");
+        assert_eq!(cmd.node_budget, None);
+        assert_eq!(cmd.step_budget, None);
+        assert_eq!(cmd.deadline_ms, None);
+        assert_eq!(cmd.idle_timeout_ms, 0);
+
+        let cmd = parse(&argv(&[
+            "campaign",
+            "--node-budget",
+            "100000",
+            "--step-budget",
+            "500000",
+            "--deadline-ms",
+            "2000",
+        ]))
+        .expect("parses");
+        assert_eq!(cmd.node_budget, Some(100_000));
+        assert_eq!(cmd.step_budget, Some(500_000));
+        assert_eq!(cmd.deadline_ms, Some(2000));
+
+        // A zero deadline is legal (it trips immediately — the smoke
+        // test's lever); zero node/step budgets are not.
+        assert!(parse(&argv(&["campaign", "--deadline-ms", "0"])).is_ok());
+        assert!(parse(&argv(&["campaign", "--node-budget", "0"])).is_err());
+        assert!(parse(&argv(&["campaign", "--step-budget", "none"])).is_err());
+
+        let cmd = parse(&argv(&["serve", "--idle-timeout-ms", "1500"])).expect("parses");
+        assert_eq!(cmd.idle_timeout_ms, 1500);
+        assert!(parse(&argv(&["serve", "--idle-timeout-ms", "soon"])).is_err());
     }
 
     #[test]

@@ -4,8 +4,8 @@ use std::process::ExitCode;
 
 use ssr_engine::persist::{load_partial, plan_resume, Checkpoint, PartialCampaign};
 use ssr_engine::{
-    minimise_with_engine, CampaignReport, CampaignSpec, EngineOracle, Granularity, JobResult,
-    MaintainSettings, ReportDiff,
+    minimise_with_engine, CampaignReport, CampaignSpec, EngineOracle, Granularity, JobBudget,
+    JobResult, MaintainSettings, ReportDiff,
 };
 use ssr_netlist::stats::{stats, AreaModel};
 use ssr_properties::CoreHarness;
@@ -59,7 +59,32 @@ fn spec_from_flags(cmd: &Command) -> CampaignSpec {
         order: cmd.order.clone(),
         reorder: maintenance(cmd),
         threads: cmd.jobs,
+        budget: JobBudget {
+            node_budget: cmd.node_budget,
+            step_budget: cmd.step_budget,
+            deadline_ms: cmd.deadline_ms,
+        },
         verbose: cmd.verbose,
+    }
+}
+
+/// Maps a finished report to the campaign/submit exit code: 0 when every
+/// assertion held, 3 when the only non-holding jobs ran out of a resource
+/// budget (structured `budget_*` errors — distinct from verification
+/// failures and from real errors so CI can gate on each separately), 1
+/// otherwise.
+fn verdict_exit(report: &CampaignReport) -> ExitCode {
+    if report.all_hold() {
+        ExitCode::SUCCESS
+    } else if !report.jobs.is_empty()
+        && report
+            .jobs
+            .iter()
+            .all(|j| j.budget_limited() || (j.error.is_none() && j.holds))
+    {
+        ExitCode::from(3)
+    } else {
+        ExitCode::from(1)
     }
 }
 
@@ -75,7 +100,9 @@ fn serve(cmd: &Command) -> ExitCode {
         dispatchers: cmd.parallel,
         job_threads: cmd.jobs,
         journal_dir: cmd.journal_dir.as_ref().map(std::path::PathBuf::from),
+        idle_timeout_ms: cmd.idle_timeout_ms,
         verbose: cmd.verbose,
+        ..ServerConfig::default()
     };
     let server = match Server::spawn(config) {
         Ok(server) => server,
@@ -220,10 +247,10 @@ fn submit(cmd: &Command) -> ExitCode {
         eprintln!("error: {message}");
         return ExitCode::from(2);
     }
-    if done.report.all_hold() && !done.cancelled {
-        ExitCode::SUCCESS
-    } else {
+    if done.cancelled {
         ExitCode::from(1)
+    } else {
+        verdict_exit(&done.report)
     }
 }
 
@@ -483,11 +510,7 @@ fn campaign(cmd: &Command) -> ExitCode {
             let _ = std::fs::remove_file(path);
         }
     }
-    if report.all_hold() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::from(1)
-    }
+    verdict_exit(&report)
 }
 
 /// Reads and parses a campaign artifact (full report or checkpoint
@@ -735,8 +758,15 @@ fn core_stats(cmd: &Command) -> ExitCode {
     let pool = ssr_engine::ManagerPool::global().stats();
     println!(
         "\nmanager pool: {} idle, {} warm reuse(s), {} cold allocation(s), \
-         {} discard(s) (free list full), {} discard(s) (oversized arena)",
-        pool.idle, pool.reuse_hits, pool.fresh, pool.discarded_full, pool.discarded_oversize,
+         {} discard(s) (free list full), {} discard(s) (oversized arena), \
+         {} poisoned-lock recovery(s), {} budget-exhausted lease(s)",
+        pool.idle,
+        pool.reuse_hits,
+        pool.fresh,
+        pool.discarded_full,
+        pool.discarded_oversize,
+        pool.poison_recoveries,
+        pool.budget_exhausted,
     );
     println!("\narea / standby-leakage savings (selective vs full retention):");
     println!(

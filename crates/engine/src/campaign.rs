@@ -23,11 +23,13 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use ssr_bdd::{BddManager, MaintainSettings, OrderPolicy};
+use ssr_bdd::{BddError, BddManager, MaintainSettings, OrderPolicy};
 use ssr_properties::{CoreHarness, Suite};
 use ssr_ste::CheckReport;
 
-use crate::job::{enumerate_jobs_with, Granularity, JobPart, JobSpec, NamedConfig, NamedPolicy};
+use crate::job::{
+    enumerate_jobs_with, Granularity, JobBudget, JobPart, JobSpec, NamedConfig, NamedPolicy,
+};
 use crate::persist::{plan_resume, Checkpoint};
 use crate::pool::ManagerPool;
 use crate::report::{AssertionOutcome, CampaignReport, JobResult};
@@ -215,6 +217,11 @@ pub struct CampaignSpec {
     pub reorder: Option<MaintainSettings>,
     /// Worker threads; `0` means one per available CPU.
     pub threads: usize,
+    /// Per-job resource ceilings (node/step/deadline); the default is
+    /// ungoverned.  Like `reorder`, an execution parameter: it can turn a
+    /// verdict into a structured `budget_*` error record, but never flips
+    /// holds ↔ fails, and it is not part of job identity.
+    pub budget: JobBudget,
     /// Stream a line to stderr as each job finishes (progress feedback for
     /// long campaigns).
     pub verbose: bool,
@@ -232,6 +239,7 @@ impl CampaignSpec {
             order: OrderPolicy::Interleaved,
             reorder: None,
             threads: 0,
+            budget: JobBudget::default(),
             verbose: false,
         }
     }
@@ -328,6 +336,10 @@ impl CampaignSpec {
     ) -> CampaignReport {
         let jobs = self.jobs();
         let started = Instant::now();
+        // Budget exhaustion unwinds with a typed payload that the workers
+        // catch; keep the default hook from spraying "thread panicked"
+        // noise for those fully-handled unwinds.
+        quiet_budget_unwinds();
 
         let plan = plan_resume(&jobs, prior);
         let mut pending = plan.pending;
@@ -379,25 +391,19 @@ impl CampaignSpec {
                                 spec.part.render(),
                             );
                         }
-                        manager.reset();
-                        manager.set_maintenance(self.reorder);
-                        // A panicking job (e.g. an assertion builder hitting
-                        // an internal assert) must not abort the campaign
-                        // and lose every completed result: capture it as the
-                        // job's error record instead.
-                        let outcome =
-                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                run_job_with(spec, contexts[index].get(), &mut manager)
-                            }));
-                        let result = match outcome {
-                            Ok(result) => result,
-                            Err(payload) => {
-                                // The manager may be mid-operation: discard
-                                // it rather than recycle inconsistent state.
-                                manager = BddManager::new();
-                                panicked_job(spec, &payload)
-                            }
-                        };
+                        let (result, exhausted) = run_governed(
+                            spec,
+                            contexts[index].get(),
+                            &mut manager,
+                            self.budget,
+                            self.reorder,
+                        );
+                        if exhausted {
+                            // Telemetry for `ssr stats`: this lease tripped
+                            // a budget (whether or not the retry recovered)
+                            // and its arena was discarded, not recycled.
+                            pool.note_budget_exhausted();
+                        }
                         if self.verbose {
                             eprintln!(
                                 "[job {}/{}] {} in {} ms ({} nodes)",
@@ -432,6 +438,127 @@ impl CampaignSpec {
             total_wall_ms: started.elapsed().as_millis() as u64,
         }
     }
+}
+
+/// Installs (once per process) a panic hook that stays silent for the
+/// kernel's typed budget unwinds — they are caught and turned into job
+/// error records, so the default "thread panicked" banner would be pure
+/// noise — and delegates everything else to the previous hook.
+fn quiet_budget_unwinds() {
+    static INSTALL: std::sync::Once = std::sync::Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<BddError>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// How one governed job attempt ended.
+enum Attempt {
+    /// The job ran to completion (verdict or elaboration error inside).
+    Done(JobResult),
+    /// A resource ceiling tripped; the manager was discarded.
+    Exhausted(BddError),
+    /// A non-budget panic; the manager was discarded.
+    Panicked(JobResult),
+}
+
+/// Runs one governed attempt of `spec`: installs the budget, catches the
+/// unwind channel, and classifies the outcome.  After any unwind the
+/// caller's manager is replaced by a fresh one (the old arena may be
+/// mid-operation and must not be recycled).
+fn attempt(
+    spec: &JobSpec,
+    harness: Result<&CoreHarness, &HarnessError>,
+    manager: &mut BddManager,
+    budget: JobBudget,
+    maintenance: Option<MaintainSettings>,
+) -> Attempt {
+    manager.reset();
+    manager.set_maintenance(maintenance);
+    manager.set_budget(budget.to_settings());
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_job_with(spec, harness, manager)
+    }));
+    match outcome {
+        Ok(result) => Attempt::Done(result),
+        Err(payload) => {
+            *manager = BddManager::new();
+            match payload.downcast::<BddError>() {
+                Ok(err) => Attempt::Exhausted(*err),
+                Err(payload) => Attempt::Panicked(panicked_job(spec, payload.as_ref())),
+            }
+        }
+    }
+}
+
+/// Runs `spec` under the campaign's budget with one-shot graceful
+/// degradation: a budget-exhausted attempt is retried exactly once with
+/// every ceiling doubled and GC+sifting maintenance forced on (thresholds
+/// clamped under the node ceiling so collection actually fires before the
+/// budget does).  A second exhaustion is recorded as a structured
+/// `budget_*` error — the campaign always completes.
+///
+/// Returns the result plus whether any attempt exhausted its budget (the
+/// pool-telemetry signal).  Node/step governance is deterministic, so the
+/// verdict is independent of worker count and scheduling.
+fn run_governed(
+    spec: &JobSpec,
+    harness: Result<&CoreHarness, &HarnessError>,
+    manager: &mut BddManager,
+    budget: JobBudget,
+    maintenance: Option<MaintainSettings>,
+) -> (JobResult, bool) {
+    match attempt(spec, harness, manager, budget, maintenance) {
+        Attempt::Done(result) => (result, false),
+        Attempt::Panicked(result) => (result, false),
+        Attempt::Exhausted(_) => {
+            let raised = budget.raised();
+            let degraded = degraded_maintenance(maintenance, raised.node_budget);
+            match attempt(spec, harness, manager, raised, Some(degraded)) {
+                Attempt::Done(result) => (result, true),
+                Attempt::Panicked(result) => (result, true),
+                Attempt::Exhausted(err) => (budget_job(spec, &err), true),
+            }
+        }
+    }
+}
+
+/// The maintenance policy of the degradation retry: the campaign's own
+/// settings (or the defaults) with sifting forced on and the GC/sift
+/// thresholds clamped to an eighth of the node ceiling — a ceiling below
+/// the default thresholds would otherwise exhaust again before the first
+/// collection ever ran, and collecting early keeps the garbage that
+/// accumulates between the checker's safe points well under the ceiling.
+fn degraded_maintenance(
+    base: Option<MaintainSettings>,
+    node_budget: Option<u64>,
+) -> MaintainSettings {
+    let mut settings = base.unwrap_or_default();
+    settings.sift = true;
+    if let Some(nodes) = node_budget {
+        let cap = usize::try_from(nodes / 8).unwrap_or(usize::MAX).max(256);
+        settings.gc_threshold = settings.gc_threshold.min(cap);
+        settings.sift_threshold = settings.sift_threshold.min(cap);
+    }
+    settings
+}
+
+/// The structured error record of a job that exhausted its budget twice:
+/// the stable machine-readable code (`budget_nodes` / `budget_steps` /
+/// `budget_time`) prefixes a human-readable description.
+fn budget_job(spec: &JobSpec, err: &BddError) -> JobResult {
+    let mut result = empty_result(spec);
+    let code = match err {
+        BddError::BudgetExceeded { kind, .. } => kind.code(),
+        // `attempt` only classifies BudgetExceeded payloads as Exhausted.
+        _ => unreachable!("non-budget BddError on the exhaustion path"),
+    };
+    result.error = Some(format!("{code}: {err}"));
+    result
 }
 
 /// Best-effort journal append: persistence failures warn, never abort.
@@ -589,6 +716,7 @@ mod tests {
             order: OrderPolicy::Interleaved,
             reorder: None,
             threads,
+            budget: JobBudget::default(),
             verbose: false,
         }
     }
@@ -657,6 +785,7 @@ mod tests {
             order: OrderPolicy::Interleaved,
             reorder: None,
             threads: 2,
+            budget: JobBudget::default(),
             verbose: false,
         };
         let report = spec.run();
@@ -888,5 +1017,106 @@ mod tests {
         assert_eq!(spec.effective_threads(0), 1);
         let auto = tiny_spec(0, Granularity::Suite);
         assert!(auto.effective_threads(1000) >= 1);
+    }
+
+    /// A hopeless node budget (too small even after the doubled retry)
+    /// completes the campaign with structured `budget_nodes` records —
+    /// no abort, no OOM, every job accounted for.
+    #[test]
+    fn an_exhausted_budget_becomes_a_structured_error_record() {
+        let mut spec = tiny_spec(2, Granularity::Suite);
+        spec.budget.node_budget = Some(64);
+        let report = spec.run();
+        assert_eq!(report.jobs.len(), 2, "the campaign still completes");
+        for job in &report.jobs {
+            let error = job.error.as_deref().expect("budget must trip");
+            assert!(
+                error.starts_with("budget_nodes: "),
+                "structured code expected, got `{error}`"
+            );
+            assert!(job.budget_limited());
+            assert!(!job.holds);
+        }
+        assert!(!report.all_hold());
+    }
+
+    /// The one-shot degradation retry: a budget the raw run exhausts but
+    /// GC+sifting fits inside recovers the true verdict on the retry.
+    #[test]
+    fn the_degradation_retry_recovers_jobs_the_raw_run_exhausts() {
+        // Establish the job's ungoverned appetite first, then budget well
+        // below it (the small PropertyTwo suite allocates ~100k nodes
+        // without GC but stays tiny when collected).
+        let unlimited = tiny_spec(1, Granularity::Suite).run();
+        let appetite = unlimited.jobs[0].bdd_nodes;
+        let mut spec = tiny_spec(1, Granularity::Suite);
+        spec.budget.node_budget = Some(appetite / 4);
+        let governed = spec.run();
+        let job = &governed.jobs[0];
+        assert!(
+            job.error.is_none(),
+            "the retry should recover this job, got {:?}",
+            job.error
+        );
+        // The verdict matches the ungoverned run; only telemetry differs.
+        assert_eq!(job.holds, unlimited.jobs[0].holds);
+        assert!(job.gc_passes > 0, "recovery came from forced maintenance");
+    }
+
+    /// Budget-exhausted verdicts are deterministic: node/step governance
+    /// counts per-job work, so `--parallel` cannot perturb which jobs
+    /// exhaust or what their records say.
+    #[test]
+    fn budget_verdicts_are_deterministic_across_thread_counts() {
+        let mut rng = ssr_prop::Rng::new(0xb0d6e7);
+        for _ in 0..4 {
+            // Random-but-replayable budgets in the interesting range:
+            // some exhaust immediately, some only before the retry, some
+            // never.
+            let budget = JobBudget {
+                node_budget: Some(rng.below(1 << 14).max(32)),
+                step_budget: Some(rng.below(1 << 16).max(32)),
+                deadline_ms: None, // wall-clock is inherently nondeterministic
+            };
+            let mut sequential = tiny_spec(1, Granularity::Assertion);
+            sequential.budget = budget;
+            let mut parallel = tiny_spec(4, Granularity::Assertion);
+            parallel.budget = budget;
+            assert_eq!(
+                sequential.run().canonical_json(),
+                parallel.run().canonical_json(),
+                "budget {budget:?} diverged across thread counts"
+            );
+        }
+    }
+
+    /// An expired deadline surfaces as `budget_time` (checked at the STE
+    /// per-step safe points even when no ITE recursion runs long enough
+    /// to probe it).
+    #[test]
+    fn a_zero_deadline_surfaces_as_budget_time() {
+        let mut spec = tiny_spec(1, Granularity::Suite);
+        spec.budget.deadline_ms = Some(0);
+        let report = spec.run();
+        let error = report.jobs[0].error.as_deref().expect("deadline trips");
+        assert!(
+            error.starts_with("budget_time: "),
+            "structured code expected, got `{error}`"
+        );
+    }
+
+    /// Governed-but-ample budgets are observationally free: the canonical
+    /// report is byte-identical to an ungoverned run's.
+    #[test]
+    fn an_ample_budget_leaves_the_report_byte_identical() {
+        let free = tiny_spec(1, Granularity::Suite).run();
+        let mut spec = tiny_spec(1, Granularity::Suite);
+        spec.budget = JobBudget {
+            node_budget: Some(1 << 30),
+            step_budget: Some(1 << 40),
+            deadline_ms: None,
+        };
+        let governed = spec.run();
+        assert_eq!(free.canonical_json(), governed.canonical_json());
     }
 }

@@ -61,13 +61,20 @@ pub enum Verdict {
     Holds,
     /// At least one assertion failed.
     Fails,
+    /// The job ran out of a configured resource budget (`budget_*` error
+    /// codes): no verdict, but by explicit operator choice rather than a
+    /// harness defect.  Transitions in or out of this state never gate —
+    /// see [`ReportDiff::budget_limited`].
+    Budget,
     /// The job could not produce a verdict at all.
     Error,
 }
 
 impl Verdict {
     fn of(job: &JobResult) -> Verdict {
-        if job.error.is_some() {
+        if job.budget_limited() {
+            Verdict::Budget
+        } else if job.error.is_some() {
             Verdict::Error
         } else if job.holds {
             Verdict::Holds
@@ -81,6 +88,7 @@ impl Verdict {
         match self {
             Verdict::Holds => "holds",
             Verdict::Fails => "FAILS",
+            Verdict::Budget => "BUDGET",
             Verdict::Error => "ERROR",
         }
     }
@@ -108,6 +116,13 @@ pub struct ReportDiff {
     pub regressions: Vec<VerdictChange>,
     /// Matched jobs whose verdict got better.
     pub improvements: Vec<VerdictChange>,
+    /// Matched jobs whose transition involves [`Verdict::Budget`] on
+    /// either side.  A budget exhaustion is an operator-imposed resource
+    /// ceiling, not a correctness signal, so comparing a budgeted run
+    /// against an unbudgeted baseline (or vice versa) must not trip the
+    /// regression gate — but the transitions are still listed so the
+    /// operator sees exactly which verdicts the ceiling cost them.
+    pub budget_limited: Vec<VerdictChange>,
     /// Matched jobs whose verdict is unchanged but whose per-assertion
     /// outcomes shifted (e.g. a different obligation fails now).
     pub churned: Vec<JobKey>,
@@ -136,6 +151,7 @@ impl ReportDiff {
 
         let mut regressions = Vec::new();
         let mut improvements = Vec::new();
+        let mut budget_limited = Vec::new();
         let mut churned = Vec::new();
         let mut matched = 0usize;
         for (key, old_job) in &old_jobs {
@@ -157,7 +173,9 @@ impl ReportDiff {
                 new: now,
                 flipped_assertions: assertion_flips(old_job, new_job),
             };
-            if now > was {
+            if was == Verdict::Budget || now == Verdict::Budget {
+                budget_limited.push(change);
+            } else if now > was {
                 regressions.push(change);
             } else {
                 improvements.push(change);
@@ -176,6 +194,7 @@ impl ReportDiff {
         ReportDiff {
             regressions,
             improvements,
+            budget_limited,
             churned,
             added,
             removed,
@@ -220,6 +239,15 @@ impl ReportDiff {
                 change.old.name(),
                 change.new.name(),
                 render_flips(&change.flipped_assertions),
+            );
+        }
+        for change in &self.budget_limited {
+            let _ = writeln!(
+                out,
+                "budget      {}: {} -> {} (resource ceiling, not gated)",
+                change.key.render(),
+                change.old.name(),
+                change.new.name(),
             );
         }
         for key in &self.churned {
@@ -388,6 +416,40 @@ mod tests {
         assert_eq!(diff.regressions[0].new, Verdict::Error);
         // Recovering from an error is an improvement, not a regression.
         assert!(!ReportDiff::between(&errors, &fails).has_regressions());
+    }
+
+    #[test]
+    fn budget_exhaustion_is_classified_apart_from_real_regressions() {
+        let good = report(vec![job("architectural", true, None)]);
+        let budgeted = report(vec![job(
+            "architectural",
+            false,
+            Some("budget_nodes: live-node budget exhausted (limit 64)"),
+        )]);
+        // A verdict lost to a resource ceiling is not a regression …
+        let diff = ReportDiff::between(&good, &budgeted);
+        assert!(!diff.has_regressions());
+        assert_eq!(diff.budget_limited.len(), 1);
+        assert_eq!(diff.budget_limited[0].old, Verdict::Holds);
+        assert_eq!(diff.budget_limited[0].new, Verdict::Budget);
+        assert!(diff.render().contains("budget      "));
+        assert!(diff.render().contains("not gated"));
+        // … and recovering one when the ceiling is lifted is not an
+        // improvement either, just the ceiling moving.
+        let diff = ReportDiff::between(&budgeted, &good);
+        assert!(!diff.has_regressions());
+        assert!(diff.improvements.is_empty());
+        assert_eq!(diff.budget_limited.len(), 1);
+        // A genuine harness error is still gated even against a budget
+        // baseline on the other side of an unrelated job: ERROR ≠ BUDGET.
+        let errored = report(vec![job("architectural", false, Some("harness exploded"))]);
+        assert!(ReportDiff::between(&good, &errored).has_regressions());
+        let diff = ReportDiff::between(&budgeted, &errored);
+        assert!(
+            !diff.has_regressions(),
+            "budget -> error involves Budget and stays non-gating"
+        );
+        assert_eq!(diff.budget_limited.len(), 1);
     }
 
     #[test]

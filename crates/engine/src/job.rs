@@ -8,7 +8,7 @@
 //! ([`JobPart::Assertion`]) so the scheduler can spread one expensive suite
 //! across many workers.
 
-use ssr_bdd::OrderPolicy;
+use ssr_bdd::{BudgetSettings, OrderPolicy};
 use ssr_cpu::{CoreConfig, RetentionPolicy};
 use ssr_properties::Suite;
 
@@ -41,6 +41,58 @@ impl Granularity {
             "suite" => Some(Granularity::Suite),
             "assertion" | "obligation" => Some(Granularity::Assertion),
             _ => None,
+        }
+    }
+}
+
+/// Per-job resource ceilings, applied to every job of a campaign.
+///
+/// All-`None` (the default) means ungoverned — the historical unlimited
+/// behaviour.  Node and step budgets are enforced deterministically by the
+/// BDD kernel, so a budget-exhausted verdict is reproducible across
+/// `--parallel` settings and machines; the wall-clock deadline is not.
+/// Exhaustion is reported as a structured job error (`budget_nodes` /
+/// `budget_steps` / `budget_time`) after a one-shot graceful-degradation
+/// retry — the campaign itself always completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JobBudget {
+    /// Ceiling on live BDD nodes per job (`--node-budget`).
+    pub node_budget: Option<u64>,
+    /// Ceiling on ITE recursion steps per job (`--step-budget`).
+    pub step_budget: Option<u64>,
+    /// Per-job wall-clock deadline in milliseconds (`--deadline-ms`).
+    pub deadline_ms: Option<u64>,
+}
+
+impl JobBudget {
+    /// `true` when no ceiling is installed (the default).
+    pub fn is_unlimited(&self) -> bool {
+        *self == JobBudget::default()
+    }
+
+    /// The kernel-level settings for one job *attempt*, with the deadline
+    /// anchored at the moment of the call (each attempt gets a fresh
+    /// deadline span).
+    pub fn to_settings(&self) -> BudgetSettings {
+        BudgetSettings {
+            max_live_nodes: self.node_budget,
+            max_ite_steps: self.step_budget,
+            deadline: self
+                .deadline_ms
+                .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms)),
+            deadline_ms: self.deadline_ms.unwrap_or(0),
+        }
+    }
+
+    /// The raised budget of the one-shot graceful-degradation retry:
+    /// every installed ceiling is doubled (saturating), uninstalled
+    /// ceilings stay off.
+    pub fn raised(&self) -> JobBudget {
+        let double = |v: Option<u64>| v.map(|n| n.saturating_mul(2));
+        JobBudget {
+            node_budget: double(self.node_budget),
+            step_budget: double(self.step_budget),
+            deadline_ms: double(self.deadline_ms),
         }
     }
 }
@@ -330,6 +382,30 @@ mod tests {
         let jobs = enumerate_jobs(&[combinational], &policies, &Suite::ALL, Granularity::Suite);
         assert_eq!(jobs.len(), 2, "the IFR suite must be skipped");
         assert!(jobs.iter().all(|j| j.suite != Suite::Ifr));
+    }
+
+    #[test]
+    fn job_budgets_default_unlimited_and_raise_by_doubling() {
+        let unlimited = JobBudget::default();
+        assert!(unlimited.is_unlimited());
+        assert_eq!(unlimited.raised(), unlimited);
+        assert_eq!(unlimited.to_settings(), BudgetSettings::default());
+
+        let budget = JobBudget {
+            node_budget: Some(1000),
+            step_budget: None,
+            deadline_ms: Some(50),
+        };
+        assert!(!budget.is_unlimited());
+        let raised = budget.raised();
+        assert_eq!(raised.node_budget, Some(2000));
+        assert_eq!(raised.step_budget, None);
+        assert_eq!(raised.deadline_ms, Some(100));
+        let settings = budget.to_settings();
+        assert_eq!(settings.max_live_nodes, Some(1000));
+        assert_eq!(settings.max_ite_steps, None);
+        assert!(settings.deadline.is_some());
+        assert_eq!(settings.deadline_ms, 50);
     }
 
     #[test]

@@ -49,6 +49,7 @@
 //!     order: ssr_engine::OrderPolicy::Interleaved,
 //!     reorder: None,
 //!     threads: 2,
+//!     budget: ssr_engine::JobBudget::default(),
 //!     verbose: false,
 //! };
 //! let report = spec.run();
@@ -74,7 +75,7 @@ pub use campaign::{
 pub use diff::{JobKey, ReportDiff, Verdict, VerdictChange};
 pub use job::{
     enumerate_jobs, enumerate_jobs_with, named_policies, policy_by_name, policy_name, Granularity,
-    JobPart, JobSpec, NamedConfig, NamedPolicy,
+    JobBudget, JobPart, JobSpec, NamedConfig, NamedPolicy,
 };
 pub use oracle::{minimise_with_engine, EngineOracle, MinimisationOutcome, MinimisationStep};
 pub use persist::{load_partial, plan_resume, Checkpoint, PartialCampaign, ResumePlan};
@@ -82,7 +83,8 @@ pub use pool::{ManagerPool, PoolStats};
 pub use report::{AssertionOutcome, CampaignReport, JobResult};
 pub use spec::{spec_from_json, spec_to_json};
 
-// Re-exported so engine users can name suites and ordering policies
-// without depending on `ssr-properties`/`ssr-bdd` directly.
-pub use ssr_bdd::{MaintainSettings, OrderPolicy};
+// Re-exported so engine users can name suites, ordering policies and
+// resource budgets without depending on `ssr-properties`/`ssr-bdd`
+// directly.
+pub use ssr_bdd::{BudgetKind, BudgetSettings, MaintainSettings, OrderPolicy};
 pub use ssr_properties::Suite;

@@ -15,7 +15,7 @@ use ssr_properties::Suite;
 use ssr_retention::selection::{minimise, SelectionStep};
 
 use crate::campaign::CampaignSpec;
-use crate::job::{policy_name, Granularity, NamedConfig, NamedPolicy};
+use crate::job::{policy_name, Granularity, JobBudget, NamedConfig, NamedPolicy};
 use crate::report::CampaignReport;
 
 /// A verification oracle backed by the campaign engine.
@@ -66,6 +66,7 @@ impl EngineOracle {
             order: self.order.clone(),
             reorder: self.reorder,
             threads: self.threads,
+            budget: JobBudget::default(),
             verbose: false,
         }
         .run()

@@ -41,6 +41,15 @@ pub struct PoolStats {
     /// Releases dropped because the arena had grown past the pool's
     /// high-water capacity mark (shrink-on-release).
     pub discarded_oversize: u64,
+    /// Poisoned-lock recoveries: times the free list's mutex was found
+    /// poisoned (a worker died holding it) and the idle cache was
+    /// discarded to keep the pool serving.  Silent before this counter —
+    /// a nonzero value here is the only trace a crashed worker leaves.
+    pub poison_recoveries: u64,
+    /// Leases whose job tripped a resource budget: the arena was discarded
+    /// rather than recycled (a budget unwind can leave it mid-operation),
+    /// so each of these is a forfeited warm-reuse opportunity.
+    pub budget_exhausted: u64,
 }
 
 /// A bounded free list of reset BDD managers.
@@ -53,6 +62,8 @@ pub struct ManagerPool {
     fresh: AtomicU64,
     discarded_full: AtomicU64,
     discarded_oversize: AtomicU64,
+    poison_recoveries: AtomicU64,
+    budget_exhausted: AtomicU64,
 }
 
 impl ManagerPool {
@@ -102,6 +113,7 @@ impl ManagerPool {
         match self.free.lock() {
             Ok(guard) => guard,
             Err(poisoned) => {
+                self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
                 self.free.clear_poison();
                 let mut guard = poisoned.into_inner();
                 guard.clear();
@@ -147,6 +159,13 @@ impl ManagerPool {
         self.free_list().len()
     }
 
+    /// Records that a leased manager's job exhausted a resource budget
+    /// (the campaign workers call this when a budget unwind made them
+    /// discard the arena instead of recycling it).
+    pub fn note_budget_exhausted(&self) {
+        self.budget_exhausted.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Snapshot of the pool's behaviour counters.
     pub fn stats(&self) -> PoolStats {
         PoolStats {
@@ -155,6 +174,8 @@ impl ManagerPool {
             fresh: self.fresh.load(Ordering::Relaxed),
             discarded_full: self.discarded_full.load(Ordering::Relaxed),
             discarded_oversize: self.discarded_oversize.load(Ordering::Relaxed),
+            poison_recoveries: self.poison_recoveries.load(Ordering::Relaxed),
+            budget_exhausted: self.budget_exhausted.load(Ordering::Relaxed),
         }
     }
 }
@@ -231,11 +252,22 @@ mod tests {
                 .join()
         });
         assert!(result.is_err(), "the worker did panic");
-        // Every pool operation still works; the idle cache was discarded.
+        // Every pool operation still works; the idle cache was discarded
+        // and the recovery — previously silent — is counted.
+        assert!(pool.stats().poison_recoveries >= 1);
         assert_eq!(pool.idle(), 0);
         let manager = pool.acquire();
         pool.release(manager);
         assert_eq!(pool.idle(), 1, "the pool caches managers again");
+    }
+
+    #[test]
+    fn budget_exhaustions_are_counted() {
+        let pool = ManagerPool::new(2);
+        assert_eq!(pool.stats().budget_exhausted, 0);
+        pool.note_budget_exhausted();
+        pool.note_budget_exhausted();
+        assert_eq!(pool.stats().budget_exhausted, 2);
     }
 
     #[test]

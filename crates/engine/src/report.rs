@@ -73,6 +73,16 @@ impl JobResult {
         self.assertions.iter().filter(|a| a.holds).count()
     }
 
+    /// `true` when this job's error records budget exhaustion rather than
+    /// a real failure: the error string carries a stable machine-readable
+    /// `budget_nodes:` / `budget_steps:` / `budget_time:` prefix that
+    /// `ssr diff` classifies separately from regressions.
+    pub fn budget_limited(&self) -> bool {
+        self.error
+            .as_deref()
+            .is_some_and(|e| e.starts_with("budget_"))
+    }
+
     /// The result as a JSON value — one line of a checkpoint journal, or
     /// the `result` field of a streamed `ssr-serve/v1` `job` response.
     pub fn to_json(&self) -> Json {
@@ -443,6 +453,7 @@ impl CampaignReport {
         ]];
         for j in &self.jobs {
             let verdict = match (&j.error, j.holds) {
+                (Some(_), _) if j.budget_limited() => "BUDGET".to_owned(),
                 (Some(_), _) => "ERROR".to_owned(),
                 (None, true) => format!("yes {}/{}", j.passed(), j.assertions.len()),
                 (None, false) => format!("NO  {}/{}", j.passed(), j.assertions.len()),
@@ -510,7 +521,12 @@ impl CampaignReport {
         }
         for j in self.jobs.iter().filter(|j| !j.holds || j.error.is_some()) {
             if let Some(e) = &j.error {
-                out.push_str(&format!("job {}: ERROR: {e}\n", j.job_id));
+                let label = if j.budget_limited() {
+                    "BUDGET"
+                } else {
+                    "ERROR"
+                };
+                out.push_str(&format!("job {}: {label}: {e}\n", j.job_id));
             }
             for a in j.assertions.iter().filter(|a| !a.holds) {
                 out.push_str(&format!("job {}: FAILED `{}`\n", j.job_id, a.name));
@@ -633,6 +649,19 @@ mod tests {
         assert!(table.contains("FAILED `equivalence_add`"));
         assert!(table.contains("ERROR: netlist generation failed"));
         assert!(table.contains("1/2 assertions hold"));
+    }
+
+    #[test]
+    fn budget_errors_render_as_budget_not_error() {
+        let mut report = sample_report();
+        report.jobs[1].error = Some("budget_nodes: live-node budget exhausted (limit 4096)".into());
+        assert!(report.jobs[1].budget_limited());
+        assert!(!report.jobs[0].budget_limited());
+        let table = report.render_table();
+        assert!(table.contains("BUDGET"));
+        assert!(table.contains("job 1: BUDGET: budget_nodes:"));
+        // Budget-limited jobs still fail the campaign's overall verdict.
+        assert!(!report.all_hold());
     }
 
     #[test]

@@ -14,17 +14,21 @@ use ssr_bdd::{MaintainSettings, OrderPolicy};
 use ssr_properties::Suite;
 
 use crate::campaign::CampaignSpec;
-use crate::job::{policy_by_name, Granularity, NamedConfig};
+use crate::job::{policy_by_name, Granularity, JobBudget, NamedConfig};
 use crate::json::Json;
 
 /// Serialises a campaign spec to its wire object.
 ///
 /// `verbose` is intentionally not carried (stderr streaming is a local CLI
 /// affordance); `reorder` travels as the (`reorder`, `max_growth`) pair of
-/// its [`MaintainSettings`] when enabled.
+/// its [`MaintainSettings`] when enabled.  Budget fields (`node_budget`,
+/// `step_budget`, `deadline_ms`) are emitted only when set, so an
+/// unbudgeted spec's wire object is byte-identical to pre-budget
+/// `ssr-serve/v1` — and old servers, which parse leniently, simply ignore
+/// the new keys.
 pub fn spec_to_json(spec: &CampaignSpec) -> Json {
     let names = |items: Vec<String>| Json::Arr(items.into_iter().map(Json::Str).collect());
-    Json::obj([
+    let mut fields = vec![
         (
             "configs",
             names(spec.configs.iter().map(|c| c.name.clone()).collect()),
@@ -45,7 +49,18 @@ pub fn spec_to_json(spec: &CampaignSpec) -> Json {
             Json::Num(spec.reorder.as_ref().map_or(0.0, |m| m.max_growth)),
         ),
         ("threads", Json::Num(spec.threads as f64)),
-    ])
+    ];
+    let budgets = [
+        ("node_budget", spec.budget.node_budget),
+        ("step_budget", spec.budget.step_budget),
+        ("deadline_ms", spec.budget.deadline_ms),
+    ];
+    for (key, value) in budgets {
+        if let Some(v) = value {
+            fields.push((key, Json::Num(v as f64)));
+        }
+    }
+    Json::obj(fields)
 }
 
 /// Parses a wire object back into a runnable spec (`verbose` off).
@@ -115,6 +130,12 @@ pub fn spec_from_json(v: &Json) -> Result<CampaignSpec, String> {
         .and_then(Json::as_u64)
         .map(|n| n as usize)
         .unwrap_or(0);
+    // Lenient: absent budget keys (any pre-budget client) mean unlimited.
+    let budget = JobBudget {
+        node_budget: v.get("node_budget").and_then(Json::as_u64),
+        step_budget: v.get("step_budget").and_then(Json::as_u64),
+        deadline_ms: v.get("deadline_ms").and_then(Json::as_u64),
+    };
     Ok(CampaignSpec {
         configs,
         policies,
@@ -123,6 +144,7 @@ pub fn spec_from_json(v: &Json) -> Result<CampaignSpec, String> {
         order,
         reorder,
         threads,
+        budget,
         verbose: false,
     })
 }
@@ -145,6 +167,11 @@ mod tests {
                 ..Default::default()
             }),
             threads: 2,
+            budget: JobBudget {
+                node_budget: Some(1 << 20),
+                step_budget: None,
+                deadline_ms: Some(30_000),
+            },
             verbose: false,
         }
     }
@@ -162,6 +189,7 @@ mod tests {
         assert_eq!(parsed.threads, spec.threads);
         let growth = parsed.reorder.expect("reorder carried").max_growth;
         assert!((growth - 1.5).abs() < 1e-9);
+        assert_eq!(parsed.budget, spec.budget, "budgets round-trip");
         // And the job enumerations — the semantics — agree exactly.
         assert_eq!(parsed.jobs(), spec.jobs());
     }
@@ -213,5 +241,19 @@ mod tests {
         assert_eq!(spec.order, OrderPolicy::Interleaved);
         assert!(spec.reorder.is_none());
         assert_eq!(spec.threads, 0);
+        assert!(
+            spec.budget.is_unlimited(),
+            "pre-budget wire objects parse as unlimited"
+        );
+    }
+
+    #[test]
+    fn an_unbudgeted_spec_emits_no_budget_keys() {
+        let mut spec = sample();
+        spec.budget = JobBudget::default();
+        let wire = spec_to_json(&spec);
+        assert!(wire.get("node_budget").is_none());
+        assert!(wire.get("step_budget").is_none());
+        assert!(wire.get("deadline_ms").is_none());
     }
 }

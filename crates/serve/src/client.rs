@@ -48,12 +48,31 @@ pub struct Completed {
 impl Client {
     /// Connects to a serving daemon.
     ///
+    /// A refused connection is retried twice with a deterministic bounded
+    /// backoff (100 ms, then 200 ms): the common race is a daemon that is
+    /// still binding its listener — or restarting under a supervisor — and
+    /// `ConnectionRefused` is the one error that is both transient and
+    /// instantaneous, so retrying it cannot stack timeouts.  Every other
+    /// error (unreachable host, resolution failure) propagates at once.
+    ///
     /// # Errors
     /// Propagates connection errors.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
-        let writer = TcpStream::connect(addr)?;
-        let reader = BufReader::new(writer.try_clone()?);
-        Ok(Client { reader, writer })
+        let mut refused = None;
+        for attempt in 0..3u32 {
+            if attempt > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(100 << (attempt - 1)));
+            }
+            match TcpStream::connect(&addr) {
+                Ok(writer) => {
+                    let reader = BufReader::new(writer.try_clone()?);
+                    return Ok(Client { reader, writer });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::ConnectionRefused => refused = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(refused.expect("loop exits early unless every attempt was refused"))
     }
 
     fn send_line(&mut self, line: &str) -> Result<(), String> {

@@ -40,8 +40,8 @@ pub enum Request {
     /// (a plain file name inside the server's journal directory, no path
     /// separators) whose recorded results are reused instead of re-run.
     Submit {
-        /// The campaign to run.
-        spec: CampaignSpec,
+        /// The campaign to run (boxed: a spec dwarfs the control variants).
+        spec: Box<CampaignSpec>,
         /// Scheduling priority (higher first; default 0).
         priority: u32,
         /// Journal file name to resume from, if any.
@@ -90,7 +90,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 None => None,
             };
             Ok(Request::Submit {
-                spec,
+                spec: Box::new(spec),
                 priority,
                 resume,
             })

@@ -68,6 +68,17 @@ pub struct ServerConfig {
     /// Directory for per-request checkpoint journals (`None` disables
     /// persistence and `resume`).
     pub journal_dir: Option<PathBuf>,
+    /// Per-connection socket write timeout in milliseconds (`0` = never).
+    /// A client that stops reading mid-stream would otherwise block a
+    /// dispatcher inside a `job` line write forever; with the timeout the
+    /// write fails, the sink reports the client gone, and the campaign
+    /// finishes into its journal as usual.
+    pub write_timeout_ms: u64,
+    /// Reap a connection that has been idle longer than this many
+    /// milliseconds *and* has no queued or running submission of its own
+    /// (`0` = never reap).  Streaming clients are never reaped: a live
+    /// request keeps its connection alive however long the campaign runs.
+    pub idle_timeout_ms: u64,
     /// Log accepted requests and completions to stderr.
     pub verbose: bool,
 }
@@ -80,6 +91,8 @@ impl Default for ServerConfig {
             dispatchers: 1,
             job_threads: 0,
             journal_dir: None,
+            write_timeout_ms: 30_000,
+            idle_timeout_ms: 0,
             verbose: false,
         }
     }
@@ -175,6 +188,8 @@ struct Shared {
     shutdown: AtomicBool,
     job_threads: usize,
     journal_dir: Option<PathBuf>,
+    write_timeout_ms: u64,
+    idle_timeout_ms: u64,
     verbose: bool,
 }
 
@@ -236,6 +251,8 @@ impl Server {
             shutdown: AtomicBool::new(false),
             job_threads: config.job_threads,
             journal_dir: config.journal_dir.clone(),
+            write_timeout_ms: config.write_timeout_ms,
+            idle_timeout_ms: config.idle_timeout_ms,
             verbose: config.verbose,
         });
 
@@ -338,16 +355,31 @@ enum LineRead {
     /// The line exceeded [`MAX_LINE_BYTES`]; the stream cannot be
     /// resynchronised.
     Oversized,
+    /// The socket's read timeout elapsed with no data.  Any partial line
+    /// stays in `buf`; call again to keep reading it.
+    Idle,
 }
 
 /// Reads one `\n`-terminated line into `buf`, never buffering more than
 /// [`MAX_LINE_BYTES`] + one chunk.  An unterminated final line before EOF
 /// is returned as a line (clients that close without a trailing newline
-/// still get their last request served).
+/// still get their last request served).  The caller clears `buf` between
+/// lines — not this function — so an [`LineRead::Idle`] wakeup never drops
+/// the bytes of a line still in flight.
 fn read_line_bounded<R: BufRead>(reader: &mut R, buf: &mut Vec<u8>) -> std::io::Result<LineRead> {
-    buf.clear();
     loop {
-        let chunk = reader.fill_buf()?;
+        let chunk = match reader.fill_buf() {
+            Ok(chunk) => chunk,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Ok(LineRead::Idle)
+            }
+            Err(e) => return Err(e),
+        };
         if chunk.is_empty() {
             return Ok(if buf.is_empty() {
                 LineRead::Eof
@@ -377,7 +409,31 @@ fn read_line_bounded<R: BufRead>(reader: &mut R, buf: &mut Vec<u8>) -> std::io::
     }
 }
 
+/// `true` while any of this connection's submissions is queued or running
+/// — such a connection is *streaming*, not idle, and must not be reaped.
+fn has_live_submission(shared: &Shared, submitted: &[u64]) -> bool {
+    let registry = shared.registry();
+    submitted.iter().any(|id| {
+        registry.get(id).is_some_and(|entry| {
+            matches!(entry.state(), RequestState::Queued | RequestState::Running)
+        })
+    })
+}
+
 fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    // Socket-level hardening.  The write timeout bounds how long a
+    // dispatcher can be held by a client that stopped reading; the read
+    // timeout doubles as the idle-reap poll tick (a timed-out read is the
+    // only moment this thread can notice it has been abandoned).
+    if shared.write_timeout_ms > 0 {
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(shared.write_timeout_ms)));
+    }
+    let idle_timeout =
+        (shared.idle_timeout_ms > 0).then(|| Duration::from_millis(shared.idle_timeout_ms));
+    if let Some(idle) = idle_timeout {
+        let tick = (idle / 4).clamp(Duration::from_millis(10), Duration::from_millis(1000));
+        let _ = stream.set_read_timeout(Some(tick));
+    }
     let reader_stream = match stream.try_clone() {
         Ok(clone) => clone,
         Err(_) => return,
@@ -385,8 +441,29 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
     let sink = Sink::new(stream);
     let mut reader = BufReader::new(reader_stream);
     let mut buf = Vec::new();
+    let mut submitted: Vec<u64> = Vec::new();
+    let mut last_activity = std::time::Instant::now();
     loop {
-        match read_line_bounded(&mut reader, &mut buf) {
+        buf.clear();
+        let outcome = loop {
+            match read_line_bounded(&mut reader, &mut buf) {
+                Ok(LineRead::Idle) => {
+                    let Some(idle) = idle_timeout else { continue };
+                    if has_live_submission(shared, &submitted) {
+                        last_activity = std::time::Instant::now();
+                    } else if last_activity.elapsed() >= idle {
+                        shared.log(format_args!(
+                            "reaping connection idle for {} ms",
+                            last_activity.elapsed().as_millis()
+                        ));
+                        sink.close();
+                        return;
+                    }
+                }
+                other => break other,
+            }
+        };
+        match outcome {
             Ok(LineRead::Eof) | Err(_) => return,
             Ok(LineRead::Oversized) => {
                 sink.send(&error_response(
@@ -397,7 +474,9 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
                 return;
             }
             Ok(LineRead::Line) => {}
+            Ok(LineRead::Idle) => unreachable!("Idle is consumed by the inner loop"),
         }
+        last_activity = std::time::Instant::now();
         let Ok(line) = std::str::from_utf8(&buf) else {
             sink.send(&error_response(None, "request line is not UTF-8"));
             continue;
@@ -413,7 +492,11 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
                 spec,
                 priority,
                 resume,
-            }) => handle_submit(shared, &sink, spec, priority, resume),
+            }) => {
+                if let Some(id) = handle_submit(shared, &sink, *spec, priority, resume) {
+                    submitted.push(id);
+                }
+            }
             Ok(Request::Status) => {
                 let entries: Vec<StatusEntry> = shared
                     .registry()
@@ -437,15 +520,20 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
     }
 }
 
+/// Admits one submission; returns the assigned id if the request was
+/// accepted (the connection tracks its ids for idle-reap exemption).
 fn handle_submit(
     shared: &Arc<Shared>,
     sink: &Sink,
     mut spec: CampaignSpec,
     priority: u32,
     resume: Option<String>,
-) {
+) -> Option<u64> {
     // Execution parameters are the server's business: worker threads come
-    // from the daemon's config, and stderr verbosity stays off.
+    // from the daemon's config, and stderr verbosity stays off.  Resource
+    // budgets, by contrast, are the *client's* choice and ride through —
+    // an exhausted budget becomes a structured `budget_*` error record in
+    // the streamed report, never a dead dispatcher.
     spec.threads = shared.job_threads;
     spec.verbose = false;
 
@@ -459,7 +547,7 @@ fn handle_submit(
                 None,
                 "server has no journal directory; resume is unavailable",
             ));
-            return;
+            return None;
         };
         let path = dir.join(name);
         let loaded = std::fs::read_to_string(&path)
@@ -469,7 +557,7 @@ fn handle_submit(
             Ok(partial) => prior = partial.jobs,
             Err(message) => {
                 sink.send(&error_response(None, &message));
-                return;
+                return None;
             }
         }
     }
@@ -499,7 +587,7 @@ fn handle_submit(
                     Some(id),
                     &format!("cannot create journal: {e}"),
                 ));
-                return;
+                return None;
             }
         }
     }
@@ -533,6 +621,7 @@ fn handle_submit(
                 jobs.len()
             ));
             gate.send(&ack_response(id, queue_len, entry.journal.as_deref()));
+            Some(id)
         }
         Err(full) => {
             // Rejected: withdraw the registration and drop the journal —
@@ -542,6 +631,7 @@ fn handle_submit(
                 let _ = std::fs::remove_file(dir.join(name));
             }
             gate.send(&error_response(Some(id), &full.to_string()));
+            None
         }
     }
 }

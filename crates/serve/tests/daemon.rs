@@ -5,7 +5,9 @@
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
-use ssr_engine::{policy_by_name, CampaignSpec, Granularity, NamedConfig, OrderPolicy, Suite};
+use ssr_engine::{
+    policy_by_name, CampaignSpec, Granularity, JobBudget, NamedConfig, OrderPolicy, Suite,
+};
 use ssr_serve::{Client, Server, ServerConfig};
 
 /// A fresh per-test journal directory under the system temp dir.
@@ -41,6 +43,7 @@ fn quick_spec() -> CampaignSpec {
         order: OrderPolicy::Interleaved,
         reorder: None,
         threads: 1,
+        budget: JobBudget::default(),
         verbose: false,
     }
 }
@@ -307,6 +310,79 @@ fn malformed_and_oversized_lines_get_errors_without_collateral_damage() {
     let done = connect(&server)
         .run(&quick_spec(), 0, None, |_| {})
         .expect("still serving");
+    assert!(!done.cancelled);
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_budget_exhausted_submission_leaves_the_daemon_serving() {
+    let (server, dir) = spawn("budget", |_| {});
+
+    // A starvation-level node budget rides the `ssr-serve/v1` submit
+    // object: every job exhausts, even after the degradation retry.
+    let mut starved = quick_spec();
+    starved.budget.node_budget = Some(64);
+    let mut client = connect(&server);
+    let done = client
+        .run(&starved, 0, None, |_| {})
+        .expect("an exhausted campaign still completes and streams");
+    assert!(!done.cancelled);
+    assert_eq!(done.report.jobs.len(), 3);
+    for job in &done.report.jobs {
+        assert!(
+            job.budget_limited(),
+            "expected a structured budget error, got {:?}",
+            job.error
+        );
+        assert!(
+            job.error
+                .as_deref()
+                .unwrap_or("")
+                .starts_with("budget_nodes"),
+            "{:?}",
+            job.error
+        );
+    }
+
+    // The same connection keeps being served afterwards...
+    let done = client
+        .run(&quick_spec(), 0, None, |_| {})
+        .expect("same connection still serving");
+    assert!(!done.cancelled);
+    // ...and a fresh unbudgeted submission is canonically identical to a
+    // direct run: exhaustion left no residue in the daemon's pool.
+    let done = connect(&server)
+        .run(&quick_spec(), 0, None, |_| {})
+        .expect("fresh connection serving");
+    assert_eq!(
+        done.report.canonical_json(),
+        quick_spec().run().canonical_json()
+    );
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn idle_connections_are_reaped_but_streaming_clients_are_not() {
+    let (server, dir) = spawn("idle-reap", |c| c.idle_timeout_ms = 150);
+
+    // A connection that submits nothing is closed by the server once the
+    // idle window lapses; the client observes EOF.
+    let mut idle = connect(&server);
+    let start = Instant::now();
+    assert!(idle.next_response().is_err(), "idle connection is reaped");
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "reaping is prompt"
+    );
+
+    // A connection with a live submission is exempt for as long as its
+    // campaign runs (~1s here, far past the 150ms idle window).
+    let mut busy = connect(&server);
+    let done = busy
+        .run(&slow_spec(), 0, None, |_| {})
+        .expect("a streaming client is never reaped mid-campaign");
     assert!(!done.cancelled);
     server.shutdown();
     std::fs::remove_dir_all(&dir).ok();

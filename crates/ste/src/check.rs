@@ -137,6 +137,9 @@ impl<'m> Ste<'m> {
         let netlist = self.model.netlist();
         let depth = assertion.depth();
 
+        // A job whose deadline already lapsed (e.g. on a later assertion
+        // of a long suite) gives up before elaborating anything new.
+        m.check_deadline();
         let a_seq = assertion.antecedent.defining_sequence(m, netlist, depth)?;
         let c_seq = assertion.consequent.defining_sequence(m, netlist, depth)?;
 
@@ -169,6 +172,10 @@ impl<'m> Ste<'m> {
             // resifts if the live set grew).
             let mut trajectory: Vec<SymState> = Vec::with_capacity(depth);
             for (t, drive) in a_seq.iter().enumerate() {
+                // Per-step deadline probe: tighter than the kernel's
+                // periodic in-recursion check, and at a point where the
+                // root frame makes unwinding safe.
+                m.check_deadline();
                 let state = if t == 0 {
                     sim.initial_state(m, drive)
                 } else {

@@ -9,7 +9,7 @@
 //!
 //! Run with `cargo run --release --example sleep_resume_verification -p ssr`.
 
-use ssr::engine::{CampaignSpec, Granularity, NamedConfig, Suite};
+use ssr::engine::{CampaignSpec, Granularity, JobBudget, NamedConfig, Suite};
 use ssr::properties::CoreHarness;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -39,6 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         order: ssr_engine::OrderPolicy::Interleaved,
         reorder: None,
         threads: 0, // one worker per CPU
+        budget: JobBudget::default(),
         verbose: false,
     };
     println!(

@@ -8,8 +8,10 @@
 
 use std::path::PathBuf;
 
-use ssr::engine::persist::{load_partial, plan_resume, Checkpoint};
-use ssr::engine::{CampaignReport, CampaignSpec, Granularity, NamedConfig, ReportDiff, Suite};
+use ssr::engine::persist::{load_partial, plan_resume, Checkpoint, Fault, FaultPlan};
+use ssr::engine::{
+    CampaignReport, CampaignSpec, Granularity, JobBudget, NamedConfig, ReportDiff, Suite,
+};
 
 fn spec(threads: usize) -> CampaignSpec {
     CampaignSpec {
@@ -23,6 +25,7 @@ fn spec(threads: usize) -> CampaignSpec {
         order: ssr_engine::OrderPolicy::Interleaved,
         reorder: None,
         threads,
+        budget: JobBudget::default(),
         verbose: false,
     }
 }
@@ -68,6 +71,86 @@ fn killed_campaign_resumes_to_a_byte_identical_report() {
     assert!(diff.added.is_empty() && diff.removed.is_empty());
 
     std::fs::remove_file(&path).ok();
+}
+
+/// A three-job campaign (one policy, all suites) — small enough that the
+/// kill-point sweeps below can afford one resume run per kill point.
+fn sweep_spec() -> CampaignSpec {
+    CampaignSpec {
+        policies: vec![ssr::engine::policy_by_name("none").expect("named")],
+        ..spec(1)
+    }
+}
+
+/// Satellite: truncate the journal at *every* line boundary and prove
+/// `--resume` reaches a byte-identical canonical report from each prefix —
+/// including the empty file (resume degenerates to a full re-run) and the
+/// header-only file (nothing reused, everything re-run).
+#[test]
+fn every_journal_line_prefix_resumes_to_a_byte_identical_report() {
+    let path = journal_path("prefix-sweep");
+    let checkpoint = Checkpoint::create(&path, "suite", 3, false).expect("journal creates");
+    let fresh = sweep_spec().run_with(&[], Some(&checkpoint), None);
+    assert_eq!(fresh.jobs.len(), 3, "1 policy x 3 suites");
+    drop(checkpoint);
+    let text = std::fs::read_to_string(&path).expect("journal readable");
+
+    let mut cuts = vec![0usize];
+    cuts.extend(text.match_indices('\n').map(|(i, _)| i + 1));
+    assert_eq!(cuts.len(), 5, "empty + header + three records");
+    for cut in cuts {
+        let prior = load_partial(&text[..cut])
+            .map(|p| p.jobs)
+            .unwrap_or_default();
+        let resumed = sweep_spec().run_with(&prior, None, None);
+        assert_eq!(
+            resumed.canonical_json(),
+            fresh.canonical_json(),
+            "cut at byte {cut}"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// Tentpole proof: inject every fault kind at every checkpoint append
+/// boundary.  The first life's campaign must complete all jobs regardless
+/// (checkpointing is best-effort), and a second life resuming from
+/// whatever bytes survived must converge on the byte-identical canonical
+/// report.
+#[test]
+fn resume_survives_a_fault_at_every_checkpoint_boundary() {
+    let fresh = sweep_spec().run_with(&[], None, None);
+    assert_eq!(fresh.jobs.len(), 3);
+
+    // Boundary 0 is the header append; 1..=3 are the three records.
+    for boundary in 0..=3usize {
+        for (tag, fault) in [
+            ("torn", Fault::Torn(40)),
+            ("short", Fault::Short(12)),
+            ("error", Fault::Error),
+        ] {
+            let plan = FaultPlan::kill_at(boundary, fault);
+            let path = journal_path(&format!("fault-{boundary}-{tag}"));
+            let report = match Checkpoint::create_with_faults(&path, "suite", 3, false, plan) {
+                Ok(cp) => sweep_spec().run_with(&[], Some(&cp), None),
+                // The header append itself faulted: the campaign runs
+                // un-checkpointed, exactly as the CLI would after warning.
+                Err(_) => sweep_spec().run_with(&[], None, None),
+            };
+            assert_eq!(report.jobs.len(), 3, "campaign completes despite {plan:?}");
+
+            // Second life: everything known comes from the surviving bytes.
+            let text = std::fs::read_to_string(&path).unwrap_or_default();
+            let prior = load_partial(&text).map(|p| p.jobs).unwrap_or_default();
+            let resumed = sweep_spec().run_with(&prior, None, None);
+            assert_eq!(
+                resumed.canonical_json(),
+                fresh.canonical_json(),
+                "resume diverged after {plan:?}"
+            );
+            std::fs::remove_file(&path).ok();
+        }
+    }
 }
 
 #[test]

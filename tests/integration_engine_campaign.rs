@@ -23,6 +23,7 @@ fn parallel_campaign_reproduces_the_papers_verdicts() {
         granularity: Granularity::Suite,
         order: ssr_engine::OrderPolicy::Interleaved,
         reorder: None,
+        budget: ssr_engine::JobBudget::default(),
         threads: 4,
         verbose: false,
     };
@@ -72,6 +73,7 @@ fn campaign_catches_the_unsafe_control_path_reset() {
         granularity: Granularity::Assertion,
         order: ssr_engine::OrderPolicy::Interleaved,
         reorder: None,
+        budget: ssr_engine::JobBudget::default(),
         threads: 2,
         verbose: false,
     }

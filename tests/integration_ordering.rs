@@ -23,6 +23,7 @@ fn spec(order: OrderPolicy, reorder: Option<MaintainSettings>) -> CampaignSpec {
         granularity: Granularity::Suite,
         order,
         reorder,
+        budget: ssr_engine::JobBudget::default(),
         threads: 1,
         verbose: false,
     }
@@ -39,6 +40,7 @@ fn ifr_spec(order: OrderPolicy) -> CampaignSpec {
         granularity: Granularity::Suite,
         order,
         reorder: None,
+        budget: ssr_engine::JobBudget::default(),
         threads: 1,
         verbose: false,
     }
