@@ -24,7 +24,9 @@ use std::time::Instant;
 
 use ssr_bdd::{Bdd, BddManager, BddVec, MaintainSettings, OrderPolicy};
 use ssr_engine::json::Json;
-use ssr_engine::{named_policies, CampaignSpec, Granularity, JobBudget, NamedConfig, Suite};
+use ssr_engine::{
+    named_policies, CampaignSpec, Granularity, JobBudget, NamedConfig, Partitioning, Suite,
+};
 
 /// Schema identifier written into every bench report.
 pub const SCHEMA: &str = "ssr-bench-report/v1";
@@ -40,6 +42,10 @@ pub struct BenchOptions {
     pub order: OrderPolicy,
     /// Kernel GC/sifting policy for the campaign (and serve) workloads.
     pub reorder: Option<MaintainSettings>,
+    /// STE partitioning strategy for the campaign (and serve) workloads.
+    /// The `campaign/ifr-paper-*` ablation pair ignores this and pins its
+    /// own strategy per workload.
+    pub partitioning: Partitioning,
     /// Serve closed loop: concurrent clients.
     pub serve_clients: usize,
     /// Serve closed loop: campaigns each client submits back-to-back.
@@ -51,6 +57,7 @@ impl Default for BenchOptions {
         BenchOptions {
             order: OrderPolicy::default(),
             reorder: None,
+            partitioning: Partitioning::default(),
             serve_clients: 4,
             serve_requests: 2,
         }
@@ -360,6 +367,7 @@ fn campaign_spec(granularity: Granularity, options: &BenchOptions) -> CampaignSp
         suites: Suite::ALL.to_vec(),
         granularity,
         order: options.order.clone(),
+        partitioning: options.partitioning,
         reorder: options.reorder,
         threads: 1,
         budget: JobBudget::default(),
@@ -377,6 +385,27 @@ fn acceptance_spec(options: &BenchOptions) -> CampaignSpec {
         suites: Suite::ALL.to_vec(),
         granularity: Granularity::Assertion,
         order: options.order.clone(),
+        partitioning: options.partitioning,
+        reorder: options.reorder,
+        threads: 1,
+        budget: JobBudget::default(),
+        verbose: false,
+    }
+}
+
+/// The partition-ablation workloads: the paper-sized core's IFR suite —
+/// the biggest-memory job in the workload registry — pinned to one
+/// partitioning strategy per workload, so a committed report carries the
+/// peak-live-node and wall-clock deltas between the monolithic and
+/// conjunctive (early-quantification) checkers.
+fn ifr_paper_spec(partitioning: Partitioning, options: &BenchOptions) -> CampaignSpec {
+    CampaignSpec {
+        configs: vec![NamedConfig::paper()],
+        policies: vec![ssr_engine::policy_by_name("architectural").expect("named policy")],
+        suites: vec![Suite::Ifr],
+        granularity: Granularity::Suite,
+        order: options.order.clone(),
+        partitioning,
         reorder: options.reorder,
         threads: 1,
         budget: JobBudget::default(),
@@ -525,6 +554,56 @@ pub fn workloads(options: &BenchOptions) -> Vec<Workload> {
         },
     });
 
+    out.push(Workload {
+        name: "kernel/relational-product",
+        kind: WorkloadKind::Kernel,
+        run: {
+            let mut m = BddManager::new();
+            Box::new(move || {
+                m.reset();
+                // A 16-bit partitioned transition relation: current vars at
+                // even indices, next vars at odd, one conjunct per next-state
+                // bit, image computed as one fused relational product.
+                let n = 16usize;
+                let mut xs = Vec::with_capacity(n);
+                let mut ys = Vec::with_capacity(n);
+                for i in 0..n {
+                    xs.push(m.new_var(format!("x{i}")));
+                    ys.push(m.new_var(format!("y{i}")));
+                }
+                let parts: Vec<Bdd> = (0..n)
+                    .map(|i| {
+                        let next = m.xor(xs[i], xs[(i + 1) % n]);
+                        let forced = m.and(next, xs[(i + 3) % n]);
+                        m.xnor(ys[i], forced)
+                    })
+                    .collect();
+                let state = {
+                    let lo = m.not(xs[0]);
+                    m.and(lo, xs[n / 2])
+                };
+                let xvars: Vec<u32> = (0..n as u32).map(|i| 2 * i).collect();
+                let mut all = Vec::with_capacity(n + 1);
+                all.push(state);
+                all.extend(parts.iter().copied());
+                let image = m.exists_conjunction(&all, &xvars);
+                // The fused schedule must agree with the textbook
+                // conjoin-then-quantify computation.
+                let mut conj = state;
+                for p in &parts {
+                    conj = m.and(conj, *p);
+                }
+                assert_eq!(image, m.exists(conj, &xvars));
+                let s = m.stats();
+                let mut metrics = kernel_metrics(&m);
+                metrics.push(("fused_hit_rate".into(), s.fused_hit_rate()));
+                metrics.push(("partitions".into(), s.partitions_consumed as f64));
+                metrics.push(("partition_peak".into(), s.partition_peak_nodes as f64));
+                metrics
+            })
+        },
+    });
+
     // --- campaign workloads -----------------------------------------
 
     out.push(Workload {
@@ -564,6 +643,32 @@ pub fn workloads(options: &BenchOptions) -> Vec<Workload> {
         },
     });
 
+    out.push(Workload {
+        name: "campaign/ifr-paper-monolithic",
+        kind: WorkloadKind::Campaign,
+        run: {
+            let spec = ifr_paper_spec(Partitioning::Monolithic, options);
+            Box::new(move || {
+                let report = spec.run();
+                assert!(report.all_hold(), "the paper IFR suite must pass");
+                campaign_metrics(&report)
+            })
+        },
+    });
+
+    out.push(Workload {
+        name: "campaign/ifr-paper-conjunctive",
+        kind: WorkloadKind::Campaign,
+        run: {
+            let spec = ifr_paper_spec(Partitioning::Conjunctive, options);
+            Box::new(move || {
+                let report = spec.run();
+                assert!(report.all_hold(), "the paper IFR suite must pass");
+                campaign_metrics(&report)
+            })
+        },
+    });
+
     // --- serve closed loop ------------------------------------------
 
     out.push(Workload {
@@ -578,6 +683,7 @@ pub fn workloads(options: &BenchOptions) -> Vec<Workload> {
                 suites: Suite::ALL.to_vec(),
                 granularity: Granularity::Suite,
                 order: options.order.clone(),
+                partitioning: options.partitioning,
                 reorder: options.reorder,
                 threads: 1,
                 budget: JobBudget::default(),
@@ -762,13 +868,20 @@ mod tests {
     fn kernel_workloads_run_and_report() {
         let report = run_workloads(&["kernel".to_owned()], 1, 0, &BenchOptions::default())
             .expect("kernel workloads run");
-        assert_eq!(report.results.len(), 5);
+        assert_eq!(report.results.len(), 6);
         for r in &report.results {
             assert_eq!(r.kind, "kernel");
             assert!(r.median_ns > 0);
             assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
             assert!(r.metrics.contains_key("nodes"));
         }
+        let relprod = report
+            .results
+            .iter()
+            .find(|r| r.name == "kernel/relational-product")
+            .expect("the fused relational product is registered");
+        assert!(relprod.metrics["partitions"] >= 2.0);
+        assert!(relprod.metrics["partition_peak"] > 0.0);
     }
 
     #[test]

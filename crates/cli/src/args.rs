@@ -3,7 +3,8 @@
 
 use ssr_cpu::ControlPath;
 use ssr_engine::{
-    named_policies, policy_by_name, Granularity, NamedConfig, NamedPolicy, OrderPolicy, Suite,
+    named_policies, policy_by_name, Granularity, NamedConfig, NamedPolicy, OrderPolicy,
+    Partitioning, Suite,
 };
 
 /// The usage text shown on `ssr help` and on parse errors.
@@ -73,6 +74,19 @@ OPTIONS:
                                   Rudell sifting at the checker's safe
                                   points.  Changes node counts and peak
                                   memory, never verdicts.
+    --partitioning <monolithic|conjunctive|auto>
+                                  STE relation-frame strategy: monolithic
+                                  conjoins every consequent constraint into
+                                  one verdict BDD up front; conjunctive
+                                  keeps them as an ordered partition list,
+                                  streams the trajectory and combines them
+                                  cheapest-support-first with early
+                                  quantification (lower peak memory on
+                                  memory-heavy suites); auto picks
+                                  conjunctive for jobs with enough
+                                  constraints.  Part of the job identity;
+                                  changes telemetry, never verdicts.
+                                                              [default: auto]
     --max-growth <X>              Sifting growth cap (default 1.2): abort a
                                   variable's exploration once the live node
                                   count exceeds X times its starting size
@@ -171,8 +185,8 @@ SUBMIT OPTIONS (ssr submit):
                                   of submitting
     --shutdown                    Stop the daemon instead of submitting
     Campaign shape flags (--config/--policy/--suite/--granularity/--order/
-    --reorder/--max-growth) choose what to submit; --json/--quiet control
-    output like `ssr campaign`.
+    --partitioning/--reorder/--max-growth) choose what to submit;
+    --json/--quiet control output like `ssr campaign`.
 
 EXIT CODE:
     campaign/check: 0 if every checked assertion holds; 3 if the only
@@ -239,6 +253,8 @@ pub struct Command {
     pub order: OrderPolicy,
     /// Enable automatic GC + sifting (`--reorder`).
     pub reorder: bool,
+    /// STE partitioning strategy (`--partitioning`).
+    pub partitioning: Partitioning,
     /// Sifting growth cap (`--max-growth`).
     pub max_growth: f64,
     /// Where to write the JSON report (`-` = stdout).
@@ -382,6 +398,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     let mut granularity: Option<Granularity> = None;
     let mut order = OrderPolicy::Interleaved;
     let mut reorder = false;
+    let mut partitioning = Partitioning::default();
     let mut max_growth = 1.2f64;
     let mut control_path = ControlPath::RefreshingIfr;
     let mut json = None;
@@ -447,6 +464,12 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 })?;
             }
             "--reorder" => reorder = true,
+            "--partitioning" => {
+                let v = value("--partitioning")?;
+                partitioning = Partitioning::parse(&v).ok_or_else(|| {
+                    format!("unknown partitioning `{v}` (try monolithic, conjunctive or auto)")
+                })?;
+            }
             "--max-growth" => {
                 let v = value("--max-growth")?;
                 max_growth = v
@@ -638,6 +661,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         granularity,
         order,
         reorder,
+        partitioning,
         max_growth,
         json,
         quiet,
@@ -801,6 +825,25 @@ mod tests {
         assert!(parse(&argv(&["diff", "old.json"])).is_err());
         assert!(parse(&argv(&["diff", "a.json", "b.json", "c.json"])).is_err());
         assert!(parse(&argv(&["diff", "--frobnicate", "a", "b"])).is_err());
+    }
+
+    #[test]
+    fn partitioning_flag_parses_with_auto_default() {
+        let cmd = parse(&argv(&["campaign"])).expect("parses");
+        assert_eq!(cmd.partitioning, Partitioning::Auto);
+        let cmd = parse(&argv(&["campaign", "--partitioning", "conjunctive"])).expect("parses");
+        assert_eq!(cmd.partitioning, Partitioning::Conjunctive);
+        let cmd = parse(&argv(&[
+            "check",
+            "--suite",
+            "ifr",
+            "--partitioning",
+            "monolithic",
+        ]))
+        .expect("parses");
+        assert_eq!(cmd.partitioning, Partitioning::Monolithic);
+        assert!(parse(&argv(&["campaign", "--partitioning", "sideways"])).is_err());
+        assert!(parse(&argv(&["campaign", "--partitioning"])).is_err());
     }
 
     #[test]

@@ -24,7 +24,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use ssr_bdd::{BddError, BddManager, MaintainSettings, OrderPolicy};
-use ssr_properties::{CoreHarness, Suite};
+use ssr_properties::{CoreHarness, Partitioning, Suite};
 use ssr_ste::CheckReport;
 
 use crate::job::{
@@ -210,6 +210,12 @@ pub struct CampaignSpec {
     /// the job identity, so `--resume`/`ssr diff` never mix verdicts
     /// across orders.
     pub order: OrderPolicy,
+    /// Relation-partitioning strategy for the checker (monolithic eager
+    /// conjunction vs streamed conjunctive partitions with early
+    /// quantification; `auto` picks per assertion).  Part of the job
+    /// identity like `order`: verdicts are identical across strategies,
+    /// but resource telemetry is not, so resumed runs never mix records.
+    pub partitioning: Partitioning,
     /// Automatic GC + dynamic-reordering policy for the workers' managers
     /// (`None` keeps the historical never-free kernel behaviour).  An
     /// execution parameter like `threads`: it changes node counts and peak
@@ -237,6 +243,7 @@ impl CampaignSpec {
             suites: Suite::ALL.to_vec(),
             granularity: Granularity::Suite,
             order: OrderPolicy::Interleaved,
+            partitioning: Partitioning::default(),
             reorder: None,
             threads: 0,
             budget: JobBudget::default(),
@@ -252,6 +259,7 @@ impl CampaignSpec {
             &self.suites,
             self.granularity,
             &self.order,
+            self.partitioning,
         )
     }
 
@@ -592,7 +600,8 @@ fn panicked_job(spec: &JobSpec, payload: &(dyn std::any::Any + Send)) -> JobResu
 
 /// A result skeleton for `spec` with no assertions checked yet.
 fn empty_result(spec: &JobSpec) -> JobResult {
-    let (config_name, policy_name, suite, part, order) = crate::report::job_identity(spec);
+    let (config_name, policy_name, suite, part, order, partitioning) =
+        crate::report::job_identity(spec);
     JobResult {
         job_id: spec.id as u64,
         config_name,
@@ -600,6 +609,7 @@ fn empty_result(spec: &JobSpec) -> JobResult {
         suite,
         part,
         order,
+        partitioning,
         assertions: Vec::new(),
         holds: false,
         bdd_nodes: 0,
@@ -651,7 +661,7 @@ pub fn run_job_with(
         JobPart::Assertion(index) => vec![spec.suite.assertion(harness, m, index)],
     };
 
-    match harness.check_all(m, &assertions) {
+    match harness.check_all_with(m, &assertions, spec.partitioning) {
         Ok(reports) => {
             result.assertions = reports.iter().map(summarise_check).collect();
             result.holds = reports.iter().all(|r| r.holds);
@@ -714,6 +724,7 @@ mod tests {
             suites: vec![Suite::PropertyTwo],
             granularity,
             order: OrderPolicy::Interleaved,
+            partitioning: Partitioning::default(),
             reorder: None,
             threads,
             budget: JobBudget::default(),
@@ -783,6 +794,7 @@ mod tests {
             suites: vec![Suite::PropertyTwo],
             granularity: Granularity::Suite,
             order: OrderPolicy::Interleaved,
+            partitioning: Partitioning::default(),
             reorder: None,
             threads: 2,
             budget: JobBudget::default(),
@@ -1046,10 +1058,15 @@ mod tests {
     fn the_degradation_retry_recovers_jobs_the_raw_run_exhausts() {
         // Establish the job's ungoverned appetite first, then budget well
         // below it (the small PropertyTwo suite allocates ~100k nodes
-        // without GC but stays tiny when collected).
-        let unlimited = tiny_spec(1, Granularity::Suite).run();
+        // without GC but stays tiny when collected).  Pinned monolithic:
+        // the conjunctive path already forces GC, so the raw run would
+        // never over-allocate and the retry would have nothing to recover.
+        let mut unlimited_spec = tiny_spec(1, Granularity::Suite);
+        unlimited_spec.partitioning = Partitioning::Monolithic;
+        let unlimited = unlimited_spec.run();
         let appetite = unlimited.jobs[0].bdd_nodes;
         let mut spec = tiny_spec(1, Granularity::Suite);
+        spec.partitioning = Partitioning::Monolithic;
         spec.budget.node_budget = Some(appetite / 4);
         let governed = spec.run();
         let job = &governed.jobs[0];
@@ -1118,5 +1135,26 @@ mod tests {
         };
         let governed = spec.run();
         assert_eq!(free.canonical_json(), governed.canonical_json());
+    }
+
+    /// The partition-ablation gate: the same campaign under every
+    /// partitioning strategy yields byte-identical canonical reports —
+    /// verdicts, counterexample summaries and constraint counts agree;
+    /// the canonical artifact blanks the strategy field and zeroes the
+    /// kernel telemetry that legitimately differs.
+    #[test]
+    fn partitioning_modes_are_canonically_byte_identical() {
+        for granularity in [Granularity::Suite, Granularity::Assertion] {
+            let mut reference: Option<String> = None;
+            for mode in Partitioning::ALL {
+                let mut spec = tiny_spec(1, granularity);
+                spec.partitioning = mode;
+                let report = spec.run();
+                assert!(report.jobs.iter().any(|j| !j.holds), "none policy fails");
+                let canonical = report.canonical_json();
+                let reference = reference.get_or_insert_with(|| canonical.clone());
+                assert_eq!(*reference, canonical, "{} diverged", mode.name());
+            }
+        }
     }
 }

@@ -47,6 +47,7 @@
 //!     suites: vec![Suite::PropertyTwo],
 //!     granularity: Granularity::Suite,
 //!     order: ssr_engine::OrderPolicy::Interleaved,
+//!     partitioning: ssr_engine::Partitioning::Auto,
 //!     reorder: None,
 //!     threads: 2,
 //!     budget: ssr_engine::JobBudget::default(),
@@ -87,4 +88,4 @@ pub use spec::{spec_from_json, spec_to_json};
 // resource budgets without depending on `ssr-properties`/`ssr-bdd`
 // directly.
 pub use ssr_bdd::{BudgetKind, BudgetSettings, MaintainSettings, OrderPolicy};
-pub use ssr_properties::Suite;
+pub use ssr_properties::{Partitioning, Suite};

@@ -39,6 +39,9 @@ pub struct JobResult {
     /// Variable-order preset the job compiled under (part of the job
     /// identity; pre-ordering reports parse as `"interleaved"`).
     pub order: String,
+    /// Relation-partitioning strategy the checker ran under (part of the
+    /// job identity; pre-partitioning reports parse as `"auto"`).
+    pub partitioning: String,
     /// Per-assertion outcomes, in suite order.
     pub assertions: Vec<AssertionOutcome>,
     /// `true` if every assertion held.
@@ -93,6 +96,7 @@ impl JobResult {
             ("suite", Json::Str(self.suite.clone())),
             ("part", Json::Str(self.part.clone())),
             ("order", Json::Str(self.order.clone())),
+            ("partitioning", Json::Str(self.partitioning.clone())),
             (
                 "assertions",
                 Json::Arr(
@@ -206,6 +210,13 @@ impl JobResult {
                 .and_then(Json::as_str)
                 .unwrap_or("interleaved")
                 .to_owned(),
+            // Same leniency for the partitioning strategy (absent before
+            // the conjunctive-partitioning layer; `auto` is the default).
+            partitioning: v
+                .get("partitioning")
+                .and_then(Json::as_str)
+                .unwrap_or("auto")
+                .to_owned(),
             assertions,
             holds: v
                 .get("holds")
@@ -290,11 +301,15 @@ impl CampaignReport {
         }
     }
 
-    /// A copy of the report with every wall-clock field and the worker
-    /// count zeroed: the scheduling- and timing-independent content.  Two
-    /// runs of the same campaign — at any thread count, with or without
-    /// manager-pool reuse, fresh or resumed from a checkpoint — must
-    /// serialise this to byte-identical JSON.
+    /// A copy of the report with every wall-clock field, the worker count
+    /// and the kernel-arena telemetry zeroed, and the partitioning
+    /// strategy blanked: the scheduling-, timing- and strategy-independent
+    /// content.  Two runs of the same campaign — at any thread count, with
+    /// or without manager-pool reuse, fresh or resumed from a checkpoint,
+    /// under any [`Partitioning`](ssr_properties::Partitioning) strategy —
+    /// must serialise this to byte-identical JSON.  (Node counts and cache
+    /// telemetry are deterministic per strategy but legitimately differ
+    /// across strategies, exactly like timing across thread counts.)
     pub fn canonical(&self) -> CampaignReport {
         let mut report = self.clone();
         report.total_wall_ms = 0;
@@ -302,6 +317,13 @@ impl CampaignReport {
         for job in &mut report.jobs {
             job.wall_ms = 0;
             job.sift_ms = 0;
+            job.partitioning = String::new();
+            job.bdd_nodes = 0;
+            job.peak_live_nodes = 0;
+            job.gc_passes = 0;
+            job.reorder_passes = 0;
+            job.ite_hits = 0;
+            job.ite_misses = 0;
             for assertion in &mut job.assertions {
                 assertion.wall_ms = 0;
             }
@@ -540,16 +562,19 @@ impl CampaignReport {
 }
 
 /// Builds the table/JSON identity of a job from its spec (shared by the
-/// executor, the resume planner and the tests).  The order preset is part
-/// of the identity: a verdict computed under one variable order must never
-/// stand in for a job scheduled under another.
-pub fn job_identity(spec: &JobSpec) -> (String, String, String, String, String) {
+/// executor, the resume planner and the tests).  The order preset and the
+/// partitioning strategy are part of the identity: a record computed under
+/// one variable order or partitioning strategy must never stand in for a
+/// job scheduled under another (verdicts would match across strategies,
+/// but the telemetry would silently mix).
+pub fn job_identity(spec: &JobSpec) -> (String, String, String, String, String, String) {
     (
         spec.config_name.clone(),
         spec.policy_name.clone(),
         spec.suite.name().to_owned(),
         spec.part.render(),
         spec.order.name(),
+        spec.partitioning.name().to_owned(),
     )
 }
 
@@ -575,6 +600,7 @@ mod tests {
                     suite: "property-two".into(),
                     part: "suite".into(),
                     order: "interleaved".into(),
+                    partitioning: "auto".into(),
                     assertions: vec![
                         AssertionOutcome {
                             name: "survive_pc".into(),
@@ -612,6 +638,7 @@ mod tests {
                     suite: "ifr".into(),
                     part: "#1".into(),
                     order: "sequential".into(),
+                    partitioning: "conjunctive".into(),
                     assertions: vec![],
                     holds: false,
                     bdd_nodes: 0,
@@ -635,6 +662,38 @@ mod tests {
         let text = report.to_json();
         let parsed = CampaignReport::from_json(&text).expect("parses");
         assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn pre_partitioning_reports_parse_with_the_default_strategy() {
+        // Drop the `partitioning` key as a pre-PR artifact would lack it:
+        // the parser must default to `auto` (mirroring `order`'s leniency).
+        let mut text = sample_report().to_json();
+        text = text
+            .lines()
+            .filter(|l| !l.contains("\"partitioning\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let parsed = CampaignReport::from_json(&text).expect("parses");
+        assert!(parsed.jobs.iter().all(|j| j.partitioning == "auto"));
+    }
+
+    #[test]
+    fn canonical_blanks_strategy_and_kernel_telemetry() {
+        let mut a = sample_report();
+        let mut b = sample_report();
+        // Two runs that differ only in partitioning strategy and the
+        // telemetry it perturbs must be canonically byte-identical.
+        a.jobs[0].partitioning = "monolithic".into();
+        a.jobs[0].peak_live_nodes = 9999;
+        a.jobs[0].bdd_nodes = 12345;
+        b.jobs[0].partitioning = "conjunctive".into();
+        b.jobs[0].gc_passes = 7;
+        b.jobs[0].ite_hits = 1;
+        assert_eq!(a.canonical_json(), b.canonical_json());
+        // Verdict content still distinguishes real changes.
+        b.jobs[0].holds = true;
+        assert_ne!(a.canonical_json(), b.canonical_json());
     }
 
     #[test]

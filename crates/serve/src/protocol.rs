@@ -289,8 +289,8 @@ pub enum Response {
     Job {
         /// Request id the job belongs to.
         id: u64,
-        /// The finished job.
-        result: JobResult,
+        /// The finished job (boxed: a result dwarfs every other variant).
+        result: Box<JobResult>,
     },
     /// The terminating report of a request's stream.
     Report {
@@ -354,7 +354,9 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
         }),
         "job" => Ok(Response::Job {
             id: id("id").ok_or("job has no `id`")?,
-            result: JobResult::from_json(doc.get("result").ok_or("job has no `result`")?)?,
+            result: Box::new(JobResult::from_json(
+                doc.get("result").ok_or("job has no `result`")?,
+            )?),
         }),
         "report" => Ok(Response::Report {
             id: id("id").ok_or("report has no `id`")?,

@@ -2,12 +2,69 @@
 
 use std::time::{Duration, Instant};
 
-use ssr_bdd::{Assignment, Bdd, BddManager};
+use ssr_bdd::{Assignment, Bdd, BddManager, MaintainSettings};
+use ssr_netlist::NetId;
 use ssr_sim::{CompiledModel, SymSimulator, SymState};
-use ssr_ternary::Ternary;
+use ssr_ternary::{SymTernary, Ternary};
 
 use crate::error::SteError;
 use crate::formula::{Assertion, Formula};
+
+/// How the checker represents the verification condition while it is being
+/// built.
+///
+/// The monolithic strategy conjoins every point-wise `⊑` condition into one
+/// `ok` BDD as the trajectory unfolds, keeping the whole trajectory alive
+/// until the end of the check.  The conjunctive strategy instead keeps the
+/// conditions as an ordered partition list — implicitly conjoined relation
+/// frames — and streams the trajectory one state at a time, so the kernel
+/// can collect each state as soon as its successor is computed; the
+/// partitions are only combined at the end, cheapest support first, through
+/// the fused [`BddManager::and_exists`] relational product with a greedy
+/// early-quantification schedule.  Verdicts and counterexamples are
+/// identical either way (BDDs are canonical, and a `true` condition is the
+/// conjunction identity); only peak memory and wall-clock differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Partitioning {
+    /// Eagerly conjoin conditions and retain the full trajectory.
+    Monolithic,
+    /// Stream the trajectory and keep conditions as partition frames.
+    Conjunctive,
+    /// Per assertion: conjunctive when the consequent has at least
+    /// [`AUTO_PARTITION_THRESHOLD`] point-wise constraints, else monolithic.
+    #[default]
+    Auto,
+}
+
+impl Partitioning {
+    /// Every mode, in presentation order.
+    pub const ALL: [Partitioning; 3] = [
+        Partitioning::Monolithic,
+        Partitioning::Conjunctive,
+        Partitioning::Auto,
+    ];
+
+    /// Stable lower-case identifier (CLI flag value and report field).
+    pub fn name(self) -> &'static str {
+        match self {
+            Partitioning::Monolithic => "monolithic",
+            Partitioning::Conjunctive => "conjunctive",
+            Partitioning::Auto => "auto",
+        }
+    }
+
+    /// Parses [`Partitioning::name`] output.
+    pub fn parse(text: &str) -> Option<Partitioning> {
+        Partitioning::ALL.into_iter().find(|p| p.name() == text)
+    }
+}
+
+/// Consequent-constraint count at which [`Partitioning::Auto`] switches an
+/// assertion to the conjunctive strategy.  Below this the partition list is
+/// too short for early quantification to pay for its bookkeeping; at or
+/// above it (word-level datapath and memory assertions) the streamed
+/// trajectory dominates peak live nodes.
+pub const AUTO_PARTITION_THRESHOLD: usize = 8;
 
 /// One violated consequent constraint in a counterexample.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -133,6 +190,26 @@ impl<'m> Ste<'m> {
         m: &mut BddManager,
         assertion: &Assertion,
     ) -> Result<CheckReport, SteError> {
+        self.check_with(m, assertion, Partitioning::Monolithic)
+    }
+
+    /// Checks the assertion under an explicit [`Partitioning`] strategy.
+    ///
+    /// See [`Ste::check`] for the rooting and lifetime contract; the
+    /// conjunctive strategy additionally installs a GC-only maintenance
+    /// policy for its own duration when the caller has none, since the
+    /// streamed trajectory only saves memory if dead states are actually
+    /// collected.
+    ///
+    /// # Errors
+    /// Returns [`SteError::UnknownNode`] if either formula mentions a node
+    /// that does not exist in the model.
+    pub fn check_with(
+        &self,
+        m: &mut BddManager,
+        assertion: &Assertion,
+        partitioning: Partitioning,
+    ) -> Result<CheckReport, SteError> {
         let start = Instant::now();
         let netlist = self.model.netlist();
         let depth = assertion.depth();
@@ -142,6 +219,33 @@ impl<'m> Ste<'m> {
         m.check_deadline();
         let a_seq = assertion.antecedent.defining_sequence(m, netlist, depth)?;
         let c_seq = assertion.consequent.defining_sequence(m, netlist, depth)?;
+
+        let conjunctive = match partitioning {
+            Partitioning::Monolithic => false,
+            Partitioning::Conjunctive => true,
+            Partitioning::Auto => {
+                c_seq.iter().map(Vec::len).sum::<usize>() >= AUTO_PARTITION_THRESHOLD
+            }
+        };
+        if conjunctive {
+            self.check_conjunctive(m, assertion, &a_seq, &c_seq, start)
+        } else {
+            self.check_monolithic(m, assertion, &a_seq, &c_seq, start)
+        }
+    }
+
+    /// The eager strategy: simulate the full trajectory, then conjoin every
+    /// condition into one `ok` BDD.
+    fn check_monolithic(
+        &self,
+        m: &mut BddManager,
+        assertion: &Assertion,
+        a_seq: &[Vec<(NetId, SymTernary)>],
+        c_seq: &[Vec<(NetId, SymTernary)>],
+        start: Instant,
+    ) -> Result<CheckReport, SteError> {
+        let netlist = self.model.netlist();
+        let depth = assertion.depth();
 
         let maintaining = m.maintenance_enabled();
         if maintaining {
@@ -153,7 +257,7 @@ impl<'m> Ste<'m> {
             for guard in guards {
                 m.root(guard);
             }
-            for seq in [&a_seq, &c_seq] {
+            for seq in [a_seq, c_seq] {
                 for constraints in seq.iter() {
                     for &(_, value) in constraints {
                         m.root(value.hi());
@@ -165,7 +269,7 @@ impl<'m> Ste<'m> {
 
         let sim = SymSimulator::new(self.model);
         let trajectory = if !maintaining {
-            sim.run(m, &a_seq)
+            sim.run(m, a_seq)
         } else {
             // Step manually so every completed state can be rooted before
             // the kernel collects the step's dead intermediates (and
@@ -209,7 +313,7 @@ impl<'m> Ste<'m> {
         // The verification condition: ∀ t, n. [C] t n ⊑ [[A]] t n.
         let mut ok = Bdd::TRUE;
         let mut constraints_checked = 0usize;
-        let mut violated: Vec<(usize, ssr_netlist::NetId, ssr_ternary::SymTernary)> = Vec::new();
+        let mut violated: Vec<(usize, NetId, SymTernary)> = Vec::new();
         for (t, constraints) in c_seq.iter().enumerate() {
             for &(net, required) in constraints {
                 let actual = trajectory[t].node(net);
@@ -267,6 +371,154 @@ impl<'m> Ste<'m> {
         })
     }
 
+    /// The streaming strategy: keep only the newest trajectory state
+    /// protected, collect its predecessor each step, and gather the
+    /// point-wise conditions as an ordered partition list combined at the
+    /// end through [`BddManager::exists_conjunction`] (cheapest support
+    /// first, with per-partition peak-live-node telemetry).
+    fn check_conjunctive(
+        &self,
+        m: &mut BddManager,
+        assertion: &Assertion,
+        a_seq: &[Vec<(NetId, SymTernary)>],
+        c_seq: &[Vec<(NetId, SymTernary)>],
+        start: Instant,
+    ) -> Result<CheckReport, SteError> {
+        let netlist = self.model.netlist();
+        let depth = assertion.depth();
+        let state_bits = self.model.state_bits();
+
+        // Streaming only saves memory if dead states are actually
+        // collected, so force a GC-only policy when the caller installed
+        // none (sifting stays opt-in: it changes the variable order).
+        let saved = m.maintenance();
+        let forced = saved.is_none();
+        if forced {
+            m.set_maintenance(Some(MaintainSettings {
+                sift: false,
+                ..MaintainSettings::default()
+            }));
+        }
+
+        m.push_root_frame();
+        let mut guards = Vec::new();
+        assertion.collect_bdds(&mut guards);
+        for guard in guards {
+            m.root(guard);
+        }
+        for seq in [a_seq, c_seq] {
+            for constraints in seq.iter() {
+                for &(_, value) in constraints {
+                    m.root(value.hi());
+                    m.root(value.lo());
+                }
+            }
+        }
+
+        let sim = SymSimulator::new(self.model);
+        let mut conflict = Bdd::FALSE;
+        let mut parts: Vec<Bdd> = Vec::new();
+        let mut constraints_checked = 0usize;
+        // Unlike the monolithic path the trajectory is gone by verdict
+        // time, so each violation records the actual value it saw.
+        let mut violated: Vec<(usize, NetId, SymTernary, SymTernary)> = Vec::new();
+        let mut prev: Option<SymState> = None;
+        for (t, drive) in a_seq.iter().enumerate() {
+            m.check_deadline();
+            let state = match &prev {
+                None => sim.initial_state(m, drive),
+                Some(p) => sim.step(m, p, drive),
+            };
+            protect_state(m, &state, state_bits);
+            if let Some(p) = prev.take() {
+                release_state(m, &p, state_bits);
+            }
+            for &(net, _) in drive {
+                let top_here = state.node(net).is_top(m);
+                let next = m.or(conflict, top_here);
+                m.protect(next);
+                m.release(conflict);
+                conflict = next;
+            }
+            for &(net, required) in &c_seq[t] {
+                let actual = state.node(net);
+                let cond = required.leq(m, &actual);
+                constraints_checked += 1;
+                // A true condition is the conjunction identity — dropping
+                // it keeps `ok` (and therefore the verdict and the
+                // counterexample) identical to the monolithic fold.
+                if !cond.is_true() {
+                    m.protect(cond);
+                    m.protect(actual.hi());
+                    m.protect(actual.lo());
+                    parts.push(cond);
+                    violated.push((t, net, required, actual));
+                }
+            }
+            m.maintain();
+            prev = Some(state);
+        }
+        if let Some(p) = prev.take() {
+            release_state(m, &p, state_bits);
+        }
+
+        // Combine the partition frames.  The quantification set is empty —
+        // every symbolic variable must survive into `ok` for `one_sat` —
+        // so this degenerates to the cheapest-support-first conjunction
+        // schedule, still recording per-partition peaks.
+        let ok = m.exists_conjunction(&parts, &[]);
+
+        let holds = ok.is_true();
+        let counterexample = if holds {
+            None
+        } else {
+            let not_ok = m.not(ok);
+            m.one_sat(not_ok).map(|assignment| {
+                let mut failures = Vec::new();
+                for &(t, net, required, actual) in &violated {
+                    let expected = required.eval(m, &assignment).unwrap_or(Ternary::X);
+                    let actual = actual.eval(m, &assignment).unwrap_or(Ternary::X);
+                    if !expected.leq(actual) {
+                        failures.push(FailedNode {
+                            time: t,
+                            node: netlist.net(net).name.clone(),
+                            expected,
+                            actual,
+                        });
+                    }
+                }
+                Counterexample {
+                    assignment,
+                    failures,
+                }
+            })
+        };
+
+        for &(_, _, _, actual) in &violated {
+            m.release(actual.hi());
+            m.release(actual.lo());
+        }
+        for &part in &parts {
+            m.release(part);
+        }
+        m.release(conflict);
+        m.pop_root_frame();
+        if forced {
+            m.set_maintenance(saved);
+        }
+
+        Ok(CheckReport {
+            name: assertion.name.clone(),
+            holds,
+            ok,
+            antecedent_conflict: conflict,
+            counterexample,
+            depth,
+            constraints_checked,
+            duration: start.elapsed(),
+        })
+    }
+
     /// Checks a whole suite of assertions, returning one report per
     /// assertion in order.
     ///
@@ -282,8 +534,24 @@ impl<'m> Ste<'m> {
         m: &mut BddManager,
         assertions: &[Assertion],
     ) -> Result<Vec<CheckReport>, SteError> {
-        let maintaining = m.maintenance_enabled();
-        if maintaining {
+        self.check_all_with(m, assertions, Partitioning::Monolithic)
+    }
+
+    /// [`Ste::check_all`] under an explicit [`Partitioning`] strategy.
+    ///
+    /// # Errors
+    /// Fails fast on the first elaboration error.
+    pub fn check_all_with(
+        &self,
+        m: &mut BddManager,
+        assertions: &[Assertion],
+        partitioning: Partitioning,
+    ) -> Result<Vec<CheckReport>, SteError> {
+        // Any non-monolithic mode may collect mid-suite (the conjunctive
+        // path forces a GC policy of its own), so the later assertions'
+        // guards need rooting even when the caller installed no policy.
+        let rooting = m.maintenance_enabled() || partitioning != Partitioning::Monolithic;
+        if rooting {
             let mut guards = Vec::new();
             for assertion in assertions {
                 assertion.collect_bdds(&mut guards);
@@ -293,11 +561,41 @@ impl<'m> Ste<'m> {
                 m.root(guard);
             }
         }
-        let reports = assertions.iter().map(|a| self.check(m, a)).collect();
-        if maintaining {
+        let reports = assertions
+            .iter()
+            .map(|a| self.check_with(m, a, partitioning))
+            .collect();
+        if rooting {
             m.pop_root_frame();
         }
         reports
+    }
+}
+
+/// Protects a trajectory state's node and shadow-clock rails for the
+/// streaming checker (refcounts, so nesting with root frames is safe).
+fn protect_state(m: &mut BddManager, state: &SymState, state_bits: usize) {
+    for value in state.nodes() {
+        m.protect(value.hi());
+        m.protect(value.lo());
+    }
+    for index in 0..state_bits {
+        let shadow = state.shadow_clk(index);
+        m.protect(shadow.hi());
+        m.protect(shadow.lo());
+    }
+}
+
+/// Undoes [`protect_state`] once the successor state is protected.
+fn release_state(m: &mut BddManager, state: &SymState, state_bits: usize) {
+    for value in state.nodes() {
+        m.release(value.hi());
+        m.release(value.lo());
+    }
+    for index in 0..state_bits {
+        let shadow = state.shadow_clk(index);
+        m.release(shadow.hi());
+        m.release(shadow.lo());
     }
 }
 
@@ -479,6 +777,96 @@ mod tests {
     }
 
     #[test]
+    fn conjunctive_mode_matches_monolithic_verdicts() {
+        // A failing combinational spec: both strategies must produce the
+        // same `ok` BDD, verdict, conflict and counterexample (the `true`
+        // conditions the conjunctive path drops are conjunction
+        // identities).
+        let n = and_gate();
+        let model = CompiledModel::new(&n).expect("compiles");
+        let ste = Ste::new(&model);
+        let mut m = BddManager::new();
+        let va = m.new_var("va");
+        let vb = m.new_var("vb");
+        let a = Formula::is_bdd(&mut m, "a", va).and(Formula::is_bdd(&mut m, "b", vb));
+        let wrong = m.or(va, vb);
+        let c = Formula::is_bdd(&mut m, "out", wrong);
+        let assertion = Assertion::new(a, c);
+        let mono = ste
+            .check_with(&mut m, &assertion, Partitioning::Monolithic)
+            .expect("checks");
+        let conj = ste
+            .check_with(&mut m, &assertion, Partitioning::Conjunctive)
+            .expect("checks");
+        assert!(!conj.holds);
+        assert_eq!(mono.holds, conj.holds);
+        assert_eq!(mono.ok, conj.ok);
+        assert_eq!(mono.antecedent_conflict, conj.antecedent_conflict);
+        assert_eq!(mono.constraints_checked, conj.constraints_checked);
+        assert_eq!(mono.counterexample, conj.counterexample);
+    }
+
+    #[test]
+    fn conjunctive_mode_streams_sequential_trajectories() {
+        // The dff capture property exercises the streaming path across
+        // steps: the predecessor state is released each step and the
+        // verdict must match the monolithic reference.
+        let n = dff();
+        let model = CompiledModel::new(&n).expect("compiles");
+        let ste = Ste::new(&model);
+        let mut m = BddManager::new();
+        let v = m.new_var("v");
+        let clock = Formula::is0("clock")
+            .and(Formula::is1("clock").delay(1))
+            .and(Formula::is0("clock").delay(2));
+        let data = Formula::is_bdd(&mut m, "d", v).from_to(0, 2);
+        let a = clock.and(data);
+        let c = Formula::is_bdd(&mut m, "q", v).delay(2);
+        let assertion = Assertion::named("dff_capture", a, c);
+        let report = ste
+            .check_with(&mut m, &assertion, Partitioning::Conjunctive)
+            .expect("checks");
+        assert!(report.holds);
+        assert_eq!(report.depth, 3);
+
+        // Early claim fails identically under both strategies.
+        let clock2 = Formula::is0("clock")
+            .and(Formula::is1("clock").delay(1))
+            .and(Formula::is0("clock").delay(2));
+        let data2 = Formula::is_bdd(&mut m, "d", v).from_to(0, 2);
+        let early = Formula::is_bdd(&mut m, "q", v).delay(1);
+        let bad = Assertion::new(clock2.and(data2), early);
+        let mono = ste
+            .check_with(&mut m, &bad, Partitioning::Monolithic)
+            .expect("checks");
+        let conj = ste
+            .check_with(&mut m, &bad, Partitioning::Conjunctive)
+            .expect("checks");
+        assert!(!conj.holds);
+        assert_eq!(mono.ok, conj.ok);
+        assert_eq!(mono.counterexample, conj.counterexample);
+    }
+
+    #[test]
+    fn conjunctive_mode_restores_the_callers_maintenance_policy() {
+        let n = and_gate();
+        let model = CompiledModel::new(&n).expect("compiles");
+        let ste = Ste::new(&model);
+        let mut m = BddManager::new();
+        // No policy installed: the conjunctive path forces one for its own
+        // duration and must uninstall it afterwards.
+        let a = Formula::is0("a");
+        let c = Formula::is0("out");
+        let assertion = Assertion::new(a, c);
+        assert!(m.maintenance().is_none());
+        let report = ste
+            .check_with(&mut m, &assertion, Partitioning::Conjunctive)
+            .expect("checks");
+        assert!(report.holds);
+        assert!(m.maintenance().is_none(), "forced policy was uninstalled");
+    }
+
+    #[test]
     fn word_level_datapath_check() {
         // A 4-bit adder netlist: sum = a + b (mod 16).
         let mut b = NetlistBuilder::new("adder");
@@ -505,5 +893,75 @@ mod tests {
             .expect("checks");
         assert!(report.holds);
         assert_eq!(report.constraints_checked, 8);
+    }
+
+    #[test]
+    fn auto_partitioning_switches_at_the_constraint_threshold() {
+        // The 4-bit adder consequent carries exactly
+        // AUTO_PARTITION_THRESHOLD point-wise constraints, so `auto` takes
+        // the conjunctive path there — observable through the kernel's
+        // partition telemetry once a failing check leaves partitions
+        // behind — while a 1-constraint assertion stays monolithic.
+        let mut b = NetlistBuilder::new("adder");
+        let a_in = b.word_input("a", 4);
+        let b_in = b.word_input("b", 4);
+        let (sum, _carry) = b.word_add(&a_in, &b_in, None).expect("widths");
+        let named: Vec<_> = sum
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| b.buf(format!("sum[{i}]"), s))
+            .collect();
+        b.mark_word_output(&named);
+        let n = b.finish().expect("valid");
+        let model = CompiledModel::new(&n).expect("compiles");
+        let ste = Ste::new(&model);
+        let mut m = BddManager::new();
+        let (va, vb) = BddVec::new_interleaved_pair(&mut m, "va", "vb", 4);
+        let a_f = Formula::word_is(&mut m, "a", &va);
+        let b_f = Formula::word_is(&mut m, "b", &vb);
+        // Deliberately wrong: claim the sum ignores the carry chain.
+        let wrong = va.xor(&mut m, &vb).expect("widths");
+        let c = Formula::word_is(&mut m, "sum", &wrong);
+        let assertion = Assertion::named("adder_wrong", a_f.and(b_f), c);
+        let auto = ste
+            .check_with(&mut m, &assertion, Partitioning::Auto)
+            .expect("checks");
+        assert!(!auto.holds);
+        let consumed = m.stats().partitions_consumed;
+        assert!(consumed > 0, "auto took the conjunctive path");
+        let mono = ste
+            .check_with(&mut m, &assertion, Partitioning::Monolithic)
+            .expect("checks");
+        assert_eq!(mono.ok, auto.ok);
+        assert_eq!(mono.counterexample, auto.counterexample);
+        assert_eq!(
+            m.stats().partitions_consumed,
+            consumed,
+            "monolithic consumed no partitions"
+        );
+
+        // A single-constraint assertion under `auto` is monolithic too.
+        let gate = and_gate();
+        let gate_model = CompiledModel::new(&gate).expect("compiles");
+        let gate_ste = Ste::new(&gate_model);
+        let mut gm = BddManager::new();
+        let report = gate_ste
+            .check_with(
+                &mut gm,
+                &Assertion::new(Formula::is0("a"), Formula::is0("out")),
+                Partitioning::Auto,
+            )
+            .expect("checks");
+        assert!(report.holds);
+        assert_eq!(gm.stats().partitions_consumed, 0);
+    }
+
+    #[test]
+    fn partitioning_names_round_trip() {
+        for mode in Partitioning::ALL {
+            assert_eq!(Partitioning::parse(mode.name()), Some(mode));
+        }
+        assert_eq!(Partitioning::parse("bogus"), None);
+        assert_eq!(Partitioning::default(), Partitioning::Auto);
     }
 }

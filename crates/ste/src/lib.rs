@@ -73,6 +73,8 @@ pub mod indexing;
 pub mod infer;
 pub mod stimulus;
 
-pub use check::{CheckReport, Counterexample, FailedNode, Ste};
+pub use check::{
+    CheckReport, Counterexample, FailedNode, Partitioning, Ste, AUTO_PARTITION_THRESHOLD,
+};
 pub use error::SteError;
 pub use formula::{Assertion, Formula};

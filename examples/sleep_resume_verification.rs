@@ -37,6 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         suites: Suite::ALL.to_vec(),
         granularity: Granularity::Assertion,
         order: ssr_engine::OrderPolicy::Interleaved,
+        partitioning: ssr_engine::Partitioning::default(),
         reorder: None,
         threads: 0, // one worker per CPU
         budget: JobBudget::default(),

@@ -22,6 +22,7 @@ fn parallel_campaign_reproduces_the_papers_verdicts() {
         suites: Suite::ALL.to_vec(),
         granularity: Granularity::Suite,
         order: ssr_engine::OrderPolicy::Interleaved,
+        partitioning: ssr_engine::Partitioning::default(),
         reorder: None,
         budget: ssr_engine::JobBudget::default(),
         threads: 4,
@@ -72,6 +73,7 @@ fn campaign_catches_the_unsafe_control_path_reset() {
         suites: vec![Suite::PropertyTwo],
         granularity: Granularity::Assertion,
         order: ssr_engine::OrderPolicy::Interleaved,
+        partitioning: ssr_engine::Partitioning::default(),
         reorder: None,
         budget: ssr_engine::JobBudget::default(),
         threads: 2,

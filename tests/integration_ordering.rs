@@ -22,6 +22,7 @@ fn spec(order: OrderPolicy, reorder: Option<MaintainSettings>) -> CampaignSpec {
         suites: vec![Suite::PropertyTwo],
         granularity: Granularity::Suite,
         order,
+        partitioning: ssr_engine::Partitioning::default(),
         reorder,
         budget: ssr_engine::JobBudget::default(),
         threads: 1,
@@ -39,6 +40,7 @@ fn ifr_spec(order: OrderPolicy) -> CampaignSpec {
         suites: vec![Suite::Ifr],
         granularity: Granularity::Suite,
         order,
+        partitioning: ssr_engine::Partitioning::default(),
         reorder: None,
         budget: ssr_engine::JobBudget::default(),
         threads: 1,
