@@ -76,6 +76,7 @@ mod manager;
 mod node;
 pub mod order;
 pub mod reorder;
+pub mod store;
 pub mod vec;
 
 pub use error::{BddError, BudgetKind};
@@ -84,4 +85,5 @@ pub use manager::{Assignment, BddManager, BddStats, BudgetSettings};
 pub use node::Bdd;
 pub use order::OrderPolicy;
 pub use reorder::{MaintainSettings, SiftOutcome};
+pub use store::{StoreBlob, StoreError, KERNEL_FORMAT_VERSION};
 pub use vec::BddVec;

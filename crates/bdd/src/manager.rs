@@ -528,6 +528,24 @@ impl BddManager {
             .collect()
     }
 
+    /// Lookup-or-declare: the positive literal of the variable named
+    /// `name`, declaring it fresh (appended at the bottom of the order)
+    /// only when no variable of that name exists yet.
+    ///
+    /// Model and property builders declare through this instead of
+    /// [`BddManager::new_var`] so that an arena warm-started from a
+    /// persisted function image (see [`crate::store`]) rediscovers the
+    /// preloaded variables — and through them the preloaded node sharing —
+    /// instead of shadowing them with duplicate fresh variables.  On a
+    /// cold (empty) arena the two are identical.
+    pub fn declare(&mut self, name: impl Into<String>) -> Bdd {
+        let name = name.into();
+        match self.var_by_name(&name) {
+            Some(var) => self.literal(var),
+            None => self.new_var(name),
+        }
+    }
+
     /// Number of declared variables.
     pub fn var_count(&self) -> usize {
         self.var_names.len()

@@ -139,7 +139,7 @@ impl OrderPolicy {
                 for (k, names) in operands.iter().enumerate() {
                     for (i, slot) in slots[k].iter_mut().enumerate() {
                         if slot.is_none() && *name == names[i] {
-                            *slot = Some(m.new_var(name.clone()));
+                            *slot = Some(m.declare(name.clone()));
                         }
                     }
                 }
@@ -155,7 +155,7 @@ impl OrderPolicy {
         for i in indices {
             for (k, names) in operands.iter().enumerate() {
                 if let Some(slot @ None) = slots[k].get_mut(i) {
-                    *slot = Some(m.new_var(names[i].clone()));
+                    *slot = Some(m.declare(names[i].clone()));
                 }
             }
         }

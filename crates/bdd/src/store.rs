@@ -1,0 +1,517 @@
+//! Persistent function store: a level-ordered, dddmp-style node dump.
+//!
+//! [`BddManager::dump_functions`] serialises a set of root functions into a
+//! self-describing text blob ([`StoreBlob`], format `ssr-store/v1`), and
+//! [`BddManager::load_functions`] reconstructs equivalent handles under the
+//! *current* unique table — the loader goes through [`BddManager::ite`], so
+//! the result is canonical under whatever variable order the receiving
+//! manager happens to have, not just the order the blob was dumped under.
+//!
+//! ## `ssr-store/v1` format
+//!
+//! Line-oriented UTF-8 text:
+//!
+//! ```text
+//! ssr-store/v1            header magic
+//! kernel <u32>            kernel node-format version (KERNEL_FORMAT_VERSION)
+//! vars <N>                declared-variable count
+//! <name>                  N variable names, one per line, in LEVEL order
+//! nodes <M>               reachable non-terminal node count
+//! <level> <lo> <hi>       M node lines, children before parents
+//! roots <R>
+//! <ref>                   R root references, one per line
+//! checksum <hex16>        FNV-1a 64 over every preceding byte
+//! ```
+//!
+//! Node and root references: `0` is the FALSE terminal, `1` is TRUE, and
+//! `2 + k` is the `k`-th node line.  Because variables are dumped in level
+//! order, a node line's `<level>` doubles as an index into the name list;
+//! the level map and named order therefore round-trip exactly.
+//!
+//! Compatibility rules: the magic line and `kernel` version must match what
+//! the running kernel expects ([`KERNEL_FORMAT_VERSION`]); the checksum must
+//! match the payload.  Any mismatch is a typed [`StoreError`] — callers
+//! (the engine's content-addressed store) treat every variant as a cache
+//! miss and fall back to a cold build, never a wrong verdict.
+
+use std::fmt;
+
+use crate::manager::BddManager;
+use crate::node::Bdd;
+
+/// Version of the kernel's node-dump format inside an `ssr-store/v1` blob.
+/// Bump whenever the dump's meaning changes; loaders reject other versions.
+pub const KERNEL_FORMAT_VERSION: u32 = 1;
+
+/// The `ssr-store/v1` magic header line.
+pub const STORE_MAGIC: &str = "ssr-store/v1";
+
+/// A serialised set of BDD functions (see the module docs for the format).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreBlob {
+    text: String,
+}
+
+impl StoreBlob {
+    /// Wraps raw blob text (e.g. read back from disk).  No validation is
+    /// done here; [`BddManager::load_functions`] performs all checks.
+    pub fn from_text(text: String) -> StoreBlob {
+        StoreBlob { text }
+    }
+
+    /// The blob's textual payload.
+    pub fn as_str(&self) -> &str {
+        &self.text
+    }
+
+    /// Consumes the blob, returning the payload for writing out.
+    pub fn into_string(self) -> String {
+        self.text
+    }
+
+    /// Size of the serialised payload in bytes.
+    pub fn len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// Whether the payload is empty (never true for a dumped blob).
+    pub fn is_empty(&self) -> bool {
+        self.text.is_empty()
+    }
+}
+
+impl fmt::Display for StoreBlob {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Why a blob failed to load.  Every variant is recoverable by rebuilding
+/// from scratch; none can corrupt the receiving manager (the loader only
+/// allocates through the ordinary hash-consing path).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The magic line is not `ssr-store/v1`.
+    BadHeader(String),
+    /// The blob was dumped by a different kernel node-format version.
+    VersionMismatch {
+        /// Version recorded in the blob.
+        found: u32,
+        /// Version this kernel reads and writes.
+        expected: u32,
+    },
+    /// The payload does not hash to the recorded checksum.
+    ChecksumMismatch {
+        /// Checksum recorded in the blob.
+        found: u64,
+        /// Checksum of the payload as read.
+        computed: u64,
+    },
+    /// The blob is structurally malformed (truncated, bad counts, or a
+    /// reference to a node that does not exist).
+    Corrupt(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::BadHeader(line) => write!(f, "bad store header: {line:?}"),
+            StoreError::VersionMismatch { found, expected } => write!(
+                f,
+                "kernel store format version {found} (this kernel reads {expected})"
+            ),
+            StoreError::ChecksumMismatch { found, computed } => write!(
+                f,
+                "checksum mismatch: recorded {found:016x}, payload hashes to {computed:016x}"
+            ),
+            StoreError::Corrupt(what) => write!(f, "corrupt store blob: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// FNV-1a 64-bit over a byte slice: the blob checksum.  Chosen over the
+/// kernel's FxHash because FNV's one-byte-at-a-time definition is trivially
+/// stable across releases — the checksum is part of the on-disk format.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+impl BddManager {
+    /// Serialises `roots` (with full sharing) into an `ssr-store/v1` blob.
+    ///
+    /// All declared variables are dumped in level order, so the blob also
+    /// round-trips the manager's current order and level map; nodes are
+    /// emitted children-before-parents so the loader is a single forward
+    /// pass.  The dump is deterministic: same manager state and same
+    /// `roots` slice produce byte-identical blobs.
+    pub fn dump_functions(&self, roots: &[Bdd]) -> StoreBlob {
+        // Iterative post-order DFS: children land before parents.  The
+        // visit order (roots in slice order, lo before hi) is fixed, so the
+        // node numbering is deterministic.
+        let mut order: Vec<Bdd> = Vec::new();
+        let mut seen = crate::hash::FxHashSet::default();
+        for &root in roots {
+            if root.is_terminal() || seen.contains(&root) {
+                continue;
+            }
+            let mut stack: Vec<(Bdd, bool)> = vec![(root, false)];
+            while let Some((f, expanded)) = stack.pop() {
+                if f.is_terminal() {
+                    continue;
+                }
+                if expanded {
+                    order.push(f);
+                    continue;
+                }
+                if !seen.insert(f) {
+                    continue;
+                }
+                stack.push((f, true));
+                stack.push((self.hi(f), false));
+                stack.push((self.lo(f), false));
+            }
+        }
+
+        let mut index = crate::hash::FxHashMap::default();
+        for (k, &f) in order.iter().enumerate() {
+            index.insert(f, 2 + k as u32);
+        }
+        let refer = |f: Bdd| -> u32 {
+            match f {
+                Bdd::FALSE => 0,
+                Bdd::TRUE => 1,
+                other => index[&other],
+            }
+        };
+
+        let mut text = String::new();
+        text.push_str(STORE_MAGIC);
+        text.push('\n');
+        text.push_str(&format!("kernel {KERNEL_FORMAT_VERSION}\n"));
+        text.push_str(&format!("vars {}\n", self.var_count()));
+        for level in 0..self.var_count() {
+            let var = self.level_to_var[level];
+            let name = self.var_name(var).expect("declared variables are named");
+            text.push_str(name);
+            text.push('\n');
+        }
+        text.push_str(&format!("nodes {}\n", order.len()));
+        for &f in &order {
+            let var = self.var_of(f).expect("non-terminal");
+            let level = self.level_of_var(var);
+            text.push_str(&format!(
+                "{level} {} {}\n",
+                refer(self.lo(f)),
+                refer(self.hi(f))
+            ));
+        }
+        text.push_str(&format!("roots {}\n", roots.len()));
+        for &root in roots {
+            text.push_str(&format!("{}\n", refer(root)));
+        }
+        let checksum = fnv1a64(text.as_bytes());
+        text.push_str(&format!("checksum {checksum:016x}\n"));
+        StoreBlob { text }
+    }
+
+    /// Reconstructs the functions of a dumped blob under this manager's
+    /// current unique table, returning handles in the dumped root order.
+    ///
+    /// Variables are resolved by *name*: a dumped name that already exists
+    /// here keeps its handle, an unknown one is declared fresh (appended at
+    /// the bottom of the current order).  Reconstruction goes through
+    /// [`BddManager::ite`], so the loaded functions are canonical under the
+    /// *current* order even when it differs from the dump's — loading is
+    /// then a real rebuild rather than a memcpy, but still much cheaper
+    /// than re-deriving the functions from a netlist.
+    ///
+    /// On any error the manager is left valid (possibly with some extra
+    /// variables declared and garbage nodes that the next `gc()` reclaims).
+    pub fn load_functions(&mut self, blob: &StoreBlob) -> Result<Vec<Bdd>, StoreError> {
+        let text = blob.as_str();
+
+        // Split off and verify the checksum trailer first: a truncated or
+        // bit-flipped blob must fail closed before any allocation happens.
+        let body = text.strip_suffix('\n').unwrap_or(text);
+        let trailer_at = body
+            .rfind('\n')
+            .map(|i| i + 1)
+            .ok_or_else(|| StoreError::Corrupt("missing checksum trailer".into()))?;
+        let trailer = &body[trailer_at..];
+        let found = trailer
+            .strip_prefix("checksum ")
+            .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+            .ok_or_else(|| StoreError::Corrupt(format!("bad checksum trailer {trailer:?}")))?;
+        let payload = &text[..trailer_at];
+        let computed = fnv1a64(payload.as_bytes());
+        if found != computed {
+            return Err(StoreError::ChecksumMismatch { found, computed });
+        }
+
+        let mut lines = payload.lines();
+        let magic = lines
+            .next()
+            .ok_or_else(|| StoreError::Corrupt("empty blob".into()))?;
+        if magic != STORE_MAGIC {
+            return Err(StoreError::BadHeader(magic.to_owned()));
+        }
+        let version = parse_counted(lines.next(), "kernel")?;
+        if version != KERNEL_FORMAT_VERSION {
+            return Err(StoreError::VersionMismatch {
+                found: version,
+                expected: KERNEL_FORMAT_VERSION,
+            });
+        }
+
+        let var_count = parse_counted(lines.next(), "vars")? as usize;
+        let mut blob_vars: Vec<u32> = Vec::with_capacity(var_count);
+        for _ in 0..var_count {
+            let name = lines
+                .next()
+                .ok_or_else(|| StoreError::Corrupt("truncated variable list".into()))?;
+            let var = match self.var_by_name(name) {
+                Some(var) => var,
+                None => {
+                    let lit = self.new_var(name);
+                    self.var_of(lit).expect("literals are non-terminal")
+                }
+            };
+            blob_vars.push(var);
+        }
+
+        let node_count = parse_counted(lines.next(), "nodes")? as usize;
+        let mut handles: Vec<Bdd> = Vec::with_capacity(2 + node_count);
+        handles.push(Bdd::FALSE);
+        handles.push(Bdd::TRUE);
+        for _ in 0..node_count {
+            let line = lines
+                .next()
+                .ok_or_else(|| StoreError::Corrupt("truncated node list".into()))?;
+            let mut parts = line.split(' ');
+            let level = parse_u32(parts.next(), "node level")? as usize;
+            let lo_ref = parse_u32(parts.next(), "node lo")? as usize;
+            let hi_ref = parse_u32(parts.next(), "node hi")? as usize;
+            if parts.next().is_some() {
+                return Err(StoreError::Corrupt(format!("trailing tokens in {line:?}")));
+            }
+            let var = *blob_vars
+                .get(level)
+                .ok_or_else(|| StoreError::Corrupt(format!("node level {level} out of range")))?;
+            let lo = *handles.get(lo_ref).ok_or_else(|| {
+                StoreError::Corrupt(format!("forward/out-of-range node ref {lo_ref}"))
+            })?;
+            let hi = *handles.get(hi_ref).ok_or_else(|| {
+                StoreError::Corrupt(format!("forward/out-of-range node ref {hi_ref}"))
+            })?;
+            let lit = self.literal(var);
+            handles.push(self.ite(lit, hi, lo));
+        }
+
+        let root_count = parse_counted(lines.next(), "roots")? as usize;
+        let mut roots = Vec::with_capacity(root_count);
+        for _ in 0..root_count {
+            let line = lines
+                .next()
+                .ok_or_else(|| StoreError::Corrupt("truncated root list".into()))?;
+            let r = parse_u32(Some(line), "root ref")? as usize;
+            roots.push(
+                *handles
+                    .get(r)
+                    .ok_or_else(|| StoreError::Corrupt(format!("root ref {r} out of range")))?,
+            );
+        }
+        if lines.next().is_some() {
+            return Err(StoreError::Corrupt("trailing lines after roots".into()));
+        }
+        Ok(roots)
+    }
+}
+
+/// Parses a `<keyword> <u32>` header line.
+fn parse_counted(line: Option<&str>, keyword: &str) -> Result<u32, StoreError> {
+    let line = line.ok_or_else(|| StoreError::Corrupt(format!("missing {keyword} line")))?;
+    let rest = line
+        .strip_prefix(keyword)
+        .and_then(|r| r.strip_prefix(' '))
+        .ok_or_else(|| StoreError::Corrupt(format!("expected {keyword} line, got {line:?}")))?;
+    rest.parse::<u32>()
+        .map_err(|_| StoreError::Corrupt(format!("bad {keyword} count {rest:?}")))
+}
+
+/// Parses one whitespace token as a `u32`.
+fn parse_u32(token: Option<&str>, what: &str) -> Result<u32, StoreError> {
+    token
+        .ok_or_else(|| StoreError::Corrupt(format!("missing {what}")))?
+        .parse::<u32>()
+        .map_err(|_| StoreError::Corrupt(format!("bad {what}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::Assignment;
+
+    fn sample(m: &mut BddManager) -> Vec<Bdd> {
+        let a = m.new_var("a");
+        let b = m.new_var("b");
+        let c = m.new_var("c");
+        let ab = m.and(a, b);
+        let f = m.or(ab, c);
+        let g = m.xor(a, c);
+        vec![f, g, Bdd::TRUE, Bdd::FALSE]
+    }
+
+    #[test]
+    fn round_trip_same_manager_returns_identical_handles() {
+        let mut m = BddManager::new();
+        let roots = sample(&mut m);
+        let blob = m.dump_functions(&roots);
+        let loaded = m.load_functions(&blob).expect("clean blob");
+        // Same manager, same order: hash-consing must find the exact nodes.
+        assert_eq!(loaded, roots);
+    }
+
+    #[test]
+    fn round_trip_fresh_manager_preserves_order_and_semantics() {
+        let mut m = BddManager::new();
+        let roots = sample(&mut m);
+        let blob = m.dump_functions(&roots);
+
+        let mut fresh = BddManager::new();
+        let loaded = fresh.load_functions(&blob).expect("clean blob");
+        assert_eq!(loaded.len(), roots.len());
+        // Order and names round-trip: level k holds the same-named variable.
+        assert_eq!(fresh.var_count(), m.var_count());
+        for level in 0..m.var_count() as u32 {
+            let orig = m.var_name(m.level_to_var[level as usize]).unwrap();
+            let got = fresh.var_name(fresh.level_to_var[level as usize]).unwrap();
+            assert_eq!(orig, got);
+        }
+        // Semantics round-trip on every assignment of the three variables.
+        for bits in 0u32..8 {
+            let mut asg = Assignment::new();
+            for (i, name) in ["a", "b", "c"].iter().enumerate() {
+                let var = fresh.var_by_name(name).unwrap();
+                let orig_var = m.var_by_name(name).unwrap();
+                assert_eq!(var, orig_var);
+                asg.set(var, bits & (1 << i) != 0);
+            }
+            for (orig, new) in roots.iter().zip(&loaded) {
+                assert_eq!(m.eval(*orig, &asg), fresh.eval(*new, &asg));
+            }
+        }
+    }
+
+    #[test]
+    fn dump_is_deterministic() {
+        let mk = || {
+            let mut m = BddManager::new();
+            let roots = sample(&mut m);
+            m.dump_functions(&roots).into_string()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn version_mismatch_is_reported() {
+        let mut m = BddManager::new();
+        let roots = sample(&mut m);
+        let text = m.dump_functions(&roots).into_string();
+        let doctored = text.replace("kernel 1\n", "kernel 99\n");
+        // Re-seal so only the version check can object.
+        let body_end = doctored.rfind("checksum").unwrap();
+        let payload = &doctored[..body_end];
+        let resealed = format!("{payload}checksum {:016x}\n", fnv1a64(payload.as_bytes()));
+        let err = BddManager::new()
+            .load_functions(&StoreBlob::from_text(resealed))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            StoreError::VersionMismatch {
+                found: 99,
+                expected: KERNEL_FORMAT_VERSION
+            }
+        );
+    }
+
+    #[test]
+    fn flipped_byte_is_a_checksum_mismatch() {
+        let mut m = BddManager::new();
+        let roots = sample(&mut m);
+        let text = m.dump_functions(&roots).into_string();
+        // Flip one payload byte (a variable name character).
+        let flipped = text.replacen("a\n", "z\n", 1);
+        assert_ne!(flipped, text);
+        let err = BddManager::new()
+            .load_functions(&StoreBlob::from_text(flipped))
+            .unwrap_err();
+        assert!(matches!(err, StoreError::ChecksumMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn truncated_blob_is_corrupt() {
+        let mut m = BddManager::new();
+        let roots = sample(&mut m);
+        let text = m.dump_functions(&roots).into_string();
+        let cut = StoreBlob::from_text(text[..text.len() / 2].to_owned());
+        let err = BddManager::new().load_functions(&cut).unwrap_err();
+        // Either the trailer is gone entirely or what remains mis-hashes.
+        assert!(
+            matches!(
+                err,
+                StoreError::Corrupt(_) | StoreError::ChecksumMismatch { .. }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn bad_magic_is_reported() {
+        let payload = "ssr-store/v2\nkernel 1\nvars 0\nnodes 0\nroots 0\n";
+        let sealed = format!("{payload}checksum {:016x}\n", fnv1a64(payload.as_bytes()));
+        let err = BddManager::new()
+            .load_functions(&StoreBlob::from_text(sealed))
+            .unwrap_err();
+        assert_eq!(err, StoreError::BadHeader("ssr-store/v2".to_owned()));
+    }
+
+    #[test]
+    fn load_under_different_order_still_evaluates_identically() {
+        let mut m = BddManager::new();
+        let roots = sample(&mut m);
+        let blob = m.dump_functions(&roots);
+
+        // Declare the same variables in reverse, so every level differs.
+        let mut other = BddManager::new();
+        other.new_var("c");
+        other.new_var("b");
+        other.new_var("a");
+        let loaded = other.load_functions(&blob).expect("clean blob");
+        for bits in 0u32..8 {
+            let mut asg_m = Assignment::new();
+            let mut asg_o = Assignment::new();
+            for (i, name) in ["a", "b", "c"].iter().enumerate() {
+                asg_m.set(m.var_by_name(name).unwrap(), bits & (1 << i) != 0);
+                asg_o.set(other.var_by_name(name).unwrap(), bits & (1 << i) != 0);
+            }
+            for (orig, new) in roots.iter().zip(&loaded) {
+                assert_eq!(m.eval(*orig, &asg_m), other.eval(*new, &asg_o));
+            }
+        }
+    }
+
+    #[test]
+    fn terminal_only_dump_round_trips() {
+        let m = BddManager::new();
+        let blob = m.dump_functions(&[Bdd::TRUE, Bdd::FALSE]);
+        let loaded = BddManager::new().load_functions(&blob).expect("clean");
+        assert_eq!(loaded, vec![Bdd::TRUE, Bdd::FALSE]);
+    }
+}

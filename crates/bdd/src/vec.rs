@@ -29,10 +29,13 @@ impl BddVec {
         BddVec { bits }
     }
 
-    /// Declares `width` fresh input variables `prefix[0]..prefix[width-1]`.
+    /// Declares input variables `prefix[0]..prefix[width-1]`, reusing any
+    /// that a warm-started arena already carries (lookup-or-declare).
     pub fn new_input(manager: &mut BddManager, prefix: &str, width: usize) -> Self {
         BddVec {
-            bits: manager.new_vars(prefix, width),
+            bits: (0..width)
+                .map(|i| manager.declare(format!("{prefix}[{i}]")))
+                .collect(),
         }
     }
 
@@ -48,8 +51,8 @@ impl BddVec {
         let mut a = Vec::with_capacity(width);
         let mut b = Vec::with_capacity(width);
         for i in 0..width {
-            a.push(manager.new_var(format!("{prefix_a}[{i}]")));
-            b.push(manager.new_var(format!("{prefix_b}[{i}]")));
+            a.push(manager.declare(format!("{prefix_a}[{i}]")));
+            b.push(manager.declare(format!("{prefix_b}[{i}]")));
         }
         (BddVec { bits: a }, BddVec { bits: b })
     }

@@ -2,10 +2,12 @@
 
 use std::process::ExitCode;
 
+use std::sync::Arc;
+
 use ssr_engine::persist::{load_partial, plan_resume, Checkpoint, PartialCampaign};
 use ssr_engine::{
     minimise_with_engine, CampaignReport, CampaignSpec, EngineOracle, Granularity, JobBudget,
-    JobResult, MaintainSettings, ReportDiff,
+    JobResult, MaintainSettings, ModelSource, ModelStore, ReportDiff, RunHooks, StoreBacked,
 };
 use ssr_netlist::stats::{stats, AreaModel};
 use ssr_properties::CoreHarness;
@@ -13,7 +15,7 @@ use ssr_retention::area::{render_table as render_savings, savings, LeakageModel}
 use ssr_retention::intent::RetentionIntent;
 use ssr_retention::selection::classify;
 
-use crate::args::{Action, Command, USAGE};
+use crate::args::{Action, Command, StoreVerb, USAGE};
 
 /// The kernel maintenance policy a command's `--reorder`/`--max-growth`
 /// flags select (`None` without `--reorder`).
@@ -39,6 +41,100 @@ pub fn run(cmd: Command) -> ExitCode {
         Action::Diff => diff(&cmd),
         Action::Serve => serve(&cmd),
         Action::Submit => submit(&cmd),
+        Action::Store => store_maintenance(&cmd),
+    }
+}
+
+/// Opens the persistent store a command's `--store-dir` names, unless
+/// `--no-store` vetoes it.  An unopenable store degrades to a cold run
+/// with a warning — warm starts are an optimisation, never a requirement.
+fn open_store(cmd: &Command) -> Option<Arc<ModelStore>> {
+    let dir = cmd.store_dir.as_ref()?;
+    if cmd.no_store {
+        return None;
+    }
+    match ModelStore::open(std::path::PathBuf::from(dir)) {
+        Ok(store) => Some(Arc::new(store)),
+        Err(e) => {
+            eprintln!("warning: store: cannot open {dir}: {e}; running cold");
+            None
+        }
+    }
+}
+
+/// `ssr store <ls|verify|gc>`: persistent-store maintenance.
+fn store_maintenance(cmd: &Command) -> ExitCode {
+    let dir = cmd.store_dir.as_ref().expect("parser enforced --store-dir");
+    let store = match ModelStore::open(std::path::PathBuf::from(dir)) {
+        Ok(store) => store,
+        Err(e) => {
+            eprintln!("error: cannot open store {dir}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match cmd.store_verb.expect("parser enforced a store operation") {
+        StoreVerb::Ls => match store.entries() {
+            Ok(entries) => {
+                let total: u64 = entries.iter().map(|e| e.bytes).sum();
+                for entry in &entries {
+                    println!("{:>12}  {}", entry.bytes, entry.file);
+                }
+                println!("{} entr(ies), {} byte(s) in {dir}", entries.len(), total);
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: cannot list {dir}: {e}");
+                ExitCode::from(2)
+            }
+        },
+        StoreVerb::Verify => match store.verify() {
+            Ok(outcomes) => {
+                let mut damaged = 0usize;
+                for (entry, outcome) in &outcomes {
+                    match outcome {
+                        Ok(()) => println!("ok       {}", entry.file),
+                        Err(e) => {
+                            damaged += 1;
+                            println!("DAMAGED  {}: {e}", entry.file);
+                        }
+                    }
+                }
+                println!(
+                    "{} entr(ies) verified, {damaged} damaged (damaged entries fall \
+                     back to cold builds at run time)",
+                    outcomes.len(),
+                );
+                if damaged == 0 {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::from(1)
+                }
+            }
+            Err(e) => {
+                eprintln!("error: cannot verify {dir}: {e}");
+                ExitCode::from(2)
+            }
+        },
+        StoreVerb::Gc => {
+            let max_bytes = cmd.max_bytes.expect("parser enforced --max-bytes");
+            match store.gc(max_bytes) {
+                Ok(outcome) => {
+                    for entry in &outcome.evicted {
+                        println!("evicted  {:>12}  {}", entry.bytes, entry.file);
+                    }
+                    println!(
+                        "{} entr(ies) evicted, {} byte(s) kept (budget {max_bytes})",
+                        outcome.evicted.len(),
+                        outcome.kept_bytes,
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: cannot gc {dir}: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
     }
 }
 
@@ -101,6 +197,7 @@ fn serve(cmd: &Command) -> ExitCode {
         dispatchers: cmd.parallel,
         job_threads: cmd.jobs,
         journal_dir: cmd.journal_dir.as_ref().map(std::path::PathBuf::from),
+        store_dir: cmd.store_dir.as_ref().map(std::path::PathBuf::from),
         idle_timeout_ms: cmd.idle_timeout_ms,
         verbose: cmd.verbose,
         ..ServerConfig::default()
@@ -124,9 +221,12 @@ fn serve(cmd: &Command) -> ExitCode {
             "ssr serve: listening on {addr} ({} dispatcher(s), queue capacity {}{})",
             cmd.parallel,
             cmd.queue_capacity,
-            match &cmd.journal_dir {
-                Some(dir) => format!(", journals in {dir}"),
-                None => ", no persistence".to_owned(),
+            match (&cmd.journal_dir, &cmd.store_dir) {
+                (Some(journals), Some(store)) =>
+                    format!(", journals in {journals}, store in {store}"),
+                (Some(journals), None) => format!(", journals in {journals}"),
+                (None, Some(store)) => format!(", no persistence, store in {store}"),
+                (None, None) => ", no persistence".to_owned(),
             },
         );
     }
@@ -489,7 +589,25 @@ fn campaign(cmd: &Command) -> ExitCode {
         None => None,
     };
 
-    let report = spec.run_with(&prior, checkpoint.as_ref(), cmd.limit);
+    // Persistent store: campaigns materialise their models and per-job
+    // function images through it, so a repeat run warm-starts.
+    let store = open_store(cmd);
+    let source = store
+        .as_ref()
+        .map(|store| StoreBacked::new(Arc::clone(store)));
+    let hooks = RunHooks {
+        source: source.as_ref().map(|s| s as &dyn ModelSource),
+        ..RunHooks::default()
+    };
+    let report = spec.run_with_hooks(&prior, checkpoint.as_ref(), cmd.limit, hooks);
+    if let (Some(store), false) = (&store, cmd.quiet) {
+        println!(
+            "store: {} load hit(s), {} miss(es) in {}",
+            store.hits(),
+            store.misses(),
+            store.dir().display(),
+        );
+    }
     if report.jobs.len() < jobs.len() && !cmd.quiet {
         println!(
             "note: partial run — {} of {} job(s) completed{}",
@@ -771,6 +889,27 @@ fn core_stats(cmd: &Command) -> ExitCode {
                 violations.len()
             );
             kernel_stats(cmd, &harness, &config);
+        }
+    }
+    // Persistent-store census: how much warm-start material is on disk.
+    if let Some(store) = open_store(cmd) {
+        match store.entries() {
+            Ok(entries) => {
+                let total: u64 = entries.iter().map(|e| e.bytes).sum();
+                let models = entries.iter().filter(|e| e.file.ends_with(".nls")).count();
+                println!(
+                    "\npersistent store {}: {} entr(ies) ({} model(s), {} function image(s)), \
+                     {} byte(s); this process: {} load hit(s), {} miss(es)",
+                    store.dir().display(),
+                    entries.len(),
+                    models,
+                    entries.len() - models,
+                    total,
+                    store.hits(),
+                    store.misses(),
+                );
+            }
+            Err(e) => eprintln!("warning: store: cannot list {}: {e}", store.dir().display()),
         }
     }
     let pool = ssr_engine::ManagerPool::global().stats();

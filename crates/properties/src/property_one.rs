@@ -368,7 +368,7 @@ pub fn execute(harness: &CoreHarness, m: &mut BddManager) -> Vec<Assertion> {
 pub fn write_back(harness: &CoreHarness, m: &mut BddManager) -> Assertion {
     let mem_data = harness.order().word(m, "wb_mem", 32);
     let alu_data = harness.order().word(m, "wb_alu", 32);
-    let sel = m.new_var("wb_sel");
+    let sel = m.declare("wb_sel");
     let a = CoreHarness::nominal_controls(1)
         .and(Formula::is_bdd(m, "MemtoReg", sel))
         .and(Formula::word_is(m, "MemReadData", &mem_data))

@@ -89,10 +89,11 @@ impl SymTernary {
         }
     }
 
-    /// Declares a fresh symbolic Boolean variable `name` and returns the
-    /// node value that is `1` when the variable is true and `0` otherwise.
+    /// Declares (or, on a warm-started arena, reuses) the symbolic Boolean
+    /// variable `name` and returns the node value that is `1` when the
+    /// variable is true and `0` otherwise.
     pub fn symbol(m: &mut BddManager, name: impl Into<String>) -> SymTernary {
-        let v = m.new_var(name);
+        let v = m.declare(name);
         SymTernary::from_bdd(m, v)
     }
 
