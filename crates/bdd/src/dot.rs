@@ -8,11 +8,15 @@ use crate::{Bdd, BddManager};
 /// Renders the BDD rooted at `f` as a Graphviz `digraph` string.
 ///
 /// Solid edges are the high (`var = 1`) cofactors, dashed edges the low
-/// cofactors; terminals are drawn as boxes.  Nodes are ranked by their
-/// variable's *current level* (one `rank=same` group per level, the level
-/// shown in the label), so a diagram exported after dynamic reordering
-/// draws the order the manager actually uses — not the declaration-order
-/// artifact of the variable indices.
+/// cofactors; there is a single terminal box `1` (the constant FALSE is
+/// a complement edge to it).  Complement edges carry a dot-shaped
+/// arrowhead (`arrowhead=odot`) — by the kernel's canonical form only
+/// high edges and the root pointer can be complemented, so the low/dashed
+/// edges are always plain.  Nodes are ranked by their variable's *current
+/// level* (one `rank=same` group per level, the level shown in the
+/// label), so a diagram exported after dynamic reordering draws the order
+/// the manager actually uses — not the declaration-order artifact of the
+/// variable indices.
 ///
 /// ```
 /// use ssr_bdd::{dot, BddManager};
@@ -28,12 +32,20 @@ pub fn to_dot(manager: &BddManager, f: Bdd, name: &str) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "digraph \"{name}\" {{");
     let _ = writeln!(out, "  rankdir=TB;");
-    let _ = writeln!(out, "  n0 [label=\"0\", shape=box];");
-    let _ = writeln!(out, "  n1 [label=\"1\", shape=box];");
+    let _ = writeln!(out, "  n0 [label=\"1\", shape=box];");
+    // Entry pointer: carries the root's polarity so ¬f and f render as the
+    // same node graph with differently-marked entry edges.
+    let _ = writeln!(out, "  root [label=\"{name}\", shape=plaintext];");
+    let _ = writeln!(
+        out,
+        "  root -> n{}{};",
+        f.index(),
+        complement_attr(f.is_complement(), false)
+    );
 
     let mut seen: HashSet<Bdd> = HashSet::new();
     let mut ranks: BTreeMap<u32, Vec<Bdd>> = BTreeMap::new();
-    let mut stack = vec![f];
+    let mut stack = vec![f.regular()];
     while let Some(node) = stack.pop() {
         if node.is_terminal() || !seen.insert(node) {
             continue;
@@ -58,13 +70,20 @@ pub fn to_dot(manager: &BddManager, f: Bdd, name: &str) -> String {
         let hi = manager.hi(node);
         let _ = writeln!(
             out,
-            "  n{} -> n{} [style=dashed];",
+            "  n{} -> n{}{};",
             node.index(),
-            lo.index()
+            lo.index(),
+            complement_attr(lo.is_complement(), true)
         );
-        let _ = writeln!(out, "  n{} -> n{};", node.index(), hi.index());
-        stack.push(lo);
-        stack.push(hi);
+        let _ = writeln!(
+            out,
+            "  n{} -> n{}{};",
+            node.index(),
+            hi.index(),
+            complement_attr(hi.is_complement(), false)
+        );
+        stack.push(lo.regular());
+        stack.push(hi.regular());
     }
     // One rank group per level, emitted top level first so the file reads
     // in order even before Graphviz lays it out.
@@ -75,6 +94,16 @@ pub fn to_dot(manager: &BddManager, f: Bdd, name: &str) -> String {
     }
     let _ = writeln!(out, "}}");
     out
+}
+
+/// Edge attribute list for a (possibly complemented, possibly low) edge.
+fn complement_attr(complement: bool, low: bool) -> &'static str {
+    match (low, complement) {
+        (false, false) => "",
+        (false, true) => " [arrowhead=odot]",
+        (true, false) => " [style=dashed]",
+        (true, true) => " [style=dashed, arrowhead=odot]",
+    }
 }
 
 #[cfg(test)]
@@ -116,6 +145,27 @@ mod tests {
     fn dot_of_terminal() {
         let m = BddManager::new();
         let text = to_dot(&m, Bdd::TRUE, "true");
-        assert!(text.contains("n1 [label=\"1\""));
+        assert!(text.contains("n0 [label=\"1\""));
+        assert!(text.contains("root -> n0;"));
+        // FALSE is the complement edge to the same single terminal.
+        let text = to_dot(&m, Bdd::FALSE, "false");
+        assert!(text.contains("root -> n0 [arrowhead=odot];"));
+    }
+
+    #[test]
+    fn complement_edges_are_marked() {
+        let mut m = BddManager::new();
+        let a = m.new_var("a");
+        let b = m.new_var("b");
+        let f = m.and(a, b);
+        let text = to_dot(&m, f, "and");
+        // and(a, b) is stored complemented under the low-edge-regular
+        // canonical form, so at least one odot edge must appear and no
+        // dashed (low) edge may carry one.
+        assert!(text.contains("arrowhead=odot"), "{text}");
+        assert!(!text.contains("style=dashed, arrowhead=odot"), "{text}");
+        // Only the single terminal box exists.
+        assert!(text.contains("n0 [label=\"1\", shape=box]"));
+        assert!(!text.contains("label=\"0\""));
     }
 }

@@ -34,7 +34,13 @@
 //! ## Design notes
 //!
 //! * Nodes are stored in an arena owned by [`BddManager`]; a [`Bdd`] is a
-//!   plain index into that arena and is `Copy`.  By default nodes are never
+//!   `Copy` handle packing an arena index with a *complement bit*
+//!   (attributed edges, per Brace–Rudell–Bryant).  Negation is a one-bit
+//!   flip ([`Bdd::negate`]) and `f`/`¬f` share one arena subgraph; there
+//!   is a single terminal node (`TRUE`, arena index 0) with
+//!   `FALSE = ¬TRUE`.  Canonical form: a node's low edge is never
+//!   complemented — `mk_node` restores the invariant by flipping both
+//!   children and complementing the returned handle.  By default nodes are never
 //!   freed during a run; callers that opt in can register external roots
 //!   ([`BddManager::protect`] / scoped [`BddManager::push_root_frame`]
 //!   sets) and run mark-and-sweep [`BddManager::gc`], which rebuilds the
@@ -44,7 +50,10 @@
 //!   batch jobs.
 //! * The hot tables (unique table, ITE computed table, quantification and
 //!   scratch caches) use the hand-rolled [`hash::FxHasher`]; ITE triples are
-//!   normalised into a standard form before the cache probe, and the
+//!   normalised into a standard form before the cache probe (including the
+//!   complement-edge standard-triple rules: condition-polarity flip and
+//!   `ite(f,g,h) = ¬ite(f,¬g,¬h)` canonical output polarity, so
+//!   complementary triples share one cache line), and the
 //!   quantification cache is direct-mapped and bounded.  [`BddStats`]
 //!   surfaces hit/miss/normalisation counters for all of them, plus the
 //!   live/peak node counts and GC/reorder counters.
@@ -85,5 +94,8 @@ pub use manager::{Assignment, BddManager, BddStats, BudgetSettings};
 pub use node::Bdd;
 pub use order::OrderPolicy;
 pub use reorder::{MaintainSettings, SiftOutcome};
-pub use store::{StoreBlob, StoreError, KERNEL_FORMAT_VERSION};
+pub use store::{
+    StoreBlob, StoreError, KERNEL_FORMAT_VERSION, KERNEL_FORMAT_VERSION_V1, STORE_MAGIC,
+    STORE_MAGIC_V1,
+};
 pub use vec::BddVec;

@@ -353,16 +353,15 @@ impl Default for BddManager {
 }
 
 impl BddManager {
-    /// Creates an empty manager containing only the two terminal nodes.
+    /// Creates an empty manager containing only the terminal node.
     pub fn new() -> Self {
         Self::with_capacity(1 << 12)
     }
 
     /// Creates a manager pre-sizing the node arena for `capacity` nodes.
     pub fn with_capacity(capacity: usize) -> Self {
-        let mut nodes = Vec::with_capacity(capacity.max(2));
-        // Index 0: FALSE terminal, index 1: TRUE terminal.
-        nodes.push(Node::terminal());
+        let mut nodes = Vec::with_capacity(capacity.max(1));
+        // Index 0: the single TRUE terminal; FALSE is its complement edge.
         nodes.push(Node::terminal());
         BddManager {
             nodes,
@@ -380,8 +379,8 @@ impl BddManager {
             level_to_var: Vec::new(),
             roots: FxHashMap::default(),
             root_frames: Vec::new(),
-            live: 2,
-            peak_live: 2,
+            live: 1,
+            peak_live: 1,
             gc_passes: 0,
             gc_reclaimed: 0,
             reorder_passes: 0,
@@ -407,7 +406,7 @@ impl BddManager {
     }
 
     /// Clears the manager back to its freshly-constructed state — no
-    /// variables, only the two terminal nodes — while keeping every
+    /// variables, only the terminal node — while keeping every
     /// allocation (arena, unique table, computed tables, scratch caches) at
     /// its current capacity.
     ///
@@ -418,7 +417,7 @@ impl BddManager {
     /// jobs without paying cold-allocation cost per job and without
     /// perturbing deterministic reports.
     pub fn reset(&mut self) {
-        self.nodes.truncate(2);
+        self.nodes.truncate(1);
         self.unique.clear();
         self.free.clear();
         self.ite_cache.clear();
@@ -433,8 +432,8 @@ impl BddManager {
         self.level_to_var.clear();
         self.roots.clear();
         self.root_frames.clear();
-        self.live = 2;
-        self.peak_live = 2;
+        self.live = 1;
+        self.peak_live = 1;
         self.gc_passes = 0;
         self.gc_reclaimed = 0;
         self.reorder_passes = 0;
@@ -604,22 +603,25 @@ impl BddManager {
         }
     }
 
-    /// Low (`var = 0`) cofactor edge of `f`.
+    /// Low (`var = 0`) cofactor edge of `f`, with `f`'s complement
+    /// attribute pushed into the edge (so the returned handle denotes the
+    /// cofactor of the *function* `f`, not of the underlying node).
     ///
     /// # Panics
     /// Panics if `f` is a terminal.
     pub fn lo(&self, f: Bdd) -> Bdd {
         assert!(!f.is_terminal(), "terminal nodes have no cofactors");
-        self.nodes[f.index()].lo
+        Bdd(self.nodes[f.index()].lo.0 ^ (f.0 & 1))
     }
 
-    /// High (`var = 1`) cofactor edge of `f`.
+    /// High (`var = 1`) cofactor edge of `f`, with `f`'s complement
+    /// attribute pushed into the edge.
     ///
     /// # Panics
     /// Panics if `f` is a terminal.
     pub fn hi(&self, f: Bdd) -> Bdd {
         assert!(!f.is_terminal(), "terminal nodes have no cofactors");
-        self.nodes[f.index()].hi
+        Bdd(self.nodes[f.index()].hi.0 ^ (f.0 & 1))
     }
 
     #[inline]
@@ -637,17 +639,30 @@ impl BddManager {
         if lo == hi {
             return lo;
         }
-        let node = Node { var, lo, hi };
+        // Canonical form: a node's low edge is never complemented.  When the
+        // requested low edge is, strip the polarity from both children and
+        // complement the returned handle instead — every function keeps
+        // exactly one representation, and `f`/`¬f` share one node.
+        let complement = lo.is_complement();
+        let node = if complement {
+            Node {
+                var,
+                lo: lo.negate(),
+                hi: hi.negate(),
+            }
+        } else {
+            Node { var, lo, hi }
+        };
         if let Some(&existing) = self.unique.get(&node) {
-            return existing;
+            return Bdd(existing.0 | complement as u32);
         }
         let id = match self.free.pop() {
             Some(slot) => {
                 self.nodes[slot as usize] = node;
-                Bdd(slot)
+                Bdd::from_parts(slot as usize, false)
             }
             None => {
-                let id = Bdd(self.nodes.len() as u32);
+                let id = Bdd::from_parts(self.nodes.len(), false);
                 self.nodes.push(node);
                 id
             }
@@ -660,7 +675,7 @@ impl BddManager {
             exhausted(BudgetKind::Nodes, self.node_ceiling as u64);
         }
         self.unique.insert(node, id);
-        id
+        Bdd(id.0 | complement as u32)
     }
 
     /// Folds the current live count into the peak watermark.  Called at
@@ -696,14 +711,16 @@ impl BddManager {
     }
 
     /// Number of nodes reachable from `f` (the "size" of the BDD), counting
-    /// terminals.
+    /// the terminal.  Both polarities of an edge reach the same node, so
+    /// `size(f) == size(¬f)`.
     pub fn size(&self, f: Bdd) -> usize {
         let mut seen = FxHashSet::default();
-        let mut stack = vec![f];
+        let mut stack = vec![f.regular()];
         while let Some(n) = stack.pop() {
             if seen.insert(n) && !n.is_terminal() {
-                stack.push(self.lo(n));
-                stack.push(self.hi(n));
+                let node = self.nodes[n.index()];
+                stack.push(node.lo.regular());
+                stack.push(node.hi.regular());
             }
         }
         seen.len()
@@ -793,8 +810,7 @@ impl BddManager {
     pub fn gc(&mut self) -> usize {
         self.note_peak();
         let mut marked = vec![false; self.nodes.len()];
-        marked[0] = true;
-        marked[1] = true;
+        marked[0] = true; // the single terminal node
         let mut stack: Vec<Bdd> = Vec::with_capacity(self.root_count());
         stack.extend(self.roots.keys().copied());
         for frame in &self.root_frames {
@@ -817,9 +833,10 @@ impl BddManager {
 
         self.unique.clear();
         self.free.clear();
-        for (index, &live) in marked.iter().enumerate().skip(2) {
+        for (index, &live) in marked.iter().enumerate().skip(1) {
             if live {
-                self.unique.insert(self.nodes[index], Bdd(index as u32));
+                self.unique
+                    .insert(self.nodes[index], Bdd::from_parts(index, false));
             } else {
                 self.free.push(index as u32);
             }
@@ -966,6 +983,28 @@ impl BddManager {
         &self.partition_peaks
     }
 
+    /// Number of live internal nodes whose high edge carries the complement
+    /// attribute (the low edge is regular by canonical-form invariant), and
+    /// the number of live internal nodes — the arena census behind the
+    /// complement-edge share telemetry.  Counted over the unique table, so
+    /// dead-but-unswept nodes are included exactly as in
+    /// [`BddStats::live_nodes`] accounting between GC passes.
+    pub fn complement_edge_census(&self) -> (usize, usize) {
+        let complemented = self.unique.keys().filter(|n| n.hi.is_complement()).count();
+        (complemented, self.unique.len())
+    }
+
+    /// Fraction of live internal nodes whose high edge is complemented, in
+    /// `[0, 1]`; `0.0` for an empty arena.
+    pub fn complement_edge_share(&self) -> f64 {
+        let (complemented, total) = self.complement_edge_census();
+        if total == 0 {
+            0.0
+        } else {
+            complemented as f64 / total as f64
+        }
+    }
+
     // ------------------------------------------------------------------
     // Core algorithm: ITE
     // ------------------------------------------------------------------
@@ -975,56 +1014,105 @@ impl BddManager {
     /// All binary connectives are implemented in terms of this operation.
     ///
     /// Before probing the computed table the triple is rewritten into a
-    /// *standard form* so commutatively-equivalent calls share one cache
-    /// slot: `ite(f, f, h) → ite(f, 1, h)`, `ite(f, g, f) → ite(f, g, 0)`,
-    /// and for the commutative AND/OR shapes (`h = 0` / `g = 1`) the
+    /// *standard form* so equivalent calls share one cache slot:
+    /// a complemented condition flips the branches (`ite(¬f, g, h) →
+    /// ite(f, h, g)`), equal/complementary arguments are absorbed
+    /// (`ite(f, f, h) → ite(f, 1, h)`, `ite(f, ¬f, h) → ite(f, 0, h)`, …),
+    /// a complemented then-branch moves the polarity to the result
+    /// (`ite(f, g, h) = ¬ite(f, ¬g, ¬h)` — so complementary triples share
+    /// one cache line), and for the commutative AND/OR/XOR shapes the
     /// condition is the operand that comes first in the variable order.
     /// Rewrites are counted in [`BddStats::ite_normalised`].
     pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
-        // Terminal cases.
-        if f.is_true() {
-            return g;
-        }
-        if f.is_false() {
-            return h;
-        }
-        // Standard-triple normalisation.  `f` is non-terminal here.  Each
-        // rewrite is counted as it fires, including those that then
-        // short-circuit into a terminal return below.
         let mut f = f;
         let mut g = g;
         let mut h = h;
-        // Equal-argument absorption: f∧f ∨ ¬f∧h == f ∨ ¬f∧h, and
-        // f∧g ∨ ¬f∧f == f∧g.
-        if g == f {
-            g = Bdd::TRUE;
-            self.ite_normalised += 1;
-        }
-        if h == f {
-            h = Bdd::FALSE;
-            self.ite_normalised += 1;
-        }
-        if g == h {
-            return g;
-        }
-        if g.is_true() && h.is_false() {
-            return f;
-        }
-        // Commutative canonical ordering: and(f, g) == and(g, f) and
-        // or(f, h) == or(h, f); pick the order-first operand as the
-        // condition so both spellings probe the same cache slot.
-        if h.is_false() && !g.is_terminal() && self.precedes(g, f) {
-            std::mem::swap(&mut f, &mut g);
-            self.ite_normalised += 1;
-        } else if g.is_true() && !h.is_terminal() && self.precedes(h, f) {
-            std::mem::swap(&mut f, &mut h);
-            self.ite_normalised += 1;
+        // Output polarity accumulated by canonical-polarity rewrites: the
+        // cache works on the regular-then-branch form, and the final result
+        // is complemented back on the way out.
+        let mut flip = false;
+        // Standard-triple normalisation to a fixpoint.  Each rewrite is
+        // counted as it fires, including those that then short-circuit into
+        // a terminal return.  Rewrites can cascade (a commutative swap may
+        // surface a complemented condition), but every pass strictly
+        // canonicalises, so the loop terminates after at most a few rounds.
+        loop {
+            // Terminal conditions.
+            if f.is_true() {
+                return if flip { g.negate() } else { g };
+            }
+            if f.is_false() {
+                return if flip { h.negate() } else { h };
+            }
+            // Complemented-condition flip: ite(¬f, g, h) == ite(f, h, g).
+            if f.is_complement() {
+                f = f.negate();
+                std::mem::swap(&mut g, &mut h);
+                self.ite_normalised += 1;
+            }
+            // Equal/complementary-argument absorption: f∧f == f, f∧¬f == 0
+            // in the then-branch; ¬f∧f == 0, ¬f∧¬f == ¬f in the else-branch.
+            if g == f {
+                g = Bdd::TRUE;
+                self.ite_normalised += 1;
+            } else if g == f.negate() {
+                g = Bdd::FALSE;
+                self.ite_normalised += 1;
+            }
+            if h == f {
+                h = Bdd::FALSE;
+                self.ite_normalised += 1;
+            } else if h == f.negate() {
+                h = Bdd::TRUE;
+                self.ite_normalised += 1;
+            }
+            if g == h {
+                return if flip { g.negate() } else { g };
+            }
+            if g.is_true() && h.is_false() {
+                return if flip { f.negate() } else { f };
+            }
+            if g.is_false() && h.is_true() {
+                // O(1) negation: ite(f, 0, 1) == ¬f.
+                return if flip { f } else { f.negate() };
+            }
+            // Canonical output polarity: keep the then-branch regular so
+            // ite(f, g, h) and ite(f, ¬g, ¬h) probe the same slot.
+            if g.is_complement() {
+                g = g.negate();
+                h = h.negate();
+                flip = !flip;
+                self.ite_normalised += 1;
+            }
+            // Commutative canonical ordering: and(f, g) == and(g, f),
+            // or(f, h) == or(h, f) and xor(f, g) == xor(g, f); pick the
+            // order-first operand as the condition so both spellings probe
+            // the same cache slot.  A swap can surface a complemented
+            // condition, which the next loop pass flips away.
+            if h.is_false() && self.precedes(g, f) {
+                std::mem::swap(&mut f, &mut g);
+                self.ite_normalised += 1;
+                continue;
+            }
+            if g.is_true() && !h.is_terminal() && self.precedes(h, f) {
+                std::mem::swap(&mut f, &mut h);
+                self.ite_normalised += 1;
+                continue;
+            }
+            if h == g.negate() && !g.is_terminal() && self.precedes(g, f) {
+                // ite(f, g, ¬g) == ite(g, f, ¬f): the xnor shape commutes.
+                std::mem::swap(&mut f, &mut g);
+                h = g.negate();
+                self.ite_normalised += 1;
+                continue;
+            }
+            break;
         }
 
         let key = (f, g, h);
         if let Some(&r) = self.ite_cache.get(&key) {
             self.ite_hits += 1;
-            return r;
+            return if flip { r.negate() } else { r };
         }
         self.ite_misses += 1;
         // Budget bookkeeping rides the miss path: hits are free, misses
@@ -1039,8 +1127,9 @@ impl BddManager {
 
         // Split on the top variable (minimum level among the three).  Each
         // operand's node is loaded exactly once: `split` yields its level
-        // and both cofactor edges together, and the cofactor choice below
-        // is by level equality (levels and variables are in bijection).
+        // and both cofactor edges together (with the operand's complement
+        // attribute pushed into them), and the cofactor choice below is by
+        // level equality (levels and variables are in bijection).
         let (lf, flo, fhi) = self.split(f);
         let (lg, glo, ghi) = self.split(g);
         let (lh, hlo, hhi) = self.split(h);
@@ -1055,18 +1144,29 @@ impl BddManager {
         let hi = self.ite(f1, g1, h1);
         let result = self.mk_node(top_var, lo, hi);
         self.ite_cache.insert(key, result);
-        result
+        if flip {
+            result.negate()
+        } else {
+            result
+        }
     }
 
     /// One load of `f`'s node: its level (`u32::MAX` for terminals) and
-    /// both cofactor edges (`f` itself for terminals).
+    /// both cofactor edges (`f` itself for terminals).  The operand's
+    /// complement attribute is pushed into the returned edges, so they
+    /// denote the cofactors of the *function* `f`.
     #[inline]
     fn split(&self, f: Bdd) -> (u32, Bdd, Bdd) {
         let n = self.nodes[f.index()];
         if n.var == Node::TERMINAL_VAR {
             (u32::MAX, f, f)
         } else {
-            (self.var_to_level[n.var as usize], n.lo, n.hi)
+            let c = f.0 & 1;
+            (
+                self.var_to_level[n.var as usize],
+                Bdd(n.lo.0 ^ c),
+                Bdd(n.hi.0 ^ c),
+            )
         }
     }
 
@@ -1088,7 +1188,8 @@ impl BddManager {
         }
         let n = self.nodes[f.index()];
         if n.var == var {
-            (n.lo, n.hi)
+            let c = f.0 & 1;
+            (Bdd(n.lo.0 ^ c), Bdd(n.hi.0 ^ c))
         } else {
             (f, f)
         }
@@ -1098,9 +1199,10 @@ impl BddManager {
     // Derived Boolean connectives
     // ------------------------------------------------------------------
 
-    /// Logical negation.
+    /// Logical negation: a constant-time complement-bit flip — no arena
+    /// access, no cache traffic, no allocation ([`Bdd::negate`]).
     pub fn not(&mut self, f: Bdd) -> Bdd {
-        self.ite(f, Bdd::FALSE, Bdd::TRUE)
+        f.negate()
     }
 
     /// Logical conjunction.
@@ -1113,35 +1215,29 @@ impl BddManager {
         self.ite(f, Bdd::TRUE, g)
     }
 
-    /// Exclusive or.
+    /// Exclusive or: the single ITE `ite(f, ¬g, g)`, whose else-branch is
+    /// an O(1) complement edge — no intermediate negation BDD is ever
+    /// materialised.  Canonical-polarity normalisation inside [`ite`] makes
+    /// xor and xnor of the same operands share one cache line.
     ///
-    /// Commutative-canonical: both operand orders build the same ITE triple
-    /// (xor cannot be reordered inside `ite` itself, because its else-branch
-    /// is a computed complement, so the wrapper orders the operands).
+    /// [`ite`]: BddManager::ite
     pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
-        let (f, g) = if self.precedes(g, f) { (g, f) } else { (f, g) };
-        let ng = self.not(g);
-        self.ite(f, ng, g)
+        self.ite(f, g.negate(), g)
     }
 
-    /// Exclusive nor (equivalence).  Commutative-canonical like
-    /// [`BddManager::xor`].
+    /// Exclusive nor (equivalence): `¬xor(f, g)` through a complement edge.
     pub fn xnor(&mut self, f: Bdd, g: Bdd) -> Bdd {
-        let (f, g) = if self.precedes(g, f) { (g, f) } else { (f, g) };
-        let ng = self.not(g);
-        self.ite(f, g, ng)
+        self.ite(f, g, g.negate())
     }
 
-    /// Negated conjunction.
+    /// Negated conjunction: an AND plus an O(1) complement flip.
     pub fn nand(&mut self, f: Bdd, g: Bdd) -> Bdd {
-        let a = self.and(f, g);
-        self.not(a)
+        self.and(f, g).negate()
     }
 
-    /// Negated disjunction.
+    /// Negated disjunction: an OR plus an O(1) complement flip.
     pub fn nor(&mut self, f: Bdd, g: Bdd) -> Bdd {
-        let a = self.or(f, g);
-        self.not(a)
+        self.or(f, g).negate()
     }
 
     /// Implication `f → g`.
@@ -1200,9 +1296,10 @@ impl BddManager {
                 return Some(false);
             }
             let n = self.nodes[cur.index()];
+            let c = cur.0 & 1;
             match assignment.get(n.var) {
-                Some(true) => cur = n.hi,
-                Some(false) => cur = n.lo,
+                Some(true) => cur = Bdd(n.hi.0 ^ c),
+                Some(false) => cur = Bdd(n.lo.0 ^ c),
                 None => return None,
             }
         }
@@ -1242,6 +1339,7 @@ impl BddManager {
             return r;
         }
         let n = self.nodes[f.index()];
+        let c = f.0 & 1;
         let target_level = self.var_to_level[var as usize];
         let node_level = self.var_to_level[n.var as usize];
         let result = if node_level > target_level {
@@ -1249,13 +1347,13 @@ impl BddManager {
             f
         } else if n.var == var {
             if value {
-                n.hi
+                Bdd(n.hi.0 ^ c)
             } else {
-                n.lo
+                Bdd(n.lo.0 ^ c)
             }
         } else {
-            let lo = self.restrict_inner(n.lo, var, value, cache);
-            let hi = self.restrict_inner(n.hi, var, value, cache);
+            let lo = self.restrict_inner(Bdd(n.lo.0 ^ c), var, value, cache);
+            let hi = self.restrict_inner(Bdd(n.hi.0 ^ c), var, value, cache);
             self.mk_node(n.var, lo, hi)
         };
         cache.insert(f, result);
@@ -1326,8 +1424,9 @@ impl BddManager {
         }
         self.quant_misses += 1;
         let n = self.nodes[f.index()];
-        let lo = self.quantify_rec(n.lo, vars, existential, tag);
-        let hi = self.quantify_rec(n.hi, vars, existential, tag);
+        let c = f.0 & 1;
+        let lo = self.quantify_rec(Bdd(n.lo.0 ^ c), vars, existential, tag);
+        let hi = self.quantify_rec(Bdd(n.hi.0 ^ c), vars, existential, tag);
         let result = if vars.contains(&n.var) {
             if existential {
                 self.or(lo, hi)
@@ -1384,6 +1483,10 @@ impl BddManager {
         }
         if g.is_true() || f == g {
             return self.quantify_rec(f, vars, true, tag);
+        }
+        if f == g.negate() {
+            // f ∧ ¬f == 0: complementary operands are one bit-compare away.
+            return Bdd::FALSE;
         }
         // Commutative canonical operand order, as in ITE normalisation:
         // both spellings of and_exists(f, g, V) probe the same slot.
@@ -1500,11 +1603,12 @@ impl BddManager {
             return r;
         }
         let n = self.nodes[f.index()];
+        let c = f.0 & 1;
         let result = if n.var == var {
-            self.ite(g, n.hi, n.lo)
+            self.ite(g, Bdd(n.hi.0 ^ c), Bdd(n.lo.0 ^ c))
         } else {
-            let lo = self.compose_rec(n.lo, var, g, cache);
-            let hi = self.compose_rec(n.hi, var, g, cache);
+            let lo = self.compose_rec(Bdd(n.lo.0 ^ c), var, g, cache);
+            let hi = self.compose_rec(Bdd(n.hi.0 ^ c), var, g, cache);
             let v = self.literal(n.var);
             self.ite(v, hi, lo)
         };
@@ -1544,8 +1648,9 @@ impl BddManager {
             return r;
         }
         let n = self.nodes[f.index()];
-        let lo = self.rename_rec(n.lo, mapping, cache);
-        let hi = self.rename_rec(n.hi, mapping, cache);
+        let c = f.0 & 1;
+        let lo = self.rename_rec(Bdd(n.lo.0 ^ c), mapping, cache);
+        let hi = self.rename_rec(Bdd(n.hi.0 ^ c), mapping, cache);
         let var = mapping.get(&n.var).copied().unwrap_or(n.var);
         let lit = self.literal(var);
         let result = self.ite(lit, hi, lo);
@@ -1559,17 +1664,19 @@ impl BddManager {
 
     /// Set of variables `f` depends on, in ascending index order.
     pub fn support(&self, f: Bdd) -> Vec<u32> {
+        // Edge polarity never affects the support, so the walk dedupes on
+        // regular handles and visits each shared f/¬f subgraph once.
         let mut vars = FxHashSet::default();
         let mut seen = FxHashSet::default();
-        let mut stack = vec![f];
+        let mut stack = vec![f.regular()];
         while let Some(n) = stack.pop() {
             if n.is_terminal() || !seen.insert(n) {
                 continue;
             }
             let node = self.nodes[n.index()];
             vars.insert(node.var);
-            stack.push(node.lo);
-            stack.push(node.hi);
+            stack.push(node.lo.regular());
+            stack.push(node.hi.regular());
         }
         let mut out: Vec<u32> = vars.into_iter().collect();
         out.sort_unstable();
@@ -1610,8 +1717,9 @@ impl BddManager {
             return r;
         }
         let n = self.nodes[f.index()];
-        let lo = self.sat_fraction(n.lo, cache);
-        let hi = self.sat_fraction(n.hi, cache);
+        let c = f.0 & 1;
+        let lo = self.sat_fraction(Bdd(n.lo.0 ^ c), cache);
+        let hi = self.sat_fraction(Bdd(n.hi.0 ^ c), cache);
         let r = 0.5 * lo + 0.5 * hi;
         cache.insert(f, r);
         r
@@ -1627,12 +1735,14 @@ impl BddManager {
         let mut cur = f;
         while !cur.is_terminal() {
             let n = self.nodes[cur.index()];
-            if n.hi.is_false() {
+            let c = cur.0 & 1;
+            let hi = Bdd(n.hi.0 ^ c);
+            if hi.is_false() {
                 asg.set(n.var, false);
-                cur = n.lo;
+                cur = Bdd(n.lo.0 ^ c);
             } else {
                 asg.set(n.var, true);
-                cur = n.hi;
+                cur = hi;
             }
         }
         debug_assert!(cur.is_true());
@@ -2174,9 +2284,18 @@ mod tests {
             normalised, s_fresh,
             "stats — including live/peak/GC/reorder counters — are reproduced exactly"
         );
+        assert!(
+            s_fresh.ite_normalised > 0,
+            "the canonical-polarity/standard-triple rewrites fired and were counted"
+        );
         assert_eq!(pooled.sift_nanos(), 0, "reset clears the sift clock");
         assert_eq!(fresh.node_count(), pooled.node_count());
         assert_eq!(fresh.var_count(), pooled.var_count());
+        assert_eq!(
+            fresh.complement_edge_census(),
+            pooled.complement_edge_census(),
+            "the complement-edge census is reproduced exactly"
+        );
         assert_eq!(pooled.var_by_name("r3"), Some(3));
         assert_eq!(pooled.var_by_name("dirty0"), None);
     }

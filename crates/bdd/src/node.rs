@@ -1,10 +1,14 @@
 //! BDD node representation and the public [`Bdd`] handle.
 
-/// A handle to a node in a [`crate::BddManager`].
+/// A handle to a node in a [`crate::BddManager`], with a complement edge.
 ///
-/// Handles are plain indices and therefore `Copy`; they are only meaningful
-/// together with the manager that created them.  The two terminal nodes have
-/// fixed handles: [`Bdd::FALSE`] (index 0) and [`Bdd::TRUE`] (index 1).
+/// The raw `u32` packs an arena index (upper 31 bits) and a complement bit
+/// (bit 0).  A set complement bit means the handle denotes the *negation* of
+/// the function stored at the index, so negation is a single XOR and `f` and
+/// `¬f` share one subgraph.  There is a single terminal node — `TRUE` at
+/// arena index 0 — and `FALSE` is its complement: `Bdd(1)`.
+///
+/// Handles are only meaningful together with the manager that created them.
 ///
 /// ```
 /// use ssr_bdd::{Bdd, BddManager};
@@ -12,20 +16,21 @@
 /// let x = m.new_var("x");
 /// assert_ne!(x, Bdd::TRUE);
 /// assert_ne!(x, Bdd::FALSE);
+/// assert_eq!(Bdd::FALSE, Bdd::TRUE.negate());
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Bdd(pub(crate) u32);
 
 impl Bdd {
-    /// The constant-false terminal.
-    pub const FALSE: Bdd = Bdd(0);
-    /// The constant-true terminal.
-    pub const TRUE: Bdd = Bdd(1);
+    /// The constant-true terminal: the regular edge to the terminal node.
+    pub const TRUE: Bdd = Bdd(0);
+    /// The constant-false terminal: the complement edge to the terminal node.
+    pub const FALSE: Bdd = Bdd(1);
 
-    /// Returns `true` if this handle is one of the two terminals.
+    /// Returns `true` if this handle is one of the two terminal constants.
     #[inline]
     pub fn is_terminal(self) -> bool {
-        self.0 < 2
+        self.0 <= 1
     }
 
     /// Returns `true` if this handle is the constant-true terminal.
@@ -40,10 +45,37 @@ impl Bdd {
         self == Bdd::FALSE
     }
 
-    /// Raw arena index of the node (stable for the lifetime of the manager).
+    /// Arena index of the node (stable for the lifetime of the manager).
+    /// Both polarities of an edge map to the same index.
     #[inline]
     pub fn index(self) -> usize {
-        self.0 as usize
+        (self.0 >> 1) as usize
+    }
+
+    /// Returns `true` if the edge carries the complement attribute.
+    #[inline]
+    pub fn is_complement(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The negation of this function — a constant-time bit flip; no manager
+    /// access, no allocation.
+    #[inline]
+    #[must_use]
+    pub fn negate(self) -> Bdd {
+        Bdd(self.0 ^ 1)
+    }
+
+    /// The regular (uncomplemented) edge to the same node.
+    #[inline]
+    pub(crate) fn regular(self) -> Bdd {
+        Bdd(self.0 & !1)
+    }
+
+    /// Builds a handle from an arena index and a complement flag.
+    #[inline]
+    pub(crate) fn from_parts(index: usize, complement: bool) -> Bdd {
+        Bdd(((index as u32) << 1) | complement as u32)
     }
 }
 
@@ -58,14 +90,18 @@ impl From<bool> for Bdd {
 }
 
 /// Internal node: decision variable plus low/high cofactor edges.
+///
+/// Canonical-form invariant: the low edge is never complemented.  `mk_node`
+/// restores this by flipping both children's polarity and complementing the
+/// returned handle, so every function keeps exactly one representation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) struct Node {
     /// Decision variable index (not level; levels are looked up through the
-    /// manager's order tables).  Terminals use `u32::MAX`.
+    /// manager's order tables).  The terminal uses `u32::MAX`.
     pub var: u32,
-    /// Cofactor with `var = 0`.
+    /// Cofactor with `var = 0`; always a regular (uncomplemented) edge.
     pub lo: Bdd,
-    /// Cofactor with `var = 1`.
+    /// Cofactor with `var = 1`; may carry the complement attribute.
     pub hi: Bdd,
 }
 
@@ -75,8 +111,8 @@ impl Node {
     pub(crate) fn terminal() -> Node {
         Node {
             var: Node::TERMINAL_VAR,
-            lo: Bdd::FALSE,
-            hi: Bdd::FALSE,
+            lo: Bdd::TRUE,
+            hi: Bdd::TRUE,
         }
     }
 }
@@ -87,13 +123,25 @@ mod tests {
 
     #[test]
     fn terminal_handles_are_fixed() {
+        assert_eq!(Bdd::TRUE.index(), 0);
         assert_eq!(Bdd::FALSE.index(), 0);
-        assert_eq!(Bdd::TRUE.index(), 1);
         assert!(Bdd::FALSE.is_terminal());
         assert!(Bdd::TRUE.is_terminal());
         assert!(Bdd::TRUE.is_true());
         assert!(!Bdd::TRUE.is_false());
         assert!(Bdd::FALSE.is_false());
+    }
+
+    #[test]
+    fn complement_bit_round_trips() {
+        assert_eq!(Bdd::TRUE.negate(), Bdd::FALSE);
+        assert_eq!(Bdd::FALSE.negate(), Bdd::TRUE);
+        let f = Bdd::from_parts(7, true);
+        assert!(f.is_complement());
+        assert_eq!(f.index(), 7);
+        assert_eq!(f.negate().negate(), f);
+        assert_eq!(f.regular(), Bdd::from_parts(7, false));
+        assert_eq!(f.negate().index(), f.index());
     }
 
     #[test]

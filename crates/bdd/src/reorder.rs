@@ -223,7 +223,7 @@ impl BddManager {
         }
         let mut refs = vec![0u32; if reclaim { arena } else { 0 }];
         let mut var_nodes = vec![Vec::new(); self.var_count()];
-        for (index, node) in self.nodes.iter().enumerate().skip(2) {
+        for (index, node) in self.nodes.iter().enumerate().skip(1) {
             if dead[index] {
                 continue;
             }
@@ -371,13 +371,20 @@ impl BddManager {
             ctx.ref_inc(new_hi);
             self.swap_deref(ctx, node.lo);
             self.swap_deref(ctx, node.hi);
+            // `new_lo` is always a regular edge: `node.lo` is regular by
+            // the canonical-form invariant, and a regular node's low
+            // cofactor is regular too — so the in-place rewrite never needs
+            // to change the slot's polarity, and every outstanding handle
+            // (of either polarity) keeps denoting the same function.
+            debug_assert!(!new_lo.is_complement(), "low-edge-regular invariant");
             let rewritten = Node {
                 var: y,
                 lo: new_lo,
                 hi: new_hi,
             };
             self.nodes[i as usize] = rewritten;
-            self.unique.insert(rewritten, Bdd(i));
+            self.unique
+                .insert(rewritten, Bdd::from_parts(i as usize, false));
             ctx.var_nodes[y as usize].push(i);
         }
 
@@ -388,16 +395,25 @@ impl BddManager {
         self.level_swaps += 1;
     }
 
-    /// `mk_node` for the swap path: additionally keeps the reorder
-    /// bookkeeping (reference counts, per-variable population, dead set)
-    /// in sync.
+    /// `mk_node` for the swap path: the same low-edge-regular
+    /// canonicalisation, additionally keeping the reorder bookkeeping
+    /// (reference counts, per-variable population, dead set) in sync.
     fn swap_mk(&mut self, ctx: &mut ReorderCtx, var: u32, lo: Bdd, hi: Bdd) -> Bdd {
         if lo == hi {
             return lo;
         }
-        let node = Node { var, lo, hi };
+        let complement = lo.is_complement();
+        let node = if complement {
+            Node {
+                var,
+                lo: lo.negate(),
+                hi: hi.negate(),
+            }
+        } else {
+            Node { var, lo, hi }
+        };
         if let Some(&existing) = self.unique.get(&node) {
-            return existing;
+            return Bdd(existing.0 | complement as u32);
         }
         let id = match self.free.pop() {
             Some(slot) => {
@@ -406,10 +422,10 @@ impl BddManager {
                 if ctx.reclaim {
                     ctx.refs[slot as usize] = 0;
                 }
-                Bdd(slot)
+                Bdd::from_parts(slot as usize, false)
             }
             None => {
-                let id = Bdd(self.nodes.len() as u32);
+                let id = Bdd::from_parts(self.nodes.len(), false);
                 self.nodes.push(node);
                 ctx.dead.push(false);
                 ctx.stamp.push(0);
@@ -421,16 +437,18 @@ impl BddManager {
             }
         };
         if ctx.reclaim {
-            ctx.ref_inc(lo);
-            ctx.ref_inc(hi);
+            // Reference counts are per-slot, so the children's polarity is
+            // irrelevant here.
+            ctx.ref_inc(node.lo);
+            ctx.ref_inc(node.hi);
         }
         self.live += 1;
         if self.live > self.peak_live {
             self.peak_live = self.live;
         }
         self.unique.insert(node, id);
-        ctx.var_nodes[var as usize].push(id.0);
-        id
+        ctx.var_nodes[var as usize].push(id.index() as u32);
+        Bdd(id.0 | complement as u32)
     }
 
     /// Drops one reference to `f`; in reclaim mode, frees the node (and
@@ -445,7 +463,7 @@ impl BddManager {
         if ctx.refs[index] == 0 {
             let node = self.nodes[index];
             self.unique.remove(&node);
-            self.free.push(f.0);
+            self.free.push(index as u32);
             ctx.dead[index] = true;
             ctx.freed_ever[index] = true;
             self.live -= 1;
@@ -572,7 +590,7 @@ mod tests {
         assert_eq!(m.arena_len(), arena, "new nodes reuse freed slots");
         m.release(kept);
         m.gc();
-        assert_eq!(m.node_count(), 2, "releasing the root frees everything");
+        assert_eq!(m.node_count(), 1, "releasing the root frees everything");
     }
 
     /// Scoped root frames protect exactly while they are open.
@@ -588,7 +606,7 @@ mod tests {
         assert_eq!(m.lo(f), Bdd::FALSE, "frame-rooted node survives");
         m.pop_root_frame();
         m.gc();
-        assert_eq!(m.node_count(), 2, "popping the frame releases the set");
+        assert_eq!(m.node_count(), 1, "popping the frame releases the set");
     }
 
     /// Sifting preserves semantics of rooted functions and cannot exceed

@@ -1,18 +1,18 @@
 //! Persistent function store: a level-ordered, dddmp-style node dump.
 //!
 //! [`BddManager::dump_functions`] serialises a set of root functions into a
-//! self-describing text blob ([`StoreBlob`], format `ssr-store/v1`), and
+//! self-describing text blob ([`StoreBlob`], format `ssr-store/v2`), and
 //! [`BddManager::load_functions`] reconstructs equivalent handles under the
 //! *current* unique table — the loader goes through [`BddManager::ite`], so
 //! the result is canonical under whatever variable order the receiving
 //! manager happens to have, not just the order the blob was dumped under.
 //!
-//! ## `ssr-store/v1` format
+//! ## `ssr-store/v2` format
 //!
 //! Line-oriented UTF-8 text:
 //!
 //! ```text
-//! ssr-store/v1            header magic
+//! ssr-store/v2            header magic
 //! kernel <u32>            kernel node-format version (KERNEL_FORMAT_VERSION)
 //! vars <N>                declared-variable count
 //! <name>                  N variable names, one per line, in LEVEL order
@@ -23,28 +23,48 @@
 //! checksum <hex16>        FNV-1a 64 over every preceding byte
 //! ```
 //!
-//! Node and root references: `0` is the FALSE terminal, `1` is TRUE, and
-//! `2 + k` is the `k`-th node line.  Because variables are dumped in level
-//! order, a node line's `<level>` doubles as an index into the name list;
-//! the level map and named order therefore round-trip exactly.
+//! Node and root references carry edge polarity: `0` is the FALSE
+//! terminal, `1` is TRUE, `2k + 2` is the regular edge to the `k`-th node
+//! line and `2k + 3` its complement edge.  The kernel's canonical form
+//! (low edge regular) means a `<lo>` reference is always even or `1`; `f`
+//! and `¬f` share one dumped subgraph exactly as they share one in-arena
+//! subgraph.  Because variables are dumped in level order, a node line's
+//! `<level>` doubles as an index into the name list; the level map and
+//! named order therefore round-trip exactly.
 //!
-//! Compatibility rules: the magic line and `kernel` version must match what
-//! the running kernel expects ([`KERNEL_FORMAT_VERSION`]); the checksum must
-//! match the payload.  Any mismatch is a typed [`StoreError`] — callers
-//! (the engine's content-addressed store) treat every variant as a cache
-//! miss and fall back to a cold build, never a wrong verdict.
+//! ## Compatibility
+//!
+//! The loader reads both formats: an `ssr-store/v2` blob must record
+//! `kernel 2`, and a legacy `ssr-store/v1` blob (magic `ssr-store/v1`,
+//! `kernel 1`, polarity-free references `0`/`1`/`2 + k`) is rebuilt
+//! through the same ITE path — v1 blobs committed before the
+//! complement-edge kernel keep loading, and the result is canonical under
+//! the current representation.  Dumps are always written as v2.  Any other
+//! magic/version combination, and any checksum mismatch, is a typed
+//! [`StoreError`] — callers (the engine's content-addressed store) treat
+//! every variant as a cache miss and fall back to a cold build, never a
+//! wrong verdict.
 
 use std::fmt;
 
 use crate::manager::BddManager;
 use crate::node::Bdd;
 
-/// Version of the kernel's node-dump format inside an `ssr-store/v1` blob.
-/// Bump whenever the dump's meaning changes; loaders reject other versions.
-pub const KERNEL_FORMAT_VERSION: u32 = 1;
+/// Version of the kernel's node-dump format inside an `ssr-store/v2` blob.
+/// Bump whenever the dump's meaning changes; loaders reject other versions
+/// (except the grandfathered v1, which stays loadable).
+pub const KERNEL_FORMAT_VERSION: u32 = 2;
 
-/// The `ssr-store/v1` magic header line.
-pub const STORE_MAGIC: &str = "ssr-store/v1";
+/// The `ssr-store/v2` magic header line (what dumps write).
+pub const STORE_MAGIC: &str = "ssr-store/v2";
+
+/// The legacy `ssr-store/v1` magic header line: polarity-free node
+/// references from the pre-complement-edge kernel.  Still accepted by the
+/// loader; never written.
+pub const STORE_MAGIC_V1: &str = "ssr-store/v1";
+
+/// The kernel node-format version recorded inside v1 blobs.
+pub const KERNEL_FORMAT_VERSION_V1: u32 = 1;
 
 /// A serialised set of BDD functions (see the module docs for the format).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -78,6 +98,19 @@ impl StoreBlob {
     pub fn is_empty(&self) -> bool {
         self.text.is_empty()
     }
+
+    /// The blob's format version as recorded in its magic line: `2` for
+    /// `ssr-store/v2`, `1` for the legacy `ssr-store/v1`, `None` for an
+    /// unrecognised header.  Purely syntactic (no checksum validation) —
+    /// maintenance tooling uses this to report versions without a full
+    /// load.
+    pub fn format_version(&self) -> Option<u32> {
+        match self.text.lines().next() {
+            Some(line) if line == STORE_MAGIC => Some(KERNEL_FORMAT_VERSION),
+            Some(line) if line == STORE_MAGIC_V1 => Some(KERNEL_FORMAT_VERSION_V1),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for StoreBlob {
@@ -91,9 +124,10 @@ impl fmt::Display for StoreBlob {
 /// allocates through the ordinary hash-consing path).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StoreError {
-    /// The magic line is not `ssr-store/v1`.
+    /// The magic line is neither `ssr-store/v2` nor the legacy
+    /// `ssr-store/v1`.
     BadHeader(String),
-    /// The blob was dumped by a different kernel node-format version.
+    /// The blob records a kernel version its magic line does not support.
     VersionMismatch {
         /// Version recorded in the blob.
         found: u32,
@@ -144,7 +178,7 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
 }
 
 impl BddManager {
-    /// Serialises `roots` (with full sharing) into an `ssr-store/v1` blob.
+    /// Serialises `roots` (with full sharing) into an `ssr-store/v2` blob.
     ///
     /// All declared variables are dumped in level order, so the blob also
     /// round-trips the manager's current order and level map; nodes are
@@ -152,12 +186,15 @@ impl BddManager {
     /// pass.  The dump is deterministic: same manager state and same
     /// `roots` slice produce byte-identical blobs.
     pub fn dump_functions(&self, roots: &[Bdd]) -> StoreBlob {
-        // Iterative post-order DFS: children land before parents.  The
+        // Iterative post-order DFS over *regular* handles: children land
+        // before parents, and `f`/`¬f` contribute one subgraph (their
+        // polarity lives in the edge references, not the node lines).  The
         // visit order (roots in slice order, lo before hi) is fixed, so the
         // node numbering is deterministic.
         let mut order: Vec<Bdd> = Vec::new();
         let mut seen = crate::hash::FxHashSet::default();
         for &root in roots {
+            let root = root.regular();
             if root.is_terminal() || seen.contains(&root) {
                 continue;
             }
@@ -174,20 +211,22 @@ impl BddManager {
                     continue;
                 }
                 stack.push((f, true));
-                stack.push((self.hi(f), false));
-                stack.push((self.lo(f), false));
+                stack.push((self.hi(f).regular(), false));
+                stack.push((self.lo(f).regular(), false));
             }
         }
 
         let mut index = crate::hash::FxHashMap::default();
         for (k, &f) in order.iter().enumerate() {
-            index.insert(f, 2 + k as u32);
+            index.insert(f, k as u32);
         }
         let refer = |f: Bdd| -> u32 {
-            match f {
-                Bdd::FALSE => 0,
-                Bdd::TRUE => 1,
-                other => index[&other],
+            if f.is_false() {
+                0
+            } else if f.is_true() {
+                1
+            } else {
+                2 + 2 * index[&f.regular()] + f.is_complement() as u32
             }
         };
 
@@ -259,14 +298,20 @@ impl BddManager {
         let magic = lines
             .next()
             .ok_or_else(|| StoreError::Corrupt("empty blob".into()))?;
-        if magic != STORE_MAGIC {
+        let legacy_v1 = magic == STORE_MAGIC_V1;
+        if !legacy_v1 && magic != STORE_MAGIC {
             return Err(StoreError::BadHeader(magic.to_owned()));
         }
+        let magic_version = if legacy_v1 {
+            KERNEL_FORMAT_VERSION_V1
+        } else {
+            KERNEL_FORMAT_VERSION
+        };
         let version = parse_counted(lines.next(), "kernel")?;
-        if version != KERNEL_FORMAT_VERSION {
+        if version != magic_version {
             return Err(StoreError::VersionMismatch {
                 found: version,
-                expected: KERNEL_FORMAT_VERSION,
+                expected: magic_version,
             });
         }
 
@@ -287,9 +332,7 @@ impl BddManager {
         }
 
         let node_count = parse_counted(lines.next(), "nodes")? as usize;
-        let mut handles: Vec<Bdd> = Vec::with_capacity(2 + node_count);
-        handles.push(Bdd::FALSE);
-        handles.push(Bdd::TRUE);
+        let mut handles: Vec<Bdd> = Vec::with_capacity(node_count);
         for _ in 0..node_count {
             let line = lines
                 .next()
@@ -304,12 +347,8 @@ impl BddManager {
             let var = *blob_vars
                 .get(level)
                 .ok_or_else(|| StoreError::Corrupt(format!("node level {level} out of range")))?;
-            let lo = *handles.get(lo_ref).ok_or_else(|| {
-                StoreError::Corrupt(format!("forward/out-of-range node ref {lo_ref}"))
-            })?;
-            let hi = *handles.get(hi_ref).ok_or_else(|| {
-                StoreError::Corrupt(format!("forward/out-of-range node ref {hi_ref}"))
-            })?;
+            let lo = resolve_ref(&handles, lo_ref, legacy_v1)?;
+            let hi = resolve_ref(&handles, hi_ref, legacy_v1)?;
             let lit = self.literal(var);
             handles.push(self.ite(lit, hi, lo));
         }
@@ -321,16 +360,34 @@ impl BddManager {
                 .next()
                 .ok_or_else(|| StoreError::Corrupt("truncated root list".into()))?;
             let r = parse_u32(Some(line), "root ref")? as usize;
-            roots.push(
-                *handles
-                    .get(r)
-                    .ok_or_else(|| StoreError::Corrupt(format!("root ref {r} out of range")))?,
-            );
+            roots.push(resolve_ref(&handles, r, legacy_v1)?);
         }
         if lines.next().is_some() {
             return Err(StoreError::Corrupt("trailing lines after roots".into()));
         }
         Ok(roots)
+    }
+}
+
+/// Resolves a node/root reference against the node functions rebuilt so
+/// far.  v2 references carry edge polarity (`2k + 2` regular / `2k + 3`
+/// complemented); legacy v1 references are polarity-free (`2 + k`).  Both
+/// share the terminal encoding `0` = FALSE, `1` = TRUE.
+fn resolve_ref(handles: &[Bdd], r: usize, legacy_v1: bool) -> Result<Bdd, StoreError> {
+    match r {
+        0 => Ok(Bdd::FALSE),
+        1 => Ok(Bdd::TRUE),
+        _ => {
+            let (k, complement) = if legacy_v1 {
+                (r - 2, false)
+            } else {
+                ((r - 2) / 2, (r - 2) % 2 == 1)
+            };
+            let f = *handles
+                .get(k)
+                .ok_or_else(|| StoreError::Corrupt(format!("forward/out-of-range node ref {r}")))?;
+            Ok(if complement { f.negate() } else { f })
+        }
     }
 }
 
@@ -424,7 +481,7 @@ mod tests {
         let mut m = BddManager::new();
         let roots = sample(&mut m);
         let text = m.dump_functions(&roots).into_string();
-        let doctored = text.replace("kernel 1\n", "kernel 99\n");
+        let doctored = text.replace("kernel 2\n", "kernel 99\n");
         // Re-seal so only the version check can object.
         let body_end = doctored.rfind("checksum").unwrap();
         let payload = &doctored[..body_end];
@@ -474,12 +531,86 @@ mod tests {
 
     #[test]
     fn bad_magic_is_reported() {
-        let payload = "ssr-store/v2\nkernel 1\nvars 0\nnodes 0\nroots 0\n";
+        let payload = "ssr-store/v9\nkernel 9\nvars 0\nnodes 0\nroots 0\n";
         let sealed = format!("{payload}checksum {:016x}\n", fnv1a64(payload.as_bytes()));
         let err = BddManager::new()
             .load_functions(&StoreBlob::from_text(sealed))
             .unwrap_err();
-        assert_eq!(err, StoreError::BadHeader("ssr-store/v2".to_owned()));
+        assert_eq!(err, StoreError::BadHeader("ssr-store/v9".to_owned()));
+    }
+
+    #[test]
+    fn v1_magic_with_wrong_version_is_a_version_mismatch() {
+        // A v1 magic only supports `kernel 1`; anything else is rejected
+        // with the version the v1 reader path expects.
+        let payload = "ssr-store/v1\nkernel 2\nvars 0\nnodes 0\nroots 0\n";
+        let sealed = format!("{payload}checksum {:016x}\n", fnv1a64(payload.as_bytes()));
+        let err = BddManager::new()
+            .load_functions(&StoreBlob::from_text(sealed))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            StoreError::VersionMismatch {
+                found: 2,
+                expected: KERNEL_FORMAT_VERSION_V1
+            }
+        );
+    }
+
+    #[test]
+    fn legacy_v1_blob_loads_into_the_v2_kernel() {
+        // A hand-built `ssr-store/v1` blob (polarity-free refs: 0 FALSE,
+        // 1 TRUE, 2+k node k) for f = a ∧ b.  Node 0: b-node (level 1,
+        // lo FALSE, hi TRUE); node 1: a-node (level 0, lo FALSE, hi node 0).
+        let payload = "ssr-store/v1\nkernel 1\nvars 2\na\nb\nnodes 2\n1 0 1\n0 0 2\nroots 1\n3\n";
+        let sealed = format!("{payload}checksum {:016x}\n", fnv1a64(payload.as_bytes()));
+        let blob = StoreBlob::from_text(sealed);
+        assert_eq!(blob.format_version(), Some(KERNEL_FORMAT_VERSION_V1));
+
+        let mut m = BddManager::new();
+        let loaded = m.load_functions(&blob).expect("v1 blobs stay loadable");
+        let a = m.literal(m.var_by_name("a").unwrap());
+        let b = m.literal(m.var_by_name("b").unwrap());
+        let ab = m.and(a, b);
+        assert_eq!(loaded, vec![ab]);
+    }
+
+    #[test]
+    fn complementary_roots_share_one_dumped_subgraph() {
+        let mut m = BddManager::new();
+        let a = m.new_var("a");
+        let b = m.new_var("b");
+        let f = m.and(a, b);
+        let nf = f.negate();
+
+        let both = m.dump_functions(&[f, nf]);
+        let one = m.dump_functions(&[f]);
+        // ¬f adds a root reference but not a single node line.
+        let count = |blob: &StoreBlob| {
+            blob.as_str()
+                .lines()
+                .find_map(|l| l.strip_prefix("nodes "))
+                .unwrap()
+                .parse::<usize>()
+                .unwrap()
+        };
+        assert_eq!(count(&both), count(&one));
+
+        let mut fresh = BddManager::new();
+        let loaded = fresh.load_functions(&both).expect("clean blob");
+        assert_eq!(loaded[1], loaded[0].negate());
+    }
+
+    #[test]
+    fn dumped_blobs_report_the_current_format_version() {
+        let mut m = BddManager::new();
+        let roots = sample(&mut m);
+        let blob = m.dump_functions(&roots);
+        assert_eq!(blob.format_version(), Some(KERNEL_FORMAT_VERSION));
+        assert_eq!(
+            StoreBlob::from_text("garbage".into()).format_version(),
+            None
+        );
     }
 
     #[test]

@@ -359,3 +359,118 @@ fn gc_and_swaps_preserve_rooted_semantics() {
         assert_matches_reference(&m, f, &e);
     });
 }
+
+/// Complement edges make negation free: `not(not(f)) == f` exactly, and
+/// neither negation allocates a single arena node.
+#[test]
+fn double_negation_is_identity_with_zero_arena_growth() {
+    check("¬¬f == f, zero growth", 64, 0xB0D_000B, |rng| {
+        let e = arb_expr(rng, 4);
+        let mut m = manager_with_vars();
+        let f = build_bdd(&mut m, &e);
+        let before = m.node_count();
+        let nf = m.not(f);
+        let nnf = m.not(nf);
+        assert_eq!(nnf, f);
+        assert_eq!(nf, f.negate());
+        assert_eq!(
+            m.node_count(),
+            before,
+            "negation is an edge-tag flip, not an allocation"
+        );
+        // f and ¬f share one subgraph: identical node counts.
+        assert_eq!(m.size(f), m.size(nf));
+    });
+}
+
+/// `f` and `not(f)` disagree on every assignment, and their `all_sat`
+/// solution sets partition the full assignment space.
+#[test]
+fn eval_and_all_sat_agree_between_f_and_not_f() {
+    check("eval/all_sat of f vs ¬f", 48, 0xB0D_000C, |rng| {
+        let e = arb_expr(rng, 4);
+        let mut m = manager_with_vars();
+        let f = build_bdd(&mut m, &e);
+        let nf = m.not(f);
+        for bits in exhaustive_assignments() {
+            let asg: Assignment = bits
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| (i as u32, b))
+                .collect();
+            let (pos, neg) = (m.eval(f, &asg), m.eval(nf, &asg));
+            assert_eq!(pos.map(|b| !b), neg);
+        }
+        let idx: Vec<u32> = (0..NUM_VARS).collect();
+        let sols_f = m.all_sat(f, &idx);
+        let sols_nf = m.all_sat(nf, &idx);
+        assert_eq!(
+            sols_f.len() + sols_nf.len(),
+            1 << NUM_VARS,
+            "f and ¬f partition the assignment space"
+        );
+        for sol in sols_f.iter().chain(&sols_nf) {
+            let on_f = m.eval(f, sol).expect("full assignment");
+            let on_nf = m.eval(nf, sol).expect("full assignment");
+            assert_ne!(on_f, on_nf);
+        }
+    });
+}
+
+/// A complemented handle tracks its regular partner through GC, random
+/// adjacent level swaps and a sift pass: `¬f` stays `f.negate()` (one
+/// shared subgraph) and keeps negated reference semantics throughout.
+#[test]
+fn gc_swaps_and_sifting_preserve_tagged_edges() {
+    check("gc+swap+sift under tagged edges", 24, 0xB0D_000D, |rng| {
+        let e = arb_expr(rng, 4);
+        let ne = Expr::Not(Box::new(e.clone()));
+        let mut m = manager_with_vars();
+        let f = build_bdd(&mut m, &e);
+        let nf = m.not(f);
+        m.protect(f);
+        m.protect(nf);
+        m.gc();
+        assert_eq!(nf, f.negate());
+        for _ in 0..6 {
+            let level = rng.below(NUM_VARS as u64 - 1) as u32;
+            m.swap_adjacent_levels(level);
+            assert_matches_reference(&m, f, &e);
+            assert_matches_reference(&m, nf, &ne);
+            assert_eq!(m.size(f), m.size(nf), "one shared subgraph");
+        }
+        m.sift(1.5);
+        assert_matches_reference(&m, f, &e);
+        assert_matches_reference(&m, nf, &ne);
+    });
+}
+
+/// Store round trip over randomly complemented roots: polarity survives
+/// the v2 dump/load cycle handle-exactly in the same manager and
+/// reference-exactly in a fresh one.
+#[test]
+fn store_round_trip_preserves_random_polarity() {
+    check("store round trip, random polarity", 24, 0xB0D_000E, |rng| {
+        let mut exprs: Vec<Expr> = (0..rng.below(3) + 2).map(|_| arb_expr(rng, 4)).collect();
+        let mut m = manager_with_vars();
+        let mut roots: Vec<Bdd> = exprs.iter().map(|e| build_bdd(&mut m, e)).collect();
+        // Randomly complement each root (tracking the reference AST).
+        for (f, e) in roots.iter_mut().zip(exprs.iter_mut()) {
+            if rng.flag() {
+                *f = f.negate();
+                *e = Expr::Not(Box::new(e.clone()));
+            }
+        }
+        let blob = m.dump_functions(&roots);
+        let reloaded = m.load_functions(&blob).expect("same-manager load");
+        assert_eq!(reloaded, roots, "polarity round-trips handle-exactly");
+        let mut fresh = BddManager::new();
+        for v in 0..NUM_VARS {
+            fresh.new_var(format!("v{v}"));
+        }
+        let reloaded = fresh.load_functions(&blob).expect("fresh-manager load");
+        for (f, e) in reloaded.iter().zip(&exprs) {
+            assert_matches_reference_by_name(&fresh, *f, e);
+        }
+    });
+}

@@ -357,6 +357,7 @@ fn kernel_metrics(m: &BddManager) -> Vec<(String, f64)> {
         ("nodes".into(), s.nodes_allocated as f64),
         ("ite_hit_rate".into(), s.ite_hit_rate()),
         ("ite_normalised".into(), s.ite_normalised as f64),
+        ("complement_share".into(), m.complement_edge_share()),
     ]
 }
 
@@ -461,6 +462,48 @@ pub fn workloads(options: &BenchOptions) -> Vec<Workload> {
                 let ba = b.add(&mut m, &a).expect("same width");
                 let eq = ab.equals(&mut m, &ba).expect("same width");
                 assert!(eq.is_true(), "addition is commutative");
+                kernel_metrics(&m)
+            })
+        },
+    });
+
+    out.push(Workload {
+        name: "kernel/negation-heavy",
+        kind: WorkloadKind::Kernel,
+        run: {
+            let mut m = BddManager::new();
+            Box::new(move || {
+                m.reset();
+                // xor/xnor-dense vector arithmetic: the shapes the O(1)
+                // negation and canonical-polarity ITE rules accelerate.
+                // Parity ladders, checksum folds and complement-pair
+                // identities keep every intermediate one bit-flip away
+                // from an already-built function.
+                let (a, b) = BddVec::new_interleaved_pair(&mut m, "a", "b", 28);
+                let x = a.xor(&mut m, &b).expect("same width");
+                let nx = x.not(&mut m);
+                // xnor via ¬(a ⊕ b) must equal per-bit xnor built by ITE.
+                for i in 0..28 {
+                    let xn = m.xnor(a.bit(i), b.bit(i));
+                    assert_eq!(xn, nx.bit(i), "xnor is the complement of xor");
+                }
+                // Fold a parity checksum both ways; the two traversal
+                // orders build complementary intermediates that share
+                // subgraphs under complement edges.
+                let mut fwd = Bdd::FALSE;
+                for i in 0..28 {
+                    fwd = m.xor(fwd, x.bit(i));
+                }
+                let mut bwd = Bdd::TRUE;
+                for i in (0..28).rev() {
+                    bwd = m.xnor(bwd, x.bit(i));
+                }
+                assert_eq!(bwd, fwd.negate(), "xnor fold complements the xor fold");
+                // Complement-pair arithmetic: a + ¬a is all-ones.
+                let na = a.not(&mut m);
+                let sum = a.add(&mut m, &na).expect("same width");
+                let ones = sum.equals_constant(&mut m, (1u64 << 28) - 1);
+                assert!(ones.is_true(), "a + ¬a is all ones");
                 kernel_metrics(&m)
             })
         },
@@ -923,13 +966,20 @@ mod tests {
     fn kernel_workloads_run_and_report() {
         let report = run_workloads(&["kernel".to_owned()], 1, 0, &BenchOptions::default())
             .expect("kernel workloads run");
-        assert_eq!(report.results.len(), 6);
+        assert_eq!(report.results.len(), 7);
         for r in &report.results {
             assert_eq!(r.kind, "kernel");
             assert!(r.median_ns > 0);
             assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
             assert!(r.metrics.contains_key("nodes"));
+            assert!(r.metrics.contains_key("complement_share"));
         }
+        let negheavy = report
+            .results
+            .iter()
+            .find(|r| r.name == "kernel/negation-heavy")
+            .expect("the negation-heavy workload is registered");
+        assert!(negheavy.metrics["complement_share"] > 0.0);
         let relprod = report
             .results
             .iter()

@@ -6,8 +6,9 @@ use std::sync::Arc;
 
 use ssr_engine::persist::{load_partial, plan_resume, Checkpoint, PartialCampaign};
 use ssr_engine::{
-    minimise_with_engine, CampaignReport, CampaignSpec, EngineOracle, Granularity, JobBudget,
-    JobResult, MaintainSettings, ModelSource, ModelStore, ReportDiff, RunHooks, StoreBacked,
+    minimise_with_engine, BlobHealth, CampaignReport, CampaignSpec, EngineOracle, Granularity,
+    JobBudget, JobResult, MaintainSettings, ModelSource, ModelStore, ReportDiff, RunHooks,
+    StoreBacked,
 };
 use ssr_netlist::stats::{stats, AreaModel};
 use ssr_properties::CoreHarness;
@@ -77,7 +78,13 @@ fn store_maintenance(cmd: &Command) -> ExitCode {
             Ok(entries) => {
                 let total: u64 = entries.iter().map(|e| e.bytes).sum();
                 for entry in &entries {
-                    println!("{:>12}  {}", entry.bytes, entry.file);
+                    // Function images carry a store format version in their
+                    // magic line; model files have none.
+                    let format = match entry.format {
+                        Some(v) => format!("v{v}"),
+                        None => "-".to_string(),
+                    };
+                    println!("{:>12}  {:>3}  {}", entry.bytes, format, entry.file);
                 }
                 println!("{} entr(ies), {} byte(s) in {dir}", entries.len(), total);
                 ExitCode::SUCCESS
@@ -90,18 +97,27 @@ fn store_maintenance(cmd: &Command) -> ExitCode {
         StoreVerb::Verify => match store.verify() {
             Ok(outcomes) => {
                 let mut damaged = 0usize;
-                for (entry, outcome) in &outcomes {
-                    match outcome {
-                        Ok(()) => println!("ok       {}", entry.file),
-                        Err(e) => {
+                let mut upgradeable = 0usize;
+                for (entry, health) in &outcomes {
+                    match health {
+                        BlobHealth::Ok => println!("ok       {}", entry.file),
+                        BlobHealth::Upgradeable { from } => {
+                            upgradeable += 1;
+                            println!(
+                                "ok       {}: legacy format v{from}, upgradeable \
+                                 (rewritten on the next save)",
+                                entry.file
+                            );
+                        }
+                        BlobHealth::Damaged(e) => {
                             damaged += 1;
                             println!("DAMAGED  {}: {e}", entry.file);
                         }
                     }
                 }
                 println!(
-                    "{} entr(ies) verified, {damaged} damaged (damaged entries fall \
-                     back to cold builds at run time)",
+                    "{} entr(ies) verified, {upgradeable} upgradeable, {damaged} damaged \
+                     (damaged entries fall back to cold builds at run time)",
                     outcomes.len(),
                 );
                 if damaged == 0 {
@@ -800,10 +816,16 @@ fn kernel_stats(cmd: &Command, harness: &CoreHarness, config: &ssr_cpu::CoreConf
     } else {
         s.quant_cache_hits as f64 / quant_probes as f64
     };
+    let (complemented, unique_nodes) = m.complement_edge_census();
     println!(
         "  kernel (order={}, {} assertions compiled): {} live / {} peak nodes (arena {}), \
          {} vars",
         cmd.order, built, s.live_nodes, s.peak_live_nodes, s.nodes_allocated, s.variables,
+    );
+    println!(
+        "    complement edges: {complemented}/{unique_nodes} unique nodes carry a \
+         complemented high edge ({:.1}%)",
+        100.0 * m.complement_edge_share(),
     );
     println!(
         "    ITE {:.1}% hit ({} rewrites), quant {:.1}% hit, gc {} pass(es) ({} reclaimed), \

@@ -91,7 +91,7 @@ pub use pool::{ManagerPool, PoolStats};
 pub use report::{AssertionOutcome, CampaignReport, JobResult};
 pub use spec::{spec_from_json, spec_to_json};
 pub use store::{
-    Compile, FunctionKey, GcOutcome, ModelSource, ModelStore, StoreBacked, StoreEntry,
+    BlobHealth, Compile, FunctionKey, GcOutcome, ModelSource, ModelStore, StoreBacked, StoreEntry,
 };
 
 // Re-exported so engine users can name suites, ordering policies and

@@ -198,8 +198,8 @@ mod tests {
 
         let m2 = pool.acquire();
         assert_eq!(pool.idle(), 0);
-        // Reset: contents gone, arena back to the two terminals.
-        assert_eq!(m2.node_count(), 2);
+        // Reset: contents gone, arena back to the single terminal node.
+        assert_eq!(m2.node_count(), 1);
         assert_eq!(m2.var_count(), 0);
         assert_eq!(m2.stats().resets, 1);
         let stats = pool.stats();

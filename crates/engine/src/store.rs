@@ -32,7 +32,10 @@ use std::sync::Arc;
 use std::time::SystemTime;
 
 use ssr_bdd::store::fnv1a64;
-use ssr_bdd::{Bdd, BddManager, OrderPolicy, StoreBlob, KERNEL_FORMAT_VERSION};
+use ssr_bdd::{
+    Bdd, BddManager, OrderPolicy, StoreBlob, KERNEL_FORMAT_VERSION, KERNEL_FORMAT_VERSION_V1,
+    STORE_MAGIC, STORE_MAGIC_V1,
+};
 use ssr_cpu::CoreConfig;
 use ssr_netlist::{Netlist, NetlistError};
 use ssr_properties::{CoreHarness, Partitioning};
@@ -81,6 +84,34 @@ pub struct StoreEntry {
     /// Last modification time (the LRU clock), when the filesystem
     /// reports one.
     pub modified: Option<SystemTime>,
+    /// Store format version of a `.bdd` function image, read from its
+    /// magic line (`2` for `ssr-store/v2`, `1` for legacy `ssr-store/v1`).
+    /// `None` for model files and unreadable/garbled headers.
+    pub format: Option<u32>,
+}
+
+/// Health of one store entry as classified by [`ModelStore::verify`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlobHealth {
+    /// Parses and fully reconstructs in the current format.
+    Ok,
+    /// Fully reconstructs, but was written by an older store format —
+    /// still a valid warm-start source; a future save under the current
+    /// kernel rewrites it in the current format.
+    Upgradeable {
+        /// The legacy format version found in the blob's header.
+        from: u32,
+    },
+    /// Fails header, version, checksum or structural validation; warm
+    /// loads fall back to a cold build.
+    Damaged(String),
+}
+
+impl BlobHealth {
+    /// Whether this entry cannot serve warm starts at all.
+    pub fn is_damaged(&self) -> bool {
+        matches!(self, BlobHealth::Damaged(_))
+    }
 }
 
 /// The outcome of a [`ModelStore::gc`] pass.
@@ -270,10 +301,16 @@ impl ModelStore {
                 continue;
             }
             let meta = entry.metadata()?;
+            let format = if file.ends_with(".bdd") {
+                blob_format_version(&entry.path())
+            } else {
+                None
+            };
             entries.push(StoreEntry {
                 file,
                 bytes: meta.len(),
                 modified: meta.modified().ok(),
+                format,
             });
         }
         entries.sort_by(|a, b| a.file.cmp(&b.file));
@@ -281,34 +318,43 @@ impl ModelStore {
     }
 
     /// Verifies every entry end to end (header, version, checksum,
-    /// structure) without mutating anything.  Returns `(entry, result)`
-    /// pairs in listing order; the error string is human-readable.
+    /// structure) without mutating anything.  Returns `(entry, health)`
+    /// pairs in listing order; legacy-format blobs that still reconstruct
+    /// are reported [`BlobHealth::Upgradeable`], not damaged.
     ///
     /// # Errors
     /// Propagates directory-read failures (per-entry corruption is a
     /// *result*, not an error).
-    pub fn verify(&self) -> io::Result<Vec<(StoreEntry, Result<(), String>)>> {
+    pub fn verify(&self) -> io::Result<Vec<(StoreEntry, BlobHealth)>> {
         self.entries()?
             .into_iter()
             .map(|entry| {
                 let path = self.dir.join(&entry.file);
-                let outcome = fs::read_to_string(&path)
-                    .map_err(|e| e.to_string())
-                    .and_then(|text| {
-                        if entry.file.starts_with("model-") {
-                            ssr_netlist::store::parse(&text)
-                                .map(|_| ())
-                                .map_err(|e| e.to_string())
-                        } else {
-                            // Scratch manager: validation includes a full
-                            // reconstruction, exactly what a warm job does.
-                            BddManager::new()
-                                .load_functions(&StoreBlob::from_text(text))
-                                .map(|_| ())
-                                .map_err(|e| e.to_string())
+                let health = match fs::read_to_string(&path) {
+                    Err(e) => BlobHealth::Damaged(e.to_string()),
+                    Ok(text) if entry.file.starts_with("model-") => {
+                        match ssr_netlist::store::parse(&text) {
+                            Ok(_) => BlobHealth::Ok,
+                            Err(e) => BlobHealth::Damaged(e.to_string()),
                         }
-                    });
-                Ok((entry, outcome))
+                    }
+                    Ok(text) => {
+                        let blob = StoreBlob::from_text(text);
+                        let legacy = blob
+                            .format_version()
+                            .filter(|&v| v != KERNEL_FORMAT_VERSION);
+                        // Scratch manager: validation includes a full
+                        // reconstruction, exactly what a warm job does.
+                        match BddManager::new().load_functions(&blob) {
+                            Ok(_) => match legacy {
+                                Some(from) => BlobHealth::Upgradeable { from },
+                                None => BlobHealth::Ok,
+                            },
+                            Err(e) => BlobHealth::Damaged(e.to_string()),
+                        }
+                    }
+                };
+                Ok((entry, health))
             })
             .collect()
     }
@@ -342,6 +388,23 @@ impl ModelStore {
             evicted,
             kept_bytes: total,
         })
+    }
+}
+
+/// Classifies a `.bdd` blob's store format from its magic line without
+/// reading the whole file: the longest recognised magic is 13 bytes
+/// including the newline, so a 16-byte head suffices.  Purely syntactic —
+/// `verify` does the full checksum/reconstruction pass.
+fn blob_format_version(path: &std::path::Path) -> Option<u32> {
+    use std::io::Read as _;
+    let mut head = [0u8; 16];
+    let mut file = fs::File::open(path).ok()?;
+    let n = file.read(&mut head).ok()?;
+    let head = std::str::from_utf8(&head[..n]).ok()?;
+    match head.lines().next()? {
+        m if m == STORE_MAGIC => Some(KERNEL_FORMAT_VERSION),
+        m if m == STORE_MAGIC_V1 => Some(KERNEL_FORMAT_VERSION_V1),
+        _ => None,
     }
 }
 
@@ -565,20 +628,56 @@ mod tests {
 
         let clean = store.verify().expect("listable");
         assert_eq!(clean.len(), 2);
-        assert!(clean.iter().all(|(_, r)| r.is_ok()));
+        assert!(clean.iter().all(|(_, r)| *r == BlobHealth::Ok));
+        // The listing reports the current format for function images and
+        // no format for model files.
+        for (entry, _) in &clean {
+            if entry.file.starts_with("fns-") {
+                assert_eq!(entry.format, Some(KERNEL_FORMAT_VERSION));
+            } else {
+                assert_eq!(entry.format, None);
+            }
+        }
 
         // Corrupt the function image.
         let fns = store.functions_path(&key);
         let text = fs::read_to_string(&fns).expect("committed");
         fs::write(&fns, &text[..text.len() - 8]).expect("truncate");
         let checked = store.verify().expect("listable");
-        let bad: Vec<_> = checked.iter().filter(|(_, r)| r.is_err()).collect();
+        let bad: Vec<_> = checked.iter().filter(|(_, r)| r.is_damaged()).collect();
         assert_eq!(bad.len(), 1);
         assert!(bad[0].0.file.starts_with("fns-"));
         let _ = fs::remove_dir_all(&dir);
     }
 
-    /// Re-seals an `ssr-store/v1` blob after doctoring its payload, so only
+    #[test]
+    fn legacy_v1_entries_verify_as_upgradeable() {
+        let dir = scratch_dir("legacy");
+        let store = ModelStore::open(&dir).expect("open");
+        // A hand-built `ssr-store/v1` blob for f = a ∧ b, as committed by
+        // kernels before the complement-edge representation.
+        let payload = "ssr-store/v1\nkernel 1\nvars 2\na\nb\nnodes 2\n1 0 1\n0 0 2\nroots 1\n3\n";
+        let sealed = format!("{payload}checksum {:016x}\n", fnv1a64(payload.as_bytes()));
+        fs::write(dir.join("fns-00000000000000aa.bdd"), sealed).expect("write");
+
+        let entries = store.entries().expect("listable");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].format, Some(KERNEL_FORMAT_VERSION_V1));
+
+        let checked = store.verify().expect("listable");
+        assert_eq!(checked.len(), 1);
+        assert_eq!(
+            checked[0].1,
+            BlobHealth::Upgradeable {
+                from: KERNEL_FORMAT_VERSION_V1
+            },
+            "a loadable v1 blob is upgradeable, not damaged"
+        );
+        assert!(!checked[0].1.is_damaged());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Re-seals a store blob after doctoring its payload, so only
     /// the targeted defect (not the checksum) can trip the loader.
     fn reseal(text: &str) -> String {
         let body = text.strip_suffix('\n').unwrap_or(text);
